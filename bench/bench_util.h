@@ -1,0 +1,58 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every bench prints (a) the measured table/series for this implementation
+// and (b) the shape the paper reports, so EXPERIMENTS.md can record
+// paper-vs-measured side by side. Absolute numbers are not expected to match
+// (different hardware, scaled-down data); the *shape* is the claim.
+
+#ifndef HYDRA_BENCH_BENCH_UTIL_H_
+#define HYDRA_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/text_table.h"
+#include "workload/tpcds.h"
+#include "workload/workload_runner.h"
+
+namespace hydra::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper reference: %s\n", paper.c_str());
+  std::printf("==================================================================\n\n");
+}
+
+// The canonical WLc / WLs client sites used across the figure benches.
+// Deterministic: seed fixed per workload kind.
+inline ClientSite BuildTpcdsSite(double scale_factor, TpcdsWorkloadKind kind,
+                                 int num_queries) {
+  Schema schema = TpcdsSchema(scale_factor);
+  auto queries = TpcdsWorkload(
+      schema, kind, num_queries,
+      kind == TpcdsWorkloadKind::kComplex ? 424242 : 515151);
+  auto site = BuildClientSite(schema, DataGenOptions{.seed = 99},
+                              std::move(queries));
+  HYDRA_CHECK_MSG(site.ok(), site.status().ToString());
+  return std::move(*site);
+}
+
+}  // namespace hydra::bench
+
+#endif  // HYDRA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+// Figure 10: quality of volumetric similarity on WLs — the percentage of CCs
+// satisfied within a given relative error, Hydra vs DataSynth.
+//
+// Paper's shape: Hydra satisfies ~90% of CCs with essentially no error and
+// the rest within ~10%, with only POSITIVE deviations; DataSynth is exact on
+// ~80% but its sampling needs up to ~60% error for full coverage, with about
+// a third of its misses NEGATIVE.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "datasynth/datasynth.h"
+#include "hydra/regenerator.h"
+#include "hydra/tuple_generator.h"
+
+int main() {
+  using namespace hydra;
+  using namespace hydra::bench;
+
+  PrintHeader(
+      "Figure 10 — Quality of Volumetric Similarity (WLs)",
+      "Hydra: ~90% exact, tail <= 10%, positive-only; DataSynth: ~80% exact, "
+      "tail to 60%, two-sided");
+
+  const ClientSite site =
+      BuildTpcdsSite(/*scale_factor=*/2.0, TpcdsWorkloadKind::kSimple, 80);
+  std::printf("CCs under evaluation: %zu\n\n", site.ccs.size());
+
+  // --- Hydra ---------------------------------------------------------
+  HydraRegenerator hydra(site.schema);
+  auto hydra_result = hydra.Regenerate(site.ccs);
+  HYDRA_CHECK_MSG(hydra_result.ok(), hydra_result.status().ToString());
+  auto hydra_db = MaterializeDatabase(hydra_result->summary);
+  HYDRA_CHECK_OK(hydra_db.status());
+  auto hydra_report = MeasureVolumetricSimilarity(site, *hydra_db);
+  HYDRA_CHECK_OK(hydra_report.status());
+
+  // --- DataSynth -----------------------------------------------------
+  DataSynthRegenerator datasynth(site.schema);
+  auto ds_result = datasynth.Regenerate(site.ccs);
+  SimilarityReport ds_report;
+  bool ds_ok = ds_result.ok();
+  if (ds_ok) {
+    auto r = MeasureVolumetricSimilarity(site, ds_result->database);
+    HYDRA_CHECK_OK(r.status());
+    ds_report = std::move(*r);
+  } else {
+    std::printf("DataSynth failed: %s\n\n", ds_result.status().ToString().c_str());
+  }
+
+  TextTable table({"relative error <=", "Hydra %CCs", "DataSynth %CCs"});
+  for (double err : {0.0, 0.01, 0.05, 0.10, 0.20, 0.40, 0.60, 1.00}) {
+    table.AddRow({TextTable::Cell(err, 2),
+                  TextTable::Cell(100 * hydra_report->FractionWithin(err), 1),
+                  ds_ok ? TextTable::Cell(100 * ds_report.FractionWithin(err), 1)
+                        : "crash"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("max relative error:  Hydra %.3f   DataSynth %s\n",
+              hydra_report->MaxAbsError(),
+              ds_ok ? TextTable::Cell(ds_report.MaxAbsError(), 3).c_str()
+                    : "n/a");
+  std::printf("negative-error CCs:  Hydra %d / %zu   DataSynth %s / %zu\n",
+              hydra_report->CountNegative(), hydra_report->entries.size(),
+              ds_ok ? std::to_string(ds_report.CountNegative()).c_str() : "n/a",
+              ds_ok ? ds_report.entries.size() : 0);
+  std::printf(
+      "\nShape check vs paper: Hydra's curve dominates (reaches 100%% at a\n"
+      "much smaller error) and Hydra has no negative deviations.\n");
+  return 0;
+}

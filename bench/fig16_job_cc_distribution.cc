@@ -1,0 +1,41 @@
+// Figure 16: cardinality distribution of the CCs extracted from the JOB
+// (IMDB) workload — 260 queries, ~523 CCs, again spanning many decades.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "workload/job.h"
+
+int main() {
+  using namespace hydra;
+  using namespace hydra::bench;
+
+  PrintHeader("Figure 16 — Cardinality distribution of CCs in JOB",
+              "260 queries -> 523 CCs, wide multi-decade spread");
+
+  Schema schema = JobSchema(/*scale_factor=*/2.0);
+  auto queries = JobWorkload(schema, 260, 616161);
+  auto site = BuildClientSite(schema, DataGenOptions{.seed = 99},
+                              std::move(queries));
+  HYDRA_CHECK_MSG(site.ok(), site.status().ToString());
+
+  std::printf("queries: %zu   cardinality constraints: %zu\n\n",
+              site->queries.size(), site->ccs.size());
+
+  std::vector<int64_t> buckets(9, 0);
+  for (const CardinalityConstraint& cc : site->ccs) {
+    const int b = cc.cardinality == 0
+                      ? 0
+                      : std::min<int>(8, static_cast<int>(std::log10(
+                                             double(cc.cardinality))) + 1);
+    ++buckets[b];
+  }
+  const std::vector<std::string> labels = {
+      "0       ", "[1,10)  ", "[1e1,1e2)", "[1e2,1e3)", "[1e3,1e4)",
+      "[1e4,1e5)", "[1e5,1e6)", "[1e6,1e7)", ">=1e7   "};
+  std::printf("%s\n", RenderHistogram(labels, buckets).c_str());
+  std::printf(
+      "Shape check vs paper: like Figure 9 but on a schematically very\n"
+      "different (IMDB-like) database — the spread remains highly varied.\n");
+  return 0;
+}

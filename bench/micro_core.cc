@@ -1,0 +1,155 @@
+// Google-benchmark micro benchmarks for the core algorithmic components:
+// region partitioning, grid enumeration, phase-I simplex, summary
+// construction and tuple-generation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "hydra/regenerator.h"
+#include "hydra/tuple_generator.h"
+#include "lp/simplex.h"
+#include "partition/grid_partition.h"
+#include "partition/region_partition.h"
+#include "workload/toy.h"
+
+namespace hydra {
+namespace {
+
+std::vector<DnfPredicate> RandomConstraints(int num_constraints, int dims,
+                                            int64_t width, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DnfPredicate> out;
+  for (int i = 0; i < num_constraints; ++i) {
+    Conjunct c;
+    for (int d = 0; d < dims; ++d) {
+      if (rng.NextBool(0.6)) {
+        const int64_t lo = rng.NextInt(0, width - 1);
+        c.AddAtom(AtomRange(d, lo, rng.NextInt(lo + 1, width + 1)));
+      }
+    }
+    if (c.atoms.empty()) c.AddAtom(AtomRange(0, 0, width / 2));
+    DnfPredicate p;
+    p.AddConjunct(std::move(c));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void BM_RegionPartition(benchmark::State& state) {
+  const int num_constraints = static_cast<int>(state.range(0));
+  const int dims = static_cast<int>(state.range(1));
+  const auto constraints =
+      RandomConstraints(num_constraints, dims, 1000, 7);
+  const std::vector<Interval> domains(dims, Interval(0, 1000));
+  int regions = 0;
+  for (auto _ : state) {
+    RegionPartition p = BuildRegionPartition(domains, constraints);
+    regions = p.num_regions();
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["regions"] = regions;
+}
+BENCHMARK(BM_RegionPartition)
+    ->Args({4, 2})
+    ->Args({8, 2})
+    ->Args({16, 2})
+    ->Args({8, 4})
+    ->Args({16, 4})
+    ->Args({24, 6});
+
+void BM_GridCellCount(benchmark::State& state) {
+  const int num_constraints = static_cast<int>(state.range(0));
+  const int dims = static_cast<int>(state.range(1));
+  const auto constraints =
+      RandomConstraints(num_constraints, dims, 1000, 7);
+  const std::vector<Interval> domains(dims, Interval(0, 1000));
+  for (auto _ : state) {
+    GridPartition g = BuildGridPartition(domains, constraints);
+    benchmark::DoNotOptimize(g.NumCellsCapped(1ull << 62));
+  }
+}
+BENCHMARK(BM_GridCellCount)->Args({16, 4})->Args({24, 6});
+
+void BM_SimplexFeasibility(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  Rng rng(3);
+  std::vector<int64_t> witness(n);
+  for (int j = 0; j < n; ++j) witness[j] = rng.NextInt(0, 1000000);
+  LpProblem p;
+  p.AddVariables(n);
+  for (int i = 0; i < m; ++i) {
+    LpConstraint c;
+    int64_t rhs = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBool(0.3)) {
+        c.AddTerm(j, 1.0);
+        rhs += witness[j];
+      }
+    }
+    c.rhs = static_cast<double>(rhs);
+    p.AddConstraint(std::move(c));
+  }
+  for (auto _ : state) {
+    auto sol = SolveFeasibility(p);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["vars"] = n;
+  state.counters["rows"] = m;
+}
+BENCHMARK(BM_SimplexFeasibility)
+    ->Args({100, 20})
+    ->Args({1000, 50})
+    ->Args({10000, 100})
+    ->Args({100000, 50});
+
+void BM_ToyRegeneration(benchmark::State& state) {
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  for (auto _ : state) {
+    auto result = hydra.Regenerate(env.ccs);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ToyRegeneration);
+
+void BM_TupleGenerationThroughput(benchmark::State& state) {
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto result = hydra.Regenerate(env.ccs);
+  HYDRA_CHECK_MSG(result.ok(), result.status().ToString());
+  TupleGenerator gen(result->summary);
+  const int r = env.schema.RelationIndex("R");
+  uint64_t tuples = 0;
+  for (auto _ : state) {
+    gen.Scan(r, [&](const Row& row) {
+      benchmark::DoNotOptimize(row.data());
+      ++tuples;
+    });
+  }
+  state.SetItemsProcessed(tuples);
+}
+BENCHMARK(BM_TupleGenerationThroughput);
+
+void BM_RandomAccessTuple(benchmark::State& state) {
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto result = hydra.Regenerate(env.ccs);
+  HYDRA_CHECK_MSG(result.ok(), result.status().ToString());
+  TupleGenerator gen(result->summary);
+  const int r = env.schema.RelationIndex("R");
+  const int64_t n = static_cast<int64_t>(gen.RowCount(r));
+  Rng rng(1);
+  Row row;
+  for (auto _ : state) {
+    gen.GetTuple(r, rng.NextInt(0, n), &row);
+    benchmark::DoNotOptimize(row.data());
+  }
+}
+BENCHMARK(BM_RandomAccessTuple);
+
+}  // namespace
+}  // namespace hydra
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Dynamic regeneration — the paper's Section 6 scenario: the engine under
+// test executes the client's workload with NO materialized data at all; the
+// scan operator is replaced by the Tuple Generator, which produces rows
+// on demand from the database summary.
+
+#include <cstdio>
+
+#include "common/text_table.h"
+#include "engine/executor.h"
+#include "hydra/regenerator.h"
+#include "hydra/tuple_generator.h"
+#include "workload/tpcds.h"
+#include "workload/workload_runner.h"
+
+int main() {
+  using namespace hydra;
+
+  Schema schema = TpcdsSchema(/*scale_factor=*/8.0);
+  auto queries = TpcdsWorkload(schema, TpcdsWorkloadKind::kSimple, 20, 1001);
+  auto site = BuildClientSite(schema, DataGenOptions{.seed = 5},
+                              std::move(queries));
+  if (!site.ok()) {
+    std::printf("client site failed: %s\n", site.status().ToString().c_str());
+    return 1;
+  }
+
+  HydraRegenerator hydra(site->schema);
+  auto result = hydra.Regenerate(site->ccs);
+  if (!result.ok()) {
+    std::printf("regeneration failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+
+  // The vendor never materializes anything: the summary IS the database.
+  TupleGenerator generator(result->summary);
+  std::printf("summary: %s describing %s of data — no tuples stored\n\n",
+              FormatBytes(result->summary.ByteSize()).c_str(),
+              FormatBytes(site->database.TotalBytes()).c_str());
+
+  // Random access: the paper's "120th row of S" example, generalized.
+  const int ss = site->schema.RelationIndex("store_sales");
+  Row row;
+  generator.GetTuple(ss, 120, &row);
+  std::printf("store_sales tuple #120 generated on demand: (");
+  for (size_t i = 0; i < row.size(); ++i) {
+    std::printf(i ? ", %lld" : "%lld", (long long)row[i]);
+  }
+  std::printf(")\n\n");
+
+  // Execute the entire workload against the dynamic source.
+  Executor executor(site->schema);
+  TextTable table({"query", "edges", "max |rel.err| vs client"});
+  for (size_t qi = 0; qi < site->queries.size(); ++qi) {
+    auto aqp = executor.Execute(site->queries[qi], generator);
+    if (!aqp.ok()) {
+      std::printf("query failed: %s\n", aqp.status().ToString().c_str());
+      return 1;
+    }
+    double max_err = 0;
+    for (size_t s = 0; s < aqp->steps.size(); ++s) {
+      const double want =
+          static_cast<double>(site->aqps[qi].steps[s].cardinality);
+      const double got = static_cast<double>(aqp->steps[s].cardinality);
+      max_err = std::max(max_err, std::abs(got - want) / std::max(1.0, want));
+    }
+    table.AddRow({site->queries[qi].name, std::to_string(aqp->steps.size()),
+                  TextTable::Cell(max_err, 4)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nEvery annotated plan edge was reproduced from dynamically generated\n"
+      "tuples; the 'database' never touched memory or disk.\n");
+  return 0;
+}

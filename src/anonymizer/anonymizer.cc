@@ -1,0 +1,60 @@
+#include "anonymizer/anonymizer.h"
+
+namespace hydra {
+
+int64_t ValueDictionary::Encode(const std::string& value) {
+  auto [it, inserted] =
+      codes_.emplace(value, static_cast<int64_t>(values_.size()));
+  if (inserted) values_.push_back(value);
+  return it->second;
+}
+
+StatusOr<std::string> ValueDictionary::Decode(int64_t code) const {
+  if (code < 0 || code >= static_cast<int64_t>(values_.size())) {
+    return Status::NotFound("code " + std::to_string(code) +
+                            " not in dictionary");
+  }
+  return values_[code];
+}
+
+Schema Anonymizer::AnonymizeSchema(const Schema& schema) {
+  Schema anonymized;
+  for (int r = 0; r < schema.num_relations(); ++r) {
+    const Relation& rel = schema.relation(r);
+    const std::string masked = "r" + std::to_string(r);
+    relation_names_[rel.name()] = masked;
+    Relation copy(masked, rel.row_count());
+    for (int a = 0; a < rel.num_attributes(); ++a) {
+      const Attribute& attr = rel.attribute(a);
+      const std::string attr_name = masked + ".a" + std::to_string(a);
+      switch (attr.kind) {
+        case AttributeKind::kData:
+          copy.AddDataAttribute(attr_name, attr.domain);
+          break;
+        case AttributeKind::kPrimaryKey:
+          copy.AddPrimaryKey(attr_name);
+          break;
+        case AttributeKind::kForeignKey:
+          copy.AddForeignKey(attr_name, attr.fk_target);
+          break;
+      }
+    }
+    anonymized.AddRelation(std::move(copy));
+  }
+  return anonymized;
+}
+
+ValueDictionary& Anonymizer::DictionaryFor(const AttrRef& ref) {
+  return dictionaries_[ref];
+}
+
+StatusOr<std::string> Anonymizer::AnonymizedRelationName(
+    const std::string& name) const {
+  auto it = relation_names_.find(name);
+  if (it == relation_names_.end()) {
+    return Status::NotFound("relation " + name + " was not anonymized");
+  }
+  return it->second;
+}
+
+}  // namespace hydra

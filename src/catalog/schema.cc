@@ -1,0 +1,206 @@
+#include "catalog/schema.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+int Relation::AddDataAttribute(const std::string& name, Interval domain) {
+  HYDRA_CHECK_MSG(!domain.empty(), "empty domain for " << name_ << "." << name);
+  Attribute a;
+  a.name = name;
+  a.kind = AttributeKind::kData;
+  a.domain = domain;
+  attributes_.push_back(a);
+  const int idx = static_cast<int>(attributes_.size()) - 1;
+  HYDRA_CHECK_MSG(attr_index_.emplace(name, idx).second,
+                  "duplicate attribute " << name_ << "." << name);
+  return idx;
+}
+
+int Relation::AddPrimaryKey(const std::string& name) {
+  HYDRA_CHECK_MSG(PrimaryKeyIndex() < 0, "relation " << name_
+                                                     << " already has a PK");
+  Attribute a;
+  a.name = name;
+  a.kind = AttributeKind::kPrimaryKey;
+  a.domain = Interval(0, static_cast<int64_t>(row_count_) > 0
+                             ? static_cast<int64_t>(row_count_)
+                             : 1);
+  attributes_.push_back(a);
+  const int idx = static_cast<int>(attributes_.size()) - 1;
+  HYDRA_CHECK_MSG(attr_index_.emplace(name, idx).second,
+                  "duplicate attribute " << name_ << "." << name);
+  return idx;
+}
+
+int Relation::AddForeignKey(const std::string& name, int target_relation) {
+  Attribute a;
+  a.name = name;
+  a.kind = AttributeKind::kForeignKey;
+  a.fk_target = target_relation;
+  a.domain = Interval(0, 1);  // resolved against the target's row count
+  attributes_.push_back(a);
+  const int idx = static_cast<int>(attributes_.size()) - 1;
+  HYDRA_CHECK_MSG(attr_index_.emplace(name, idx).second,
+                  "duplicate attribute " << name_ << "." << name);
+  return idx;
+}
+
+void Relation::set_row_count(uint64_t n) {
+  row_count_ = n;
+  const int pk = PrimaryKeyIndex();
+  if (pk >= 0) {
+    attributes_[pk].domain =
+        Interval(0, n > 0 ? static_cast<int64_t>(n) : 1);
+  }
+}
+
+int Relation::AttrIndex(const std::string& name) const {
+  auto it = attr_index_.find(name);
+  return it == attr_index_.end() ? -1 : it->second;
+}
+
+int Relation::PrimaryKeyIndex() const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].kind == AttributeKind::kPrimaryKey) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> Relation::DataAttrIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].kind == AttributeKind::kData) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> Relation::ForeignKeyIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].kind == AttributeKind::kForeignKey) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+int Schema::AddRelation(Relation relation) {
+  const int idx = static_cast<int>(relations_.size());
+  HYDRA_CHECK_MSG(relation_index_.emplace(relation.name(), idx).second,
+                  "duplicate relation " << relation.name());
+  relations_.push_back(std::move(relation));
+  return idx;
+}
+
+int Schema::RelationIndex(const std::string& name) const {
+  auto it = relation_index_.find(name);
+  return it == relation_index_.end() ? -1 : it->second;
+}
+
+std::vector<int> Schema::DirectDependencies(int rel) const {
+  std::vector<int> out;
+  for (int fk : relations_[rel].ForeignKeyIndices()) {
+    const int target = relations_[rel].attribute(fk).fk_target;
+    if (std::find(out.begin(), out.end(), target) == out.end()) {
+      out.push_back(target);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Schema::TransitiveDependencies(int rel) const {
+  std::vector<bool> seen(relations_.size(), false);
+  std::vector<int> stack = DirectDependencies(rel);
+  std::vector<int> out;
+  while (!stack.empty()) {
+    const int r = stack.back();
+    stack.pop_back();
+    if (seen[r]) continue;
+    seen[r] = true;
+    out.push_back(r);
+    for (int d : DirectDependencies(r)) {
+      if (!seen[d]) stack.push_back(d);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Schema::IsDag() const { return DependentsFirstOrder().ok(); }
+
+StatusOr<std::vector<int>> Schema::DependentsFirstOrder() const {
+  const int n = num_relations();
+  // Kahn's algorithm on edges rel -> dependency; output order emits a node
+  // only once all its dependents have been emitted.
+  std::vector<int> pending_dependents(n, 0);
+  for (int r = 0; r < n; ++r) {
+    for (int d : DirectDependencies(r)) ++pending_dependents[d];
+  }
+  std::vector<int> ready;
+  for (int r = 0; r < n; ++r) {
+    if (pending_dependents[r] == 0) ready.push_back(r);
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    // Pop the smallest index for deterministic output.
+    auto it = std::min_element(ready.begin(), ready.end());
+    const int r = *it;
+    ready.erase(it);
+    order.push_back(r);
+    for (int d : DirectDependencies(r)) {
+      if (--pending_dependents[d] == 0) ready.push_back(d);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::FailedPrecondition(
+        "referential dependency graph has a cycle");
+  }
+  return order;
+}
+
+Status Schema::Validate() const {
+  for (int r = 0; r < num_relations(); ++r) {
+    const Relation& rel = relations_[r];
+    for (int a = 0; a < rel.num_attributes(); ++a) {
+      const Attribute& attr = rel.attribute(a);
+      if (attr.kind == AttributeKind::kData && attr.domain.empty()) {
+        return Status::InvalidArgument("empty domain for " + rel.name() +
+                                       "." + attr.name);
+      }
+      if (attr.kind == AttributeKind::kForeignKey) {
+        if (attr.fk_target < 0 || attr.fk_target >= num_relations()) {
+          return Status::InvalidArgument("dangling FK target for " +
+                                         rel.name() + "." + attr.name);
+        }
+        if (attr.fk_target == r) {
+          return Status::InvalidArgument("self-referencing FK in " +
+                                         rel.name());
+        }
+        if (relations_[attr.fk_target].PrimaryKeyIndex() < 0) {
+          return Status::InvalidArgument(
+              "FK " + rel.name() + "." + attr.name + " references relation " +
+              relations_[attr.fk_target].name() + " which has no PK");
+        }
+      }
+    }
+  }
+  if (!IsDag()) {
+    return Status::InvalidArgument("dependency graph is not a DAG");
+  }
+  return Status::OK();
+}
+
+std::string Schema::QualifiedName(const AttrRef& ref) const {
+  return relations_[ref.relation].name() + "." +
+         relations_[ref.relation].attribute(ref.attr).name;
+}
+
+}  // namespace hydra

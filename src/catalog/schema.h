@@ -1,0 +1,140 @@
+// Relational catalog: attributes, relations, and the referential dependency
+// graph (a DAG; Hydra explicitly supports DAG-shaped dependencies, not just
+// trees).
+//
+// Conventions matching the paper's setting (Section 2.2):
+//  * every attribute is numeric (the anonymizer maps other types to numbers),
+//    with a half-open integer domain [lo, hi);
+//  * each relation has at most one primary key attribute;
+//  * foreign keys reference the primary key of their target relation;
+//  * cardinality constraints filter only non-key attributes and join only
+//    along PK-FK edges.
+
+#ifndef HYDRA_CATALOG_SCHEMA_H_
+#define HYDRA_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+
+namespace hydra {
+
+// A single attribute value; all data is numeric post-anonymization.
+using Value = int64_t;
+// One tuple, attribute-ordered as in the owning relation/view.
+using Row = std::vector<Value>;
+
+enum class AttributeKind {
+  kData,        // plain non-key attribute (filterable)
+  kPrimaryKey,  // the relation's PK (row identity)
+  kForeignKey,  // references another relation's PK
+};
+
+struct Attribute {
+  std::string name;
+  AttributeKind kind = AttributeKind::kData;
+  // Value domain [lo, hi); for keys this is [0, row_count) by convention.
+  Interval domain;
+  // For kForeignKey: index of the referenced relation in the Schema.
+  int fk_target = -1;
+};
+
+// Identifies an attribute globally: (relation index, attribute index).
+struct AttrRef {
+  int relation = -1;
+  int attr = -1;
+
+  friend bool operator==(const AttrRef& a, const AttrRef& b) {
+    return a.relation == b.relation && a.attr == b.attr;
+  }
+  friend bool operator<(const AttrRef& a, const AttrRef& b) {
+    return a.relation != b.relation ? a.relation < b.relation
+                                    : a.attr < b.attr;
+  }
+};
+
+struct AttrRefHash {
+  size_t operator()(const AttrRef& r) const {
+    return std::hash<int64_t>()((int64_t(r.relation) << 32) ^
+                                uint32_t(r.attr));
+  }
+};
+
+class Relation {
+ public:
+  Relation(std::string name, uint64_t row_count)
+      : name_(std::move(name)), row_count_(row_count) {}
+
+  // Returns the index of the new attribute.
+  int AddDataAttribute(const std::string& name, Interval domain);
+  int AddPrimaryKey(const std::string& name);
+  int AddForeignKey(const std::string& name, int target_relation);
+
+  const std::string& name() const { return name_; }
+  uint64_t row_count() const { return row_count_; }
+  void set_row_count(uint64_t n);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  Attribute& mutable_attribute(int i) { return attributes_[i]; }
+
+  // Index of the attribute with `name`, or -1.
+  int AttrIndex(const std::string& name) const;
+
+  // Index of the primary key attribute, or -1 if the relation has none.
+  int PrimaryKeyIndex() const;
+  // Indices of plain data attributes (the "non-key" attributes of the paper).
+  std::vector<int> DataAttrIndices() const;
+  // Indices of foreign key attributes.
+  std::vector<int> ForeignKeyIndices() const;
+
+ private:
+  std::string name_;
+  uint64_t row_count_;
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, int> attr_index_;
+};
+
+class Schema {
+ public:
+  // Returns the index of the new relation.
+  int AddRelation(Relation relation);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const Relation& relation(int i) const { return relations_[i]; }
+  Relation& mutable_relation(int i) { return relations_[i]; }
+
+  // Index of the relation with `name`, or -1.
+  int RelationIndex(const std::string& name) const;
+
+  // Relations directly referenced by `rel` through foreign keys (dedup'd).
+  std::vector<int> DirectDependencies(int rel) const;
+  // All relations reachable from `rel` through foreign keys (excluding rel).
+  std::vector<int> TransitiveDependencies(int rel) const;
+
+  // True iff the referential dependency graph has no cycle.
+  bool IsDag() const;
+
+  // Relations ordered so that every relation appears before all relations it
+  // depends on (dependents first, referenced relations later). Fails if the
+  // graph has a cycle.
+  StatusOr<std::vector<int>> DependentsFirstOrder() const;
+
+  // Validates domains, FK targets (must have a PK), and acyclicity.
+  Status Validate() const;
+
+  // Qualified attribute name "relation.attr".
+  std::string QualifiedName(const AttrRef& ref) const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, int> relation_index_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_CATALOG_SCHEMA_H_

@@ -1,0 +1,144 @@
+#include "common/interval.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+std::string Interval::ToString() const {
+  return "[" + std::to_string(lo) + "," + std::to_string(hi) + ")";
+}
+
+IntervalSet::IntervalSet(Interval iv) {
+  if (!iv.empty()) intervals_.push_back(iv);
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> ivs)
+    : intervals_(std::move(ivs)) {
+  Normalize();
+}
+
+void IntervalSet::Normalize() {
+  intervals_.erase(
+      std::remove_if(intervals_.begin(), intervals_.end(),
+                     [](const Interval& iv) { return iv.empty(); }),
+      intervals_.end());
+  std::sort(intervals_.begin(), intervals_.end());
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals_) {
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+int64_t IntervalSet::Count() const {
+  int64_t total = 0;
+  for (const Interval& iv : intervals_) total += iv.Count();
+  return total;
+}
+
+bool IntervalSet::Contains(int64_t v) const {
+  // Binary search over sorted disjoint intervals.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), v,
+      [](int64_t val, const Interval& iv) { return val < iv.lo; });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->Contains(v);
+}
+
+int64_t IntervalSet::Min() const {
+  HYDRA_CHECK(!empty());
+  return intervals_.front().lo;
+}
+
+int64_t IntervalSet::Max() const {
+  HYDRA_CHECK(!empty());
+  return intervals_.back().hi - 1;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& o) const {
+  std::vector<Interval> out;
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < o.intervals_.size()) {
+    const Interval isect = intervals_[i].Intersect(o.intervals_[j]);
+    if (!isect.empty()) out.push_back(isect);
+    if (intervals_[i].hi < o.intervals_[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  IntervalSet result;
+  result.intervals_ = std::move(out);  // already sorted/disjoint
+  return result;
+}
+
+IntervalSet IntervalSet::Intersect(const Interval& o) const {
+  return Intersect(IntervalSet(o));
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& o) const {
+  std::vector<Interval> out;
+  size_t j = 0;
+  for (Interval cur : intervals_) {
+    while (j < o.intervals_.size() && o.intervals_[j].hi <= cur.lo) ++j;
+    size_t k = j;
+    while (!cur.empty() && k < o.intervals_.size() &&
+           o.intervals_[k].lo < cur.hi) {
+      const Interval& cut = o.intervals_[k];
+      if (cut.lo > cur.lo) out.push_back(Interval(cur.lo, cut.lo));
+      cur.lo = std::max(cur.lo, cut.hi);
+      if (cut.hi >= cur.hi) break;
+      ++k;
+    }
+    if (!cur.empty()) out.push_back(cur);
+  }
+  IntervalSet result;
+  result.intervals_ = std::move(out);
+  return result;
+}
+
+IntervalSet IntervalSet::Difference(const Interval& o) const {
+  return Difference(IntervalSet(o));
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& o) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), o.intervals_.begin(), o.intervals_.end());
+  return IntervalSet(std::move(all));
+}
+
+std::pair<IntervalSet, IntervalSet> IntervalSet::SplitAt(int64_t v) const {
+  std::vector<Interval> below, above;
+  for (const Interval& iv : intervals_) {
+    if (iv.hi <= v) {
+      below.push_back(iv);
+    } else if (iv.lo >= v) {
+      above.push_back(iv);
+    } else {
+      below.push_back(Interval(iv.lo, v));
+      above.push_back(Interval(v, iv.hi));
+    }
+  }
+  IntervalSet lo_set, hi_set;
+  lo_set.intervals_ = std::move(below);
+  hi_set.intervals_ = std::move(above);
+  return {std::move(lo_set), std::move(hi_set)};
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += intervals_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hydra

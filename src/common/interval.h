@@ -1,0 +1,92 @@
+// Half-open integer intervals [lo, hi) and sorted disjoint interval sets.
+//
+// These are the geometric primitives of the region-partitioning algorithm:
+// an attribute's domain is an Interval, a block's extent along one dimension
+// is an IntervalSet, and refining a block along a dimension is set
+// intersection/difference on IntervalSets.
+
+#ifndef HYDRA_COMMON_INTERVAL_H_
+#define HYDRA_COMMON_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hydra {
+
+// Half-open integer interval [lo, hi). Empty iff lo >= hi.
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = 0;  // exclusive
+
+  Interval() = default;
+  Interval(int64_t l, int64_t h) : lo(l), hi(h) {}
+
+  bool empty() const { return lo >= hi; }
+  int64_t Count() const { return empty() ? 0 : hi - lo; }
+  bool Contains(int64_t v) const { return v >= lo && v < hi; }
+  bool Overlaps(const Interval& o) const { return lo < o.hi && o.lo < hi; }
+
+  Interval Intersect(const Interval& o) const {
+    return Interval(lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi);
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator<(const Interval& a, const Interval& b) {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+  }
+
+  std::string ToString() const;  // "[lo,hi)"
+};
+
+// A set of integers represented as sorted, disjoint, non-adjacent, non-empty
+// half-open intervals. Immutable value type with set algebra.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(Interval iv);
+  // `ivs` may be unsorted/overlapping; they are normalized.
+  explicit IntervalSet(std::vector<Interval> ivs);
+
+  static IntervalSet All(int64_t lo, int64_t hi) {
+    return IntervalSet(Interval(lo, hi));
+  }
+
+  bool empty() const { return intervals_.empty(); }
+  // Total number of integer points.
+  int64_t Count() const;
+  bool Contains(int64_t v) const;
+  // Smallest element; set must be non-empty.
+  int64_t Min() const;
+  // Largest element; set must be non-empty.
+  int64_t Max() const;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  IntervalSet Intersect(const IntervalSet& o) const;
+  IntervalSet Intersect(const Interval& o) const;
+  // Elements of this set that are not in `o`.
+  IntervalSet Difference(const IntervalSet& o) const;
+  IntervalSet Difference(const Interval& o) const;
+  IntervalSet Union(const IntervalSet& o) const;
+
+  // Splits this set at value v into ({x < v}, {x >= v}).
+  std::pair<IntervalSet, IntervalSet> SplitAt(int64_t v) const;
+
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+  std::string ToString() const;  // "{[a,b) [c,d)}"
+
+ private:
+  void Normalize();
+
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_COMMON_INTERVAL_H_

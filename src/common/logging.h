@@ -1,0 +1,68 @@
+// Minimal logging and assertion macros.
+//
+// HYDRA_CHECK* macros abort the process on programming errors (invariant
+// violations); recoverable errors use Status from common/status.h.
+
+#ifndef HYDRA_COMMON_LOGGING_H_
+#define HYDRA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hydra::internal {
+
+// Terminates the process after printing `msg` with source location context.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "[FATAL %s:%d] %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream-building helper so CHECK messages can use operator<<.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace hydra::internal
+
+#define HYDRA_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hydra::internal::CheckFailed(__FILE__, __LINE__,                    \
+                                     "CHECK failed: " #cond);               \
+    }                                                                       \
+  } while (0)
+
+#define HYDRA_CHECK_MSG(cond, msg_expr)                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hydra::internal::MessageBuilder _mb;                                \
+      _mb << "CHECK failed: " #cond " — " << msg_expr;                      \
+      ::hydra::internal::CheckFailed(__FILE__, __LINE__, _mb.str());        \
+    }                                                                       \
+  } while (0)
+
+#define HYDRA_CHECK_OK(status_expr)                                         \
+  do {                                                                      \
+    ::hydra::Status _st = (status_expr);                                    \
+    if (!_st.ok()) {                                                        \
+      ::hydra::internal::CheckFailed(__FILE__, __LINE__,                    \
+                                     "status not OK: " + _st.ToString());   \
+    }                                                                       \
+  } while (0)
+
+#define HYDRA_DCHECK(cond) HYDRA_CHECK(cond)
+
+#endif  // HYDRA_COMMON_LOGGING_H_

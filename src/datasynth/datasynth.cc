@@ -1,0 +1,550 @@
+#include "datasynth/datasynth.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "hydra/preprocessor.h"
+#include "hydra/view_graph.h"
+#include "lp/integerize.h"
+#include "lp/model.h"
+
+namespace hydra {
+
+namespace {
+
+double SecondsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Per-view-column interval boundaries induced by *all* of the view's
+// constraints (grid intervalization). boundaries[c] = b_0 < ... < b_k with
+// b_0 = lo, b_k = hi.
+std::vector<std::vector<int64_t>> ViewBoundaries(
+    const View& view, const std::vector<ViewConstraint>& constraints) {
+  std::vector<std::vector<int64_t>> bounds(view.num_columns());
+  for (int c = 0; c < view.num_columns(); ++c) {
+    bounds[c] = {view.domains[c].lo, view.domains[c].hi};
+  }
+  for (const ViewConstraint& vc : constraints) {
+    for (const Conjunct& conj : vc.predicate.conjuncts()) {
+      for (const Atom& a : conj.atoms) {
+        auto& bs = bounds[a.column];
+        const Interval dom = view.domains[a.column];
+        for (const Interval& iv : a.values.intervals()) {
+          if (iv.lo > dom.lo && iv.lo < dom.hi) bs.push_back(iv.lo);
+          if (iv.hi > dom.lo && iv.hi < dom.hi) bs.push_back(iv.hi);
+        }
+      }
+    }
+  }
+  for (auto& bs : bounds) {
+    std::sort(bs.begin(), bs.end());
+    bs.erase(std::unique(bs.begin(), bs.end()), bs.end());
+  }
+  return bounds;
+}
+
+// Sub-view grid over the view-wide boundaries.
+struct SubViewGrid {
+  SubView subview;
+  // boundaries[d] for local dimension d (= view column subview.columns[d]).
+  std::vector<std::vector<int64_t>> boundaries;
+  int first_var = 0;
+  std::vector<int> assigned_constraints;
+
+  uint64_t NumCellsCapped(uint64_t cap) const {
+    uint64_t cells = 1;
+    for (const auto& bs : boundaries) {
+      const uint64_t k = bs.size() - 1;
+      if (k == 0) return 0;
+      if (cells > cap / k) return cap;
+      cells *= k;
+    }
+    return std::min(cells, cap);
+  }
+};
+
+// Iterates cells in row-major order, maintaining the per-dimension interval
+// index and the cell's minimum point.
+class CellCursor {
+ public:
+  explicit CellCursor(const SubViewGrid& grid) : grid_(grid) {
+    const int n = static_cast<int>(grid.boundaries.size());
+    index_.assign(n, 0);
+    min_point_.resize(n);
+    for (int d = 0; d < n; ++d) min_point_[d] = grid.boundaries[d][0];
+    done_ = false;
+    for (int d = 0; d < n; ++d) {
+      if (grid.boundaries[d].size() < 2) done_ = true;
+    }
+  }
+
+  bool done() const { return done_; }
+  const std::vector<int>& index() const { return index_; }
+  const Row& min_point() const { return min_point_; }
+
+  void Next() {
+    for (int d = static_cast<int>(index_.size()) - 1; d >= 0; --d) {
+      if (index_[d] + 2 < static_cast<int>(grid_.boundaries[d].size())) {
+        ++index_[d];
+        min_point_[d] = grid_.boundaries[d][index_[d]];
+        return;
+      }
+      index_[d] = 0;
+      min_point_[d] = grid_.boundaries[d][0];
+    }
+    done_ = true;
+  }
+
+ private:
+  const SubViewGrid& grid_;
+  std::vector<int> index_;
+  Row min_point_;
+  bool done_ = false;
+};
+
+// Sub-view decomposition + per-sub-view grids + constraint assignment for one
+// view. Mirrors Hydra's formulator but with grid partitioning.
+struct ViewGridLp {
+  std::vector<SubViewGrid> grids;
+  std::vector<ViewConstraint> constraints;  // TRUE predicates removed
+  uint64_t total_rows = 0;
+  LpProblem problem;
+};
+
+StatusOr<ViewGridLp> FormulateGridLp(const View& view,
+                                     std::vector<ViewConstraint> constraints,
+                                     uint64_t variable_budget) {
+  ViewGridLp out;
+  out.total_rows = view.total_rows;
+  for (ViewConstraint& vc : constraints) {
+    if (vc.predicate.IsTrue()) {
+      out.total_rows = vc.cardinality;
+    } else {
+      out.constraints.push_back(std::move(vc));
+    }
+  }
+
+  const std::vector<std::vector<int64_t>> bounds =
+      ViewBoundaries(view, out.constraints);
+  std::vector<SubView> subviews =
+      DecomposeView(view.num_columns(), out.constraints);
+
+  // Assign constraints and build grids.
+  for (SubView& sv : subviews) {
+    SubViewGrid grid;
+    grid.subview = std::move(sv);
+    for (int c : grid.subview.columns) grid.boundaries.push_back(bounds[c]);
+    out.grids.push_back(std::move(grid));
+  }
+  for (size_t ci = 0; ci < out.constraints.size(); ++ci) {
+    const std::vector<int> cols = out.constraints[ci].predicate.Columns();
+    for (SubViewGrid& grid : out.grids) {
+      if (std::includes(grid.subview.columns.begin(),
+                        grid.subview.columns.end(), cols.begin(),
+                        cols.end())) {
+        grid.assigned_constraints.push_back(static_cast<int>(ci));
+        break;
+      }
+    }
+  }
+
+  // Budget check before materializing anything (the "crash").
+  uint64_t total_cells = 0;
+  for (const SubViewGrid& grid : out.grids) {
+    const uint64_t cells = grid.NumCellsCapped(variable_budget + 1);
+    if (cells > variable_budget - std::min(variable_budget, total_cells)) {
+      return Status::ResourceExhausted(
+          "DataSynth grid for view of relation exceeds the LP variable "
+          "budget (" +
+          std::to_string(variable_budget) + ")");
+    }
+    total_cells += cells;
+  }
+
+  // Allocate variables and constraint rows.
+  std::vector<LpConstraint> cc_rows(out.constraints.size());
+  for (SubViewGrid& grid : out.grids) {
+    const uint64_t cells = grid.NumCellsCapped(variable_budget + 1);
+    grid.first_var = out.problem.AddVariables(static_cast<int>(cells));
+
+    LpConstraint total;
+    total.label = "total";
+    total.rhs = static_cast<double>(out.total_rows);
+
+    // Predicates remapped into the sub-view's local dimension space.
+    std::vector<int> view_to_local(view.num_columns(), -1);
+    for (size_t d = 0; d < grid.subview.columns.size(); ++d) {
+      view_to_local[grid.subview.columns[d]] = static_cast<int>(d);
+    }
+    std::vector<DnfPredicate> local_preds;
+    for (int ci : grid.assigned_constraints) {
+      local_preds.push_back(
+          out.constraints[ci].predicate.RemapColumns(view_to_local));
+    }
+
+    int var = grid.first_var;
+    for (CellCursor cur(grid); !cur.done(); cur.Next(), ++var) {
+      total.AddTerm(var, 1.0);
+      for (size_t k = 0; k < local_preds.size(); ++k) {
+        if (local_preds[k].Eval(cur.min_point())) {
+          LpConstraint& row = cc_rows[grid.assigned_constraints[k]];
+          row.AddTerm(var, 1.0);
+        }
+      }
+    }
+    out.problem.AddConstraint(std::move(total));
+  }
+  for (size_t ci = 0; ci < out.constraints.size(); ++ci) {
+    cc_rows[ci].rhs = static_cast<double>(out.constraints[ci].cardinality);
+    cc_rows[ci].label = out.constraints[ci].label;
+    out.problem.AddConstraint(std::move(cc_rows[ci]));
+  }
+
+  // Consistency per clique-tree edge: equal mass per shared-interval combo.
+  // The boundary sets are view-wide, so the shared-column intervalizations of
+  // child and parent coincide.
+  for (size_t s = 0; s < out.grids.size(); ++s) {
+    const SubViewGrid& child = out.grids[s];
+    if (child.subview.parent < 0 || child.subview.separator.empty()) continue;
+    const SubViewGrid& parent = out.grids[child.subview.parent];
+
+    auto local_dims = [&](const SubViewGrid& g) {
+      std::vector<int> dims;
+      for (int col : child.subview.separator) {
+        const auto it = std::find(g.subview.columns.begin(),
+                                  g.subview.columns.end(), col);
+        HYDRA_CHECK(it != g.subview.columns.end());
+        dims.push_back(static_cast<int>(it - g.subview.columns.begin()));
+      }
+      return dims;
+    };
+    const std::vector<int> child_dims = local_dims(child);
+    const std::vector<int> parent_dims = local_dims(parent);
+
+    std::map<std::vector<int>, LpConstraint> rows;
+    int var = child.first_var;
+    for (CellCursor cur(child); !cur.done(); cur.Next(), ++var) {
+      std::vector<int> key;
+      key.reserve(child_dims.size());
+      for (int d : child_dims) key.push_back(cur.index()[d]);
+      rows[key].AddTerm(var, 1.0);
+    }
+    var = parent.first_var;
+    for (CellCursor cur(parent); !cur.done(); cur.Next(), ++var) {
+      std::vector<int> key;
+      key.reserve(parent_dims.size());
+      for (int d : parent_dims) key.push_back(cur.index()[d]);
+      rows[key].AddTerm(var, -1.0);
+    }
+    for (auto& [key, c] : rows) {
+      c.rhs = 0;
+      c.label = "consistency";
+      out.problem.AddConstraint(std::move(c));
+    }
+  }
+  return out;
+}
+
+// A sampled categorical distribution over the nonzero cells of a sub-view.
+struct CellSampler {
+  // Cumulative counts (inclusive) and the corresponding cell min points /
+  // interval indices.
+  std::vector<int64_t> cumulative;
+  std::vector<Row> min_points;
+  std::vector<std::vector<int>> indices;
+
+  int64_t total() const {
+    return cumulative.empty() ? 0 : cumulative.back();
+  }
+
+  // Samples a cell id (index into min_points).
+  int Sample(Rng& rng) const {
+    const int64_t u =
+        static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(total())));
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    return static_cast<int>(it - cumulative.begin());
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<uint64_t>> DataSynthRegenerator::CountLpVariables(
+    const std::vector<CardinalityConstraint>& ccs, uint64_t cap) const {
+  Preprocessor pre(schema_);
+  HYDRA_ASSIGN_OR_RETURN(std::vector<View> views, pre.BuildViews());
+  HYDRA_ASSIGN_OR_RETURN(auto view_constraints,
+                         pre.MapConstraints(views, ccs));
+  std::vector<uint64_t> counts(views.size(), 0);
+  for (size_t v = 0; v < views.size(); ++v) {
+    std::vector<ViewConstraint> nontrivial;
+    for (const ViewConstraint& vc : view_constraints[v]) {
+      if (!vc.predicate.IsTrue()) nontrivial.push_back(vc);
+    }
+    const auto bounds = ViewBoundaries(views[v], nontrivial);
+    std::vector<SubView> subviews =
+        DecomposeView(views[v].num_columns(), nontrivial);
+    uint64_t total = 0;
+    for (const SubView& sv : subviews) {
+      uint64_t cells = 1;
+      for (int c : sv.columns) {
+        const uint64_t k = bounds[c].size() - 1;
+        if (k == 0 || cells > cap / k) {
+          cells = cap;
+          break;
+        }
+        cells *= k;
+      }
+      total = total > cap - std::min(cap, cells) ? cap : total + cells;
+    }
+    counts[v] = std::min(total, cap);
+  }
+  return counts;
+}
+
+StatusOr<DataSynthResult> DataSynthRegenerator::Regenerate(
+    const std::vector<CardinalityConstraint>& ccs) const {
+  Preprocessor pre(schema_);
+  HYDRA_ASSIGN_OR_RETURN(std::vector<View> views, pre.BuildViews());
+  HYDRA_ASSIGN_OR_RETURN(auto view_constraints,
+                         pre.MapConstraints(views, ccs));
+
+  const int n = schema_.num_relations();
+  DataSynthResult result{Database(schema_), std::vector<uint64_t>(n, 0),
+                         {}, 0, 0};
+  Rng rng(options_.seed);
+
+  // Per-view instantiated tuples (over view columns).
+  std::vector<Table> view_tables;
+  view_tables.reserve(n);
+
+  for (int v = 0; v < n; ++v) {
+    const auto t_lp = std::chrono::steady_clock::now();
+    HYDRA_ASSIGN_OR_RETURN(
+        ViewGridLp lp,
+        FormulateGridLp(views[v], view_constraints[v],
+                        options_.simplex.max_variables));
+
+    DataSynthViewReport report;
+    report.relation = v;
+    report.num_subviews = static_cast<int>(lp.grids.size());
+    report.lp_variables = lp.problem.num_vars();
+    report.lp_constraints = lp.problem.num_constraints();
+
+    std::vector<int64_t> counts;
+    if (lp.problem.num_vars() > 0) {
+      HYDRA_ASSIGN_OR_RETURN(LpSolution sol,
+                             SolveFeasibility(lp.problem, options_.simplex));
+      counts = IntegerizeSolution(lp.problem, sol.values).values;
+    }
+    report.solve_seconds = SecondsSince(t_lp);
+    result.lp_seconds += report.solve_seconds;
+    result.views.push_back(report);
+
+    // --- Sampling-based view instantiation -----------------------------
+    const auto t_inst = std::chrono::steady_clock::now();
+    Table vt(views[v].num_columns());
+    const int64_t rows = static_cast<int64_t>(lp.total_rows);
+    vt.Reserve(rows);
+
+    if (lp.grids.empty()) {
+      Row row(views[v].num_columns());
+      for (int c = 0; c < views[v].num_columns(); ++c) {
+        row[c] = views[v].domains[c].lo;
+      }
+      for (int64_t i = 0; i < rows; ++i) vt.AppendRow(row);
+      view_tables.push_back(std::move(vt));
+      result.instantiate_seconds += SecondsSince(t_inst);
+      continue;
+    }
+
+    // Build samplers: unconditional for the first sub-view, conditioned on
+    // the shared-column interval combo for each later one.
+    std::vector<CellSampler> unconditional(lp.grids.size());
+    std::vector<std::map<std::vector<int>, CellSampler>> conditional(
+        lp.grids.size());
+    for (size_t s = 0; s < lp.grids.size(); ++s) {
+      const SubViewGrid& grid = lp.grids[s];
+      std::vector<int> sep_dims;
+      for (int col : grid.subview.separator) {
+        const auto it = std::find(grid.subview.columns.begin(),
+                                  grid.subview.columns.end(), col);
+        sep_dims.push_back(
+            static_cast<int>(it - grid.subview.columns.begin()));
+      }
+      int var = grid.first_var;
+      for (CellCursor cur(grid); !cur.done(); cur.Next(), ++var) {
+        const int64_t count = counts[var];
+        if (count <= 0) continue;
+        CellSampler* sampler;
+        if (s == 0 || sep_dims.empty()) {
+          sampler = &unconditional[s];
+        } else {
+          std::vector<int> key;
+          for (int d : sep_dims) key.push_back(cur.index()[d]);
+          sampler = &conditional[s][key];
+        }
+        sampler->cumulative.push_back(
+            (sampler->cumulative.empty() ? 0 : sampler->cumulative.back()) +
+            count);
+        sampler->min_points.push_back(cur.min_point());
+        sampler->indices.push_back(cur.index());
+      }
+    }
+
+    // Column-interval lookup for conditioning keys.
+    const std::vector<std::vector<int64_t>> bounds =
+        ViewBoundaries(views[v], lp.constraints);
+    auto interval_of = [&](int col, Value value) {
+      const auto& bs = bounds[col];
+      const auto it = std::upper_bound(bs.begin(), bs.end(), value);
+      return static_cast<int>(it - bs.begin()) - 1;
+    };
+
+    Row row(views[v].num_columns());
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int c = 0; c < views[v].num_columns(); ++c) {
+        row[c] = views[v].domains[c].lo;
+      }
+      for (size_t s = 0; s < lp.grids.size(); ++s) {
+        const SubViewGrid& grid = lp.grids[s];
+        const CellSampler* sampler = nullptr;
+        if (s == 0 || grid.subview.separator.empty()) {
+          if (unconditional[s].total() > 0) sampler = &unconditional[s];
+        } else {
+          std::vector<int> key;
+          for (int col : grid.subview.separator) {
+            key.push_back(interval_of(col, row[col]));
+          }
+          const auto it = conditional[s].find(key);
+          if (it != conditional[s].end() && it->second.total() > 0) {
+            sampler = &it->second;
+          }
+        }
+        if (sampler == nullptr) continue;  // no mass: keep domain minima
+        const int cell = sampler->Sample(rng);
+        // DataSynth instantiates values *within* the sampled cell
+        // probabilistically — the paper (Section 5.2) attributes its large
+        // referential-integrity repair counts to exactly this: an FK-side
+        // draw need not reproduce the value combination drawn on the
+        // PK side. We sample from a two-point lattice per interval.
+        const std::vector<int>& idx = sampler->indices[cell];
+        for (size_t d = 0; d < grid.subview.columns.size(); ++d) {
+          const auto& bs = grid.boundaries[d];
+          const int64_t lo = bs[idx[d]];
+          const int64_t width = bs[idx[d] + 1] - lo;
+          const int64_t quarter =
+              static_cast<int64_t>(rng.NextBounded(4)) * width / 4;
+          row[grid.subview.columns[d]] = lo + quarter;
+        }
+      }
+      vt.AppendRow(row);
+    }
+    view_tables.push_back(std::move(vt));
+    result.instantiate_seconds += SecondsSince(t_inst);
+  }
+
+  // --- Referential-integrity repair on instantiated views --------------
+  const auto t_repair = std::chrono::steady_clock::now();
+  HYDRA_ASSIGN_OR_RETURN(const std::vector<int> order,
+                         schema_.DependentsFirstOrder());
+  std::vector<std::map<Row, int64_t>> first_index(n);
+  auto index_view = [&](int rel) {
+    auto& idx = first_index[rel];
+    const Table& t = view_tables[rel];
+    Row row(t.num_columns());
+    for (uint64_t i = 0; i < t.num_rows(); ++i) {
+      t.GetRow(i, &row);
+      idx.emplace(row, static_cast<int64_t>(i));
+    }
+  };
+  for (int r = 0; r < n; ++r) index_view(r);
+
+  for (int r : order) {
+    for (int dep : schema_.DirectDependencies(r)) {
+      std::vector<int> proj;
+      for (const AttrRef& ref : views[dep].columns) {
+        proj.push_back(views[r].ColumnOf(ref));
+      }
+      const Table& rt = view_tables[r];
+      Row combo(proj.size());
+      for (uint64_t i = 0; i < rt.num_rows(); ++i) {
+        for (size_t k = 0; k < proj.size(); ++k) {
+          combo[k] = rt.At(i, proj[k]);
+        }
+        auto it = first_index[dep].find(combo);
+        if (it == first_index[dep].end()) {
+          first_index[dep].emplace(
+              combo, static_cast<int64_t>(view_tables[dep].num_rows()));
+          view_tables[dep].AppendRow(combo);
+          ++result.extra_tuples[dep];
+        }
+      }
+    }
+  }
+
+  // --- Relation extraction ---------------------------------------------
+  for (int r = 0; r < n; ++r) {
+    const Relation& rel = schema_.relation(r);
+    Table& out = result.database.table(r);
+    const Table& vt = view_tables[r];
+    out.Reserve(vt.num_rows());
+
+    struct Source {
+      bool is_pk = false;
+      bool is_fk = false;
+      int view_column = -1;
+      int fk_target = -1;
+      std::vector<int> proj;
+    };
+    std::vector<Source> sources(rel.num_attributes());
+    for (int a = 0; a < rel.num_attributes(); ++a) {
+      const Attribute& attr = rel.attribute(a);
+      Source& src = sources[a];
+      if (attr.kind == AttributeKind::kPrimaryKey) {
+        src.is_pk = true;
+      } else if (attr.kind == AttributeKind::kData) {
+        src.view_column = views[r].ColumnOf(AttrRef{r, a});
+      } else {
+        src.is_fk = true;
+        src.fk_target = attr.fk_target;
+        for (const AttrRef& ref : views[attr.fk_target].columns) {
+          src.proj.push_back(views[r].ColumnOf(ref));
+        }
+      }
+    }
+
+    Row out_row(rel.num_attributes());
+    Row combo;
+    for (uint64_t i = 0; i < vt.num_rows(); ++i) {
+      for (int a = 0; a < rel.num_attributes(); ++a) {
+        const Source& src = sources[a];
+        if (src.is_pk) {
+          out_row[a] = static_cast<int64_t>(i);
+        } else if (src.is_fk) {
+          combo.clear();
+          for (int c : src.proj) combo.push_back(vt.At(i, c));
+          const auto it = first_index[src.fk_target].find(combo);
+          if (it == first_index[src.fk_target].end()) {
+            return Status::Internal("DataSynth repair missed a combination");
+          }
+          out_row[a] = it->second;
+        } else {
+          out_row[a] = vt.At(i, src.view_column);
+        }
+      }
+      out.AppendRow(out_row);
+    }
+  }
+  result.instantiate_seconds += SecondsSince(t_repair);
+  return result;
+}
+
+}  // namespace hydra

@@ -1,0 +1,81 @@
+// DataSynth baseline (Arasu, Kaushik, Li — SIGMOD/PVLDB 2011), re-implemented
+// as the paper's comparative yardstick (Sections 3.2, 7).
+//
+// Differences from Hydra, faithfully reproduced:
+//  * grid partitioning: every sub-view domain is cut into the full
+//    cross-product grid of constraint-constant intervals — one LP variable
+//    per cell (exponential in sub-view arity; Figures 3a, 12, 13);
+//  * sampling-based instantiation: view tuples are drawn i.i.d. from the
+//    solved cell distribution, first sub-view unconditionally and each later
+//    sub-view conditioned on the shared columns — introducing the
+//    probabilistic (two-sided) volumetric errors of Figure 10;
+//  * full materialization: there is no summary; instantiation, referential
+//    repair and relation extraction all operate on complete data, making the
+//    cost data-scale dependent (Figure 14).
+//
+// Each tuple's attribute values are instantiated at the minimum point of its
+// sampled cell; referential-integrity repair then inserts a dimension tuple
+// for every fact combination that sampling failed to produce (Figure 11).
+
+#ifndef HYDRA_DATASYNTH_DATASYNTH_H_
+#define HYDRA_DATASYNTH_DATASYNTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "lp/simplex.h"
+#include "query/constraint.h"
+
+namespace hydra {
+
+struct DataSynthOptions {
+  SimplexOptions simplex;
+  uint64_t seed = 0xD474'5D17ULL;
+};
+
+struct DataSynthViewReport {
+  int relation = -1;
+  int num_subviews = 0;
+  // Grid cell count, saturated at the cap used for reporting.
+  uint64_t lp_variables = 0;
+  uint64_t lp_constraints = 0;
+  double solve_seconds = 0;
+};
+
+struct DataSynthResult {
+  Database database;
+  std::vector<uint64_t> extra_tuples;  // per relation, from RI repair
+  std::vector<DataSynthViewReport> views;
+  double lp_seconds = 0;
+  double instantiate_seconds = 0;
+};
+
+class DataSynthRegenerator {
+ public:
+  explicit DataSynthRegenerator(const Schema& schema,
+                                DataSynthOptions options = {})
+      : schema_(schema), options_(options) {}
+
+  // Grid LP variable count per relation's view (sum over its sub-views),
+  // saturated at `cap`. Never materializes the grid — usable even where the
+  // real formulation would have billions of variables (Figure 12).
+  StatusOr<std::vector<uint64_t>> CountLpVariables(
+      const std::vector<CardinalityConstraint>& ccs, uint64_t cap) const;
+
+  // Full regeneration to a materialized database. Returns
+  // RESOURCE_EXHAUSTED — the paper's solver "crash" — when any view's grid
+  // exceeds the simplex variable budget.
+  StatusOr<DataSynthResult> Regenerate(
+      const std::vector<CardinalityConstraint>& ccs) const;
+
+ private:
+  const Schema& schema_;
+  DataSynthOptions options_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_DATASYNTH_DATASYNTH_H_

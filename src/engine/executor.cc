@@ -1,0 +1,214 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+namespace {
+
+// Builds the CC column space + remapped predicate for the subset of query
+// tables in `table_ids` (indices into query.tables).
+void BuildCcPredicate(const Schema& schema, const Query& query,
+                      const std::vector<int>& table_ids,
+                      std::vector<AttrRef>* columns, DnfPredicate* predicate) {
+  columns->clear();
+  *predicate = DnfPredicate::True();
+  for (int t : table_ids) {
+    const QueryTable& qt = query.tables[t];
+    if (qt.filter.IsTrue()) continue;
+    // Map this table's filter columns (attribute indices) into the CC space.
+    const Relation& rel = schema.relation(qt.relation);
+    std::vector<int> mapping(rel.num_attributes(), -1);
+    for (int attr : qt.filter.Columns()) {
+      AttrRef ref{qt.relation, attr};
+      int idx = -1;
+      for (size_t i = 0; i < columns->size(); ++i) {
+        if ((*columns)[i] == ref) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (idx < 0) {
+        idx = static_cast<int>(columns->size());
+        columns->push_back(ref);
+      }
+      mapping[attr] = idx;
+    }
+    *predicate = predicate->And(qt.filter.RemapColumns(mapping));
+  }
+}
+
+}  // namespace
+
+StatusOr<AnnotatedQueryPlan> Executor::Execute(
+    const Query& query, const TableSource& source) const {
+  HYDRA_RETURN_IF_ERROR(query.Validate(schema_));
+  {
+    std::unordered_set<int> rels;
+    for (const QueryTable& qt : query.tables) {
+      if (!rels.insert(qt.relation).second) {
+        return Status::Unimplemented("self-joins are not supported (query " +
+                                     query.name + ")");
+      }
+    }
+  }
+
+  AnnotatedQueryPlan aqp;
+  aqp.query_name = query.name;
+
+  const int num_tables = static_cast<int>(query.tables.size());
+
+  // Scan + filter each participating relation once.
+  std::vector<Table> filtered;
+  filtered.reserve(num_tables);
+  for (int t = 0; t < num_tables; ++t) {
+    const QueryTable& qt = query.tables[t];
+    const Relation& rel = schema_.relation(qt.relation);
+    Table ft(rel.num_attributes());
+    source.Scan(qt.relation, [&](const Row& row) {
+      if (qt.filter.Eval(row)) ft.AppendRow(row);
+    });
+    if (!qt.filter.IsTrue()) {
+      AqpStep step;
+      step.label = query.name + "/filter(" + rel.name() + ")";
+      step.relations = {qt.relation};
+      BuildCcPredicate(schema_, query, {t}, &step.columns, &step.predicate);
+      step.cardinality = ft.num_rows();
+      aqp.steps.push_back(std::move(step));
+    }
+    filtered.push_back(std::move(ft));
+  }
+
+  // Accumulated join result: flat array of row-id tuples, one uint32 row id
+  // per already-joined table (PK-FK joins keep these narrow).
+  std::vector<uint32_t> acc;
+  std::vector<int> joined_tables = {0};  // indices into query.tables
+  acc.reserve(filtered[0].num_rows());
+  for (uint64_t r = 0; r < filtered[0].num_rows(); ++r) {
+    acc.push_back(static_cast<uint32_t>(r));
+  }
+
+  for (size_t j = 0; j < query.joins.size(); ++j) {
+    const JoinEdge& edge = query.joins[j];
+    const int new_t = static_cast<int>(j) + 1;
+    const int stride = static_cast<int>(joined_tables.size());
+    std::vector<uint32_t> next;
+
+    auto slot_of = [&](int table_id) {
+      for (int s = 0; s < stride; ++s) {
+        if (joined_tables[s] == table_id) return s;
+      }
+      HYDRA_CHECK_MSG(false, "join references un-joined table " << table_id);
+      return -1;
+    };
+
+    if (edge.pk_table == new_t) {
+      // New table is the PK side: each accumulated row matches <= 1 new row.
+      const Relation& pk_rel =
+          schema_.relation(query.tables[new_t].relation);
+      const int pk_attr = pk_rel.PrimaryKeyIndex();
+      HYDRA_CHECK(pk_attr >= 0);
+      std::unordered_map<Value, uint32_t> build;
+      build.reserve(filtered[new_t].num_rows() * 2);
+      for (uint64_t r = 0; r < filtered[new_t].num_rows(); ++r) {
+        build.emplace(filtered[new_t].At(r, pk_attr),
+                      static_cast<uint32_t>(r));
+      }
+      const int fk_slot = slot_of(edge.fk_table);
+      const uint64_t acc_rows = acc.size() / stride;
+      for (uint64_t r = 0; r < acc_rows; ++r) {
+        const uint32_t fk_row = acc[r * stride + fk_slot];
+        const Value fk_value = filtered[edge.fk_table].At(fk_row, edge.fk_attr);
+        auto it = build.find(fk_value);
+        if (it == build.end()) continue;
+        next.insert(next.end(), acc.begin() + r * stride,
+                    acc.begin() + (r + 1) * stride);
+        next.push_back(it->second);
+      }
+    } else {
+      // New table is the FK side: probe accumulated PK values (may expand).
+      HYDRA_CHECK(edge.fk_table == new_t);
+      const Relation& pk_rel =
+          schema_.relation(query.tables[edge.pk_table].relation);
+      const int pk_attr = pk_rel.PrimaryKeyIndex();
+      HYDRA_CHECK(pk_attr >= 0);
+      const int pk_slot = slot_of(edge.pk_table);
+      std::unordered_map<Value, std::vector<uint32_t>> build;
+      const uint64_t acc_rows = acc.size() / stride;
+      build.reserve(acc_rows * 2);
+      for (uint64_t r = 0; r < acc_rows; ++r) {
+        const uint32_t pk_row = acc[r * stride + pk_slot];
+        build[filtered[edge.pk_table].At(pk_row, pk_attr)].push_back(
+            static_cast<uint32_t>(r));
+      }
+      for (uint64_t r = 0; r < filtered[new_t].num_rows(); ++r) {
+        const Value fk_value = filtered[new_t].At(r, edge.fk_attr);
+        auto it = build.find(fk_value);
+        if (it == build.end()) continue;
+        for (uint32_t acc_r : it->second) {
+          next.insert(next.end(), acc.begin() + acc_r * stride,
+                      acc.begin() + (acc_r + 1) * stride);
+          next.push_back(static_cast<uint32_t>(r));
+        }
+      }
+    }
+
+    joined_tables.push_back(new_t);
+    acc = std::move(next);
+
+    AqpStep step;
+    step.label = query.name + "/join" + std::to_string(j);
+    std::vector<int> sorted_tables = joined_tables;
+    std::sort(sorted_tables.begin(), sorted_tables.end());
+    for (int t : sorted_tables) {
+      step.relations.push_back(query.tables[t].relation);
+    }
+    for (size_t k = 0; k <= j; ++k) {
+      const JoinEdge& e = query.joins[k];
+      CcJoin cj;
+      cj.fk_relation = query.tables[e.fk_table].relation;
+      cj.fk_attr = e.fk_attr;
+      cj.pk_relation = query.tables[e.pk_table].relation;
+      step.joins.push_back(cj);
+    }
+    BuildCcPredicate(schema_, query, sorted_tables, &step.columns,
+                     &step.predicate);
+    step.cardinality = acc.size() / joined_tables.size();
+    aqp.steps.push_back(std::move(step));
+  }
+
+  return aqp;
+}
+
+std::vector<CardinalityConstraint> AqpToConstraints(
+    const AnnotatedQueryPlan& aqp) {
+  std::vector<CardinalityConstraint> ccs;
+  ccs.reserve(aqp.steps.size());
+  for (const AqpStep& step : aqp.steps) {
+    CardinalityConstraint cc;
+    cc.relations = step.relations;
+    cc.joins = step.joins;
+    cc.columns = step.columns;
+    cc.predicate = step.predicate;
+    cc.cardinality = step.cardinality;
+    cc.label = step.label;
+    ccs.push_back(std::move(cc));
+  }
+  return ccs;
+}
+
+CardinalityConstraint RelationSizeConstraint(int relation, uint64_t count,
+                                             const std::string& label) {
+  CardinalityConstraint cc;
+  cc.relations = {relation};
+  cc.predicate = DnfPredicate::True();
+  cc.cardinality = count;
+  cc.label = label;
+  return cc;
+}
+
+}  // namespace hydra

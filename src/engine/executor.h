@@ -1,0 +1,65 @@
+// Query executor producing Annotated Query Plans (AQPs), plus the parser that
+// converts AQPs to cardinality constraints (Sections 2.1, 2.2, 3.1).
+//
+// Execution is left-deep in the query's join order with filters pushed down,
+// mirroring the plans of Figure 1c: every filtered base relation and every
+// join output edge carries a row-cardinality annotation.
+
+#ifndef HYDRA_ENGINE_EXECUTOR_H_
+#define HYDRA_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "query/constraint.h"
+#include "query/query.h"
+
+namespace hydra {
+
+// One annotated edge of the plan: the (partial) join expression evaluated so
+// far, its accumulated filter predicate, and the observed output cardinality.
+// This carries exactly the information the client-side Parser needs to emit a
+// cardinality constraint.
+struct AqpStep {
+  std::string label;
+  std::vector<int> relations;    // schema relation indices, join root first
+  std::vector<CcJoin> joins;     // PK-FK edges applied so far
+  std::vector<AttrRef> columns;  // predicate column space
+  DnfPredicate predicate;        // accumulated filters over `columns`
+  uint64_t cardinality = 0;
+};
+
+struct AnnotatedQueryPlan {
+  std::string query_name;
+  std::vector<AqpStep> steps;
+};
+
+class Executor {
+ public:
+  explicit Executor(const Schema& schema) : schema_(schema) {}
+
+  // Executes `query` against `source` and returns the annotated plan.
+  // Requires the query's relations to be distinct (no self-joins).
+  StatusOr<AnnotatedQueryPlan> Execute(const Query& query,
+                                       const TableSource& source) const;
+
+ private:
+  const Schema& schema_;
+};
+
+// The client-site Parser: converts an AQP into cardinality constraints
+// (Figure 1d). Each annotated edge becomes one CC.
+std::vector<CardinalityConstraint> AqpToConstraints(
+    const AnnotatedQueryPlan& aqp);
+
+// The |R| = count base-size constraint for a relation.
+CardinalityConstraint RelationSizeConstraint(int relation, uint64_t count,
+                                             const std::string& label);
+
+}  // namespace hydra
+
+#endif  // HYDRA_ENGINE_EXECUTOR_H_

@@ -1,0 +1,148 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+bool TableScanOp::Next(Row* out) {
+  if (next_row_ >= table_->num_rows()) return false;
+  table_->GetRow(next_row_++, out);
+  return true;
+}
+
+bool GeneratorScanOp::Next(Row* out) {
+  if (next_pk_ >=
+      static_cast<int64_t>(generator_->RowCount(relation_))) {
+    return false;
+  }
+  generator_->GetTuple(relation_, next_pk_++, out);
+  return true;
+}
+
+bool FilterOp::Next(Row* out) {
+  while (child_->Next(out)) {
+    if (predicate_.Eval(*out)) return true;
+  }
+  return false;
+}
+
+bool ProjectOp::Next(Row* out) {
+  if (!child_->Next(&buffer_)) return false;
+  out->resize(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    (*out)[i] = buffer_[columns_[i]];
+  }
+  return true;
+}
+
+void HashJoinOp::Open() {
+  build_->Open();
+  hash_.clear();
+  Row row;
+  while (build_->Next(&row)) {
+    hash_[row[build_col_]].push_back(row);
+  }
+  probe_->Open();
+  matches_ = nullptr;
+  match_index_ = 0;
+}
+
+bool HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (matches_ != nullptr && match_index_ < matches_->size()) {
+      const Row& build_row = (*matches_)[match_index_++];
+      out->resize(probe_row_.size() + build_row.size());
+      std::copy(probe_row_.begin(), probe_row_.end(), out->begin());
+      std::copy(build_row.begin(), build_row.end(),
+                out->begin() + probe_row_.size());
+      return true;
+    }
+    if (!probe_->Next(&probe_row_)) return false;
+    const auto it = hash_.find(probe_row_[probe_col_]);
+    matches_ = it == hash_.end() ? nullptr : &it->second;
+    match_index_ = 0;
+  }
+}
+
+void HashAggregateOp::Open() {
+  child_->Open();
+  results_.clear();
+  next_result_ = 0;
+
+  // Group state: per aggregate, the running value.
+  std::map<Row, std::vector<int64_t>> groups;
+  Row row;
+  while (child_->Next(&row)) {
+    Row key;
+    key.reserve(group_by_.size());
+    for (int c : group_by_) key.push_back(row[c]);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) {
+      it->second.reserve(aggregates_.size());
+      for (const Aggregate& agg : aggregates_) {
+        switch (agg.kind) {
+          case AggregateKind::kCount:
+          case AggregateKind::kSum:
+            it->second.push_back(0);
+            break;
+          case AggregateKind::kMin:
+            it->second.push_back(INT64_MAX);
+            break;
+          case AggregateKind::kMax:
+            it->second.push_back(INT64_MIN);
+            break;
+        }
+      }
+    }
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const Aggregate& agg = aggregates_[a];
+      int64_t& state = it->second[a];
+      switch (agg.kind) {
+        case AggregateKind::kCount:
+          ++state;
+          break;
+        case AggregateKind::kSum:
+          state += row[agg.column];
+          break;
+        case AggregateKind::kMin:
+          state = std::min(state, row[agg.column]);
+          break;
+        case AggregateKind::kMax:
+          state = std::max(state, row[agg.column]);
+          break;
+      }
+    }
+  }
+  results_.reserve(groups.size());
+  for (auto& [key, values] : groups) {
+    Row result = key;
+    result.insert(result.end(), values.begin(), values.end());
+    results_.push_back(std::move(result));
+  }
+}
+
+bool HashAggregateOp::Next(Row* out) {
+  if (next_result_ >= results_.size()) return false;
+  *out = results_[next_result_++];
+  return true;
+}
+
+bool LimitOp::Next(Row* out) {
+  if (emitted_ >= limit_) return false;
+  if (!child_->Next(out)) return false;
+  ++emitted_;
+  return true;
+}
+
+uint64_t CountRows(Operator* op) {
+  op->Open();
+  Row row;
+  uint64_t count = 0;
+  while (op->Next(&row)) ++count;
+  return count;
+}
+
+}  // namespace hydra

@@ -1,0 +1,183 @@
+// Volcano-style pull operators: the execution layer of the engine under
+// test. Section 6's `datagen` feature is realized by swapping the leaf:
+// TableScanOp reads materialized storage, GeneratorScanOp pulls tuples
+// straight out of the database summary — every operator above is oblivious
+// to where the rows come from.
+
+#ifndef HYDRA_ENGINE_OPERATORS_H_
+#define HYDRA_ENGINE_OPERATORS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/table.h"
+#include "hydra/tuple_generator.h"
+#include "query/predicate.h"
+
+namespace hydra {
+
+// Pull iterator: Open() once, then Next() until it returns false.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual void Open() = 0;
+  // Fills `out` (resized as needed) and returns true, or returns false at
+  // end of stream.
+  virtual bool Next(Row* out) = 0;
+  virtual int num_columns() const = 0;
+};
+
+// Leaf: scans an in-memory table in row order.
+class TableScanOp : public Operator {
+ public:
+  explicit TableScanOp(const Table* table) : table_(table) {}
+
+  void Open() override { next_row_ = 0; }
+  bool Next(Row* out) override;
+  int num_columns() const override { return table_->num_columns(); }
+
+ private:
+  const Table* table_;
+  uint64_t next_row_ = 0;
+};
+
+// Leaf: generates tuples on demand from a database summary (dynamic
+// regeneration; no storage touched).
+class GeneratorScanOp : public Operator {
+ public:
+  GeneratorScanOp(const TupleGenerator* generator, int relation,
+                  int num_columns)
+      : generator_(generator), relation_(relation), num_columns_(num_columns) {}
+
+  void Open() override { next_pk_ = 0; }
+  bool Next(Row* out) override;
+  int num_columns() const override { return num_columns_; }
+
+ private:
+  const TupleGenerator* generator_;
+  int relation_;
+  int num_columns_;
+  int64_t next_pk_ = 0;
+};
+
+// σ: keeps rows satisfying a DNF predicate.
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> child, DnfPredicate predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override;
+  int num_columns() const override { return child_->num_columns(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  DnfPredicate predicate_;
+};
+
+// π: emits a subset/permutation of the child's columns.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<int> columns)
+      : child_(std::move(child)), columns_(std::move(columns)) {}
+
+  void Open() override { child_->Open(); }
+  bool Next(Row* out) override;
+  int num_columns() const override {
+    return static_cast<int>(columns_.size());
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<int> columns_;
+  Row buffer_;
+};
+
+// ⋈: hash join; the build side is materialized at Open(). Output rows are
+// probe columns followed by build columns. Handles duplicate keys on both
+// sides.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
+             std::unique_ptr<Operator> build, int build_col)
+      : probe_(std::move(probe)),
+        build_(std::move(build)),
+        probe_col_(probe_col),
+        build_col_(build_col) {}
+
+  void Open() override;
+  bool Next(Row* out) override;
+  int num_columns() const override {
+    return probe_->num_columns() + build_->num_columns();
+  }
+
+ private:
+  std::unique_ptr<Operator> probe_;
+  std::unique_ptr<Operator> build_;
+  int probe_col_;
+  int build_col_;
+  // key -> rows of the build side.
+  std::unordered_map<Value, std::vector<Row>> hash_;
+  Row probe_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_index_ = 0;
+};
+
+enum class AggregateKind { kCount, kSum, kMin, kMax };
+
+// γ: grouped aggregation; fully materializes at Open(). Output row layout:
+// group columns then one value per aggregate.
+class HashAggregateOp : public Operator {
+ public:
+  struct Aggregate {
+    AggregateKind kind;
+    int column = -1;  // ignored for kCount
+  };
+
+  HashAggregateOp(std::unique_ptr<Operator> child, std::vector<int> group_by,
+                  std::vector<Aggregate> aggregates)
+      : child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)) {}
+
+  void Open() override;
+  bool Next(Row* out) override;
+  int num_columns() const override {
+    return static_cast<int>(group_by_.size() + aggregates_.size());
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<int> group_by_;
+  std::vector<Aggregate> aggregates_;
+  std::vector<Row> results_;
+  size_t next_result_ = 0;
+};
+
+// Stops after `limit` rows.
+class LimitOp : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  void Open() override {
+    child_->Open();
+    emitted_ = 0;
+  }
+  bool Next(Row* out) override;
+  int num_columns() const override { return child_->num_columns(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+// Drains `op` and returns the number of rows produced.
+uint64_t CountRows(Operator* op);
+
+}  // namespace hydra
+
+#endif  // HYDRA_ENGINE_OPERATORS_H_

@@ -1,0 +1,87 @@
+#include "engine/table.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+void Table::AppendRow(const Row& row) {
+  HYDRA_DCHECK(static_cast<int>(row.size()) == num_columns_);
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+void Table::AppendRaw(const Value* row) {
+  data_.insert(data_.end(), row, row + num_columns_);
+}
+
+void Table::GetRow(uint64_t row, Row* out) const {
+  out->assign(RowPtr(row), RowPtr(row) + num_columns_);
+}
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  tables_.reserve(schema_.num_relations());
+  for (int r = 0; r < schema_.num_relations(); ++r) {
+    tables_.emplace_back(schema_.relation(r).num_attributes());
+  }
+}
+
+uint64_t Database::TotalBytes() const {
+  uint64_t total = 0;
+  for (const Table& t : tables_) total += t.ByteSize();
+  return total;
+}
+
+uint64_t Database::TotalRows() const {
+  uint64_t total = 0;
+  for (const Table& t : tables_) total += t.num_rows();
+  return total;
+}
+
+uint64_t Database::RowCount(int relation) const {
+  return tables_[relation].num_rows();
+}
+
+void Database::Scan(int relation,
+                    const std::function<void(const Row&)>& fn) const {
+  const Table& t = tables_[relation];
+  Row row(t.num_columns());
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    const Value* p = t.RowPtr(r);
+    row.assign(p, p + t.num_columns());
+    fn(row);
+  }
+}
+
+Status Database::CheckReferentialIntegrity() const {
+  for (int r = 0; r < schema_.num_relations(); ++r) {
+    const Relation& rel = schema_.relation(r);
+    for (int fk : rel.ForeignKeyIndices()) {
+      const int target = rel.attribute(fk).fk_target;
+      const Relation& target_rel = schema_.relation(target);
+      const int target_pk = target_rel.PrimaryKeyIndex();
+      if (target_pk < 0) {
+        return Status::FailedPrecondition("FK target " + target_rel.name() +
+                                          " has no primary key");
+      }
+      std::unordered_set<Value> pks;
+      const Table& tt = tables_[target];
+      pks.reserve(tt.num_rows() * 2);
+      for (uint64_t i = 0; i < tt.num_rows(); ++i) {
+        pks.insert(tt.At(i, target_pk));
+      }
+      const Table& ft = tables_[r];
+      for (uint64_t i = 0; i < ft.num_rows(); ++i) {
+        if (pks.find(ft.At(i, fk)) == pks.end()) {
+          return Status::FailedPrecondition(
+              "dangling FK " + rel.name() + "." + rel.attribute(fk).name +
+              " = " + std::to_string(ft.At(i, fk)) + " at row " +
+              std::to_string(i));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hydra

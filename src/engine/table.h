@@ -1,0 +1,99 @@
+// In-memory relational storage: flat row-major tables and a Database bundling
+// one table per schema relation.
+//
+// The engine plays two roles from the paper: the *client's* database engine
+// (executing the workload to annotate query plans with true cardinalities)
+// and the *vendor's* engine under test (executing the same workload on
+// regenerated data). Tables store Values contiguously (row-major) to keep
+// scans cache-friendly.
+
+#ifndef HYDRA_ENGINE_TABLE_H_
+#define HYDRA_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace hydra {
+
+class Table {
+ public:
+  explicit Table(int num_columns) : num_columns_(num_columns) {}
+
+  int num_columns() const { return num_columns_; }
+  uint64_t num_rows() const {
+    return num_columns_ == 0 ? 0 : data_.size() / num_columns_;
+  }
+
+  void Reserve(uint64_t rows) { data_.reserve(rows * num_columns_); }
+
+  void AppendRow(const Row& row);
+  // Appends a row given as a raw pointer to num_columns() values.
+  void AppendRaw(const Value* row);
+
+  Value At(uint64_t row, int col) const {
+    return data_[row * num_columns_ + col];
+  }
+  // Pointer to the first value of `row`.
+  const Value* RowPtr(uint64_t row) const {
+    return data_.data() + row * num_columns_;
+  }
+
+  void GetRow(uint64_t row, Row* out) const;
+
+  uint64_t ByteSize() const { return data_.size() * sizeof(Value); }
+
+  const std::vector<Value>& data() const { return data_; }
+
+ private:
+  int num_columns_;
+  std::vector<Value> data_;
+};
+
+// Abstract supplier of relation rows. The materialized Database implements it
+// by scanning storage; the Hydra tuple generator implements it by generating
+// rows on demand from the database summary (the paper's `datagen` scan
+// replacement).
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+
+  virtual uint64_t RowCount(int relation) const = 0;
+  // Invokes `fn` once per row of `relation`, in primary-key order. The Row
+  // reference is only valid during the call.
+  virtual void Scan(int relation,
+                    const std::function<void(const Row&)>& fn) const = 0;
+};
+
+// A fully-materialized database: one Table per schema relation.
+class Database : public TableSource {
+ public:
+  explicit Database(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  Table& table(int relation) { return tables_[relation]; }
+  const Table& table(int relation) const { return tables_[relation]; }
+
+  uint64_t TotalBytes() const;
+  uint64_t TotalRows() const;
+
+  // TableSource:
+  uint64_t RowCount(int relation) const override;
+  void Scan(int relation,
+            const std::function<void(const Row&)>& fn) const override;
+
+  // Verifies that every FK value appears as a PK of the target relation.
+  Status CheckReferentialIntegrity() const;
+
+ private:
+  Schema schema_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_ENGINE_TABLE_H_

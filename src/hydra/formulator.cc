@@ -1,0 +1,255 @@
+#include "hydra/formulator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+namespace {
+
+// Splits every region of `partition` into one region per elementary-cell key
+// along `cut_dims` (local dim -> sorted cuts). Precondition: the partition
+// has already been refined so no block crosses a cut.
+void SplitRegionsByCellKeys(
+    RegionPartition* partition,
+    const std::vector<std::pair<int, std::vector<int64_t>>>& cut_dims) {
+  if (cut_dims.empty()) return;
+  // Group blocks by (label, elementary-cell key): splitting a region across
+  // cells is required for consistency, but two regions that end up with the
+  // same label in the same cell can be re-merged into one variable.
+  std::map<std::pair<std::vector<int>, std::vector<int64_t>>,
+           std::vector<Block>>
+      groups;
+  for (Region& region : partition->regions) {
+    for (Block& b : region.blocks) {
+      std::vector<int64_t> key;
+      key.reserve(cut_dims.size());
+      for (const auto& [dim, cuts] : cut_dims) {
+        const int64_t min_val = b.dims[dim].Min();
+        const auto it =
+            std::upper_bound(cuts.begin(), cuts.end(), min_val);
+        key.push_back(static_cast<int64_t>(it - cuts.begin()));
+      }
+      groups[{region.label, std::move(key)}].push_back(std::move(b));
+    }
+  }
+  std::vector<Region> out;
+  out.reserve(groups.size());
+  for (auto& [label_key, blocks] : groups) {
+    Region r;
+    r.label = label_key.first;
+    r.blocks = std::move(blocks);
+    out.push_back(std::move(r));
+  }
+  partition->regions = std::move(out);
+}
+
+// Elementary-cell key of a region along the given local dims.
+std::vector<int64_t> RegionCellKey(
+    const Region& region,
+    const std::vector<std::pair<int, std::vector<int64_t>>>& cut_dims) {
+  std::vector<int64_t> key;
+  key.reserve(cut_dims.size());
+  const Block& b = region.blocks.front();
+  for (const auto& [dim, cuts] : cut_dims) {
+    const int64_t min_val = b.dims[dim].Min();
+    const auto it = std::upper_bound(cuts.begin(), cuts.end(), min_val);
+    key.push_back(static_cast<int64_t>(it - cuts.begin()));
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<ViewLp> FormulateViewLp(const View& view,
+                                 std::vector<ViewConstraint> constraints) {
+  ViewLp out;
+  out.total_rows = view.total_rows;
+
+  // Extract total-size constraints (TRUE predicates).
+  std::vector<ViewConstraint> filtered;
+  for (ViewConstraint& vc : constraints) {
+    if (vc.predicate.IsTrue()) {
+      out.total_rows = vc.cardinality;
+    } else if (vc.predicate.IsFalse()) {
+      return Status::InvalidArgument("FALSE predicate in CC " + vc.label);
+    } else {
+      filtered.push_back(std::move(vc));
+    }
+  }
+  out.constraints = std::move(filtered);
+
+  std::vector<SubView> subviews =
+      DecomposeView(view.num_columns(), out.constraints);
+
+  // Assign each constraint to the first sub-view covering its columns.
+  std::vector<std::vector<int>> assigned(subviews.size());
+  for (size_t ci = 0; ci < out.constraints.size(); ++ci) {
+    const std::vector<int> cols = out.constraints[ci].predicate.Columns();
+    bool placed = false;
+    for (size_t s = 0; s < subviews.size(); ++s) {
+      if (std::includes(subviews[s].columns.begin(),
+                        subviews[s].columns.end(), cols.begin(),
+                        cols.end())) {
+        assigned[s].push_back(static_cast<int>(ci));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Cannot happen: a CC's columns form a clique of the view-graph and
+      // every clique is inside some maximal clique.
+      return Status::Internal("constraint " + out.constraints[ci].label +
+                              " not covered by any sub-view");
+    }
+  }
+
+  // Build region partitions per sub-view.
+  for (size_t s = 0; s < subviews.size(); ++s) {
+    SubViewLp svlp;
+    svlp.subview = subviews[s];
+    svlp.assigned_constraints = assigned[s];
+
+    const int local_dims = static_cast<int>(subviews[s].columns.size());
+    std::vector<Interval> domains(local_dims);
+    std::vector<int> view_to_local(view.num_columns(), -1);
+    for (int d = 0; d < local_dims; ++d) {
+      domains[d] = view.domains[subviews[s].columns[d]];
+      view_to_local[subviews[s].columns[d]] = d;
+    }
+    std::vector<DnfPredicate> predicates;
+    predicates.reserve(assigned[s].size());
+    for (int ci : assigned[s]) {
+      predicates.push_back(
+          out.constraints[ci].predicate.RemapColumns(view_to_local));
+    }
+    svlp.partition = BuildRegionPartition(domains, predicates);
+    out.subviews.push_back(std::move(svlp));
+  }
+
+  // Global cut points per *separator* column. Columns shared by sub-views
+  // that are not clique-tree neighbours are covered transitively: by the
+  // running-intersection property such a column lies in every separator on
+  // the tree path between the two cliques, so per-edge consistency chains
+  // across the path.
+  std::unordered_map<int, int> separator_columns;
+  for (const SubViewLp& sv : out.subviews) {
+    for (int c : sv.subview.separator) ++separator_columns[c];
+  }
+  std::unordered_map<int, std::vector<int64_t>> global_cuts;
+  for (const SubViewLp& sv : out.subviews) {
+    for (size_t d = 0; d < sv.subview.columns.size(); ++d) {
+      const int col = sv.subview.columns[d];
+      if (separator_columns.find(col) == separator_columns.end()) continue;
+      std::vector<int64_t> cuts =
+          BlockBoundaries(sv.partition, static_cast<int>(d));
+      auto& dst = global_cuts[col];
+      dst.insert(dst.end(), cuts.begin(), cuts.end());
+    }
+  }
+  for (auto& [col, cuts] : global_cuts) {
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  }
+  for (const auto& [col, cuts] : global_cuts) {
+    out.shared_cuts.emplace_back(col, cuts);
+  }
+  std::sort(out.shared_cuts.begin(), out.shared_cuts.end());
+
+  // Refine every sub-view at the global cuts of its shared columns and split
+  // regions per elementary cell.
+  for (SubViewLp& sv : out.subviews) {
+    std::vector<std::pair<int, std::vector<int64_t>>> cut_dims;
+    for (size_t d = 0; d < sv.subview.columns.size(); ++d) {
+      auto it = global_cuts.find(sv.subview.columns[d]);
+      if (it != global_cuts.end() && !it->second.empty()) {
+        cut_dims.emplace_back(static_cast<int>(d), it->second);
+      }
+    }
+    if (cut_dims.empty()) continue;
+    RefineRegionsAtCuts(&sv.partition, cut_dims);
+    SplitRegionsByCellKeys(&sv.partition, cut_dims);
+  }
+
+  // Allocate LP variables.
+  for (SubViewLp& sv : out.subviews) {
+    sv.first_var = out.problem.AddVariables(sv.partition.num_regions());
+  }
+
+  // (a) Total-size constraint per sub-view.
+  for (const SubViewLp& sv : out.subviews) {
+    LpConstraint c;
+    c.label = "total";
+    c.rhs = static_cast<double>(out.total_rows);
+    for (int r = 0; r < sv.partition.num_regions(); ++r) {
+      c.AddTerm(sv.first_var + r, 1.0);
+    }
+    out.problem.AddConstraint(std::move(c));
+  }
+
+  // (b) One LP row per assigned CC.
+  for (const SubViewLp& sv : out.subviews) {
+    for (size_t k = 0; k < sv.assigned_constraints.size(); ++k) {
+      const int ci = sv.assigned_constraints[k];
+      LpConstraint c;
+      c.label = out.constraints[ci].label;
+      c.rhs = static_cast<double>(out.constraints[ci].cardinality);
+      for (int r = 0; r < sv.partition.num_regions(); ++r) {
+        // Region labels index the sub-view's local predicate list, which is
+        // ordered like assigned_constraints.
+        if (sv.partition.regions[r].SatisfiesConstraint(static_cast<int>(k))) {
+          c.AddTerm(sv.first_var + r, 1.0);
+        }
+      }
+      out.problem.AddConstraint(std::move(c));
+    }
+  }
+
+  // (c) Consistency constraints per clique-tree edge: equal mass per
+  // elementary cell over the separator columns.
+  for (size_t s = 0; s < out.subviews.size(); ++s) {
+    const SubViewLp& child = out.subviews[s];
+    if (child.subview.parent < 0 || child.subview.separator.empty()) continue;
+    const SubViewLp& parent = out.subviews[child.subview.parent];
+
+    auto cell_dims_for = [&](const SubViewLp& sv) {
+      std::vector<std::pair<int, std::vector<int64_t>>> cut_dims;
+      for (int col : child.subview.separator) {
+        const auto cit = global_cuts.find(col);
+        std::vector<int64_t> cuts =
+            cit == global_cuts.end() ? std::vector<int64_t>{} : cit->second;
+        const auto pos = std::find(sv.subview.columns.begin(),
+                                   sv.subview.columns.end(), col);
+        HYDRA_CHECK(pos != sv.subview.columns.end());
+        cut_dims.emplace_back(
+            static_cast<int>(pos - sv.subview.columns.begin()),
+            std::move(cuts));
+      }
+      return cut_dims;
+    };
+    const auto child_dims = cell_dims_for(child);
+    const auto parent_dims = cell_dims_for(parent);
+
+    std::map<std::vector<int64_t>, LpConstraint> rows;
+    for (int r = 0; r < child.partition.num_regions(); ++r) {
+      const auto key = RegionCellKey(child.partition.regions[r], child_dims);
+      rows[key].AddTerm(child.first_var + r, 1.0);
+    }
+    for (int r = 0; r < parent.partition.num_regions(); ++r) {
+      const auto key = RegionCellKey(parent.partition.regions[r], parent_dims);
+      rows[key].AddTerm(parent.first_var + r, -1.0);
+    }
+    for (auto& [key, c] : rows) {
+      c.rhs = 0;
+      c.label = "consistency sv" + std::to_string(s);
+      out.problem.AddConstraint(std::move(c));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace hydra

@@ -1,0 +1,100 @@
+#include "hydra/preprocessor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+int View::ColumnOf(const AttrRef& ref) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == ref) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<std::vector<View>> Preprocessor::BuildViews() const {
+  HYDRA_RETURN_IF_ERROR(schema_.Validate());
+  // Paper precondition: the borrowed attribute space has one copy of each
+  // referenced relation's attributes, so a relation may reference any given
+  // relation through at most one foreign key.
+  for (int r = 0; r < schema_.num_relations(); ++r) {
+    const Relation& rel = schema_.relation(r);
+    std::set<int> targets;
+    for (int fk : rel.ForeignKeyIndices()) {
+      if (!targets.insert(rel.attribute(fk).fk_target).second) {
+        return Status::Unimplemented(
+            "relation " + rel.name() +
+            " references the same relation through multiple foreign keys");
+      }
+    }
+  }
+
+  std::vector<View> views;
+  views.reserve(schema_.num_relations());
+  for (int r = 0; r < schema_.num_relations(); ++r) {
+    const Relation& rel = schema_.relation(r);
+    View v;
+    v.relation = r;
+    v.total_rows = rel.row_count();
+    auto add_attrs = [&](int source_rel) {
+      const Relation& src = schema_.relation(source_rel);
+      for (int a : src.DataAttrIndices()) {
+        v.columns.push_back(AttrRef{source_rel, a});
+        v.domains.push_back(src.attribute(a).domain);
+      }
+    };
+    add_attrs(r);
+    std::vector<int> deps = schema_.TransitiveDependencies(r);  // sorted
+    for (int d : deps) add_attrs(d);
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
+StatusOr<std::vector<std::vector<ViewConstraint>>> Preprocessor::MapConstraints(
+    const std::vector<View>& views,
+    const std::vector<CardinalityConstraint>& ccs) const {
+  std::vector<std::vector<ViewConstraint>> mapped(views.size());
+  for (const CardinalityConstraint& cc : ccs) {
+    if (cc.relations.empty()) {
+      return Status::InvalidArgument("CC with no relations: " + cc.label);
+    }
+    const int root = cc.RootRelation();
+    const View& view = views[root];
+    // Every participating relation must be the root or one of its
+    // (transitive) dependencies; otherwise the join is not rooted at `root`.
+    std::vector<int> deps = schema_.TransitiveDependencies(root);
+    for (size_t i = 1; i < cc.relations.size(); ++i) {
+      if (!std::binary_search(deps.begin(), deps.end(), cc.relations[i])) {
+        return Status::InvalidArgument(
+            "CC " + cc.label + ": relation " +
+            schema_.relation(cc.relations[i]).name() +
+            " is not reachable from root " + schema_.relation(root).name());
+      }
+    }
+    // Remap the predicate's column space (cc.columns of AttrRefs) to view
+    // column indices.
+    std::vector<int> mapping(cc.columns.size(), -1);
+    for (size_t i = 0; i < cc.columns.size(); ++i) {
+      const int col = view.ColumnOf(cc.columns[i]);
+      if (col < 0) {
+        return Status::InvalidArgument(
+            "CC " + cc.label + ": attribute " +
+            schema_.QualifiedName(cc.columns[i]) + " is not in the view of " +
+            schema_.relation(root).name());
+      }
+      mapping[i] = col;
+    }
+    ViewConstraint vc;
+    vc.predicate = cc.predicate.IsTrue() ? DnfPredicate::True()
+                                         : cc.predicate.RemapColumns(mapping);
+    vc.cardinality = cc.cardinality;
+    vc.label = cc.label;
+    mapped[root].push_back(std::move(vc));
+  }
+  return mapped;
+}
+
+}  // namespace hydra

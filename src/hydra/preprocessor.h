@@ -1,0 +1,68 @@
+// Preprocessor (Section 3.2, sourced from DataSynth in the paper): maps each
+// relation to a *view* over non-key attributes and rewrites join-bearing
+// cardinality constraints into single-view selection constraints.
+//
+// The view of relation R contains R's own non-key attributes plus the
+// non-key attributes of every relation R references, directly or
+// transitively. Because every join is PK-FK (each R row matches exactly one
+// row of each referenced relation), |σ_p(R ⋈ S ⋈ ...)| equals the number of
+// rows of R's view satisfying p, so a join CC becomes a plain selection CC on
+// the root relation's view.
+
+#ifndef HYDRA_HYDRA_PREPROCESSOR_H_
+#define HYDRA_HYDRA_PREPROCESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "query/constraint.h"
+
+namespace hydra {
+
+// A view over one relation's (transitively closed) non-key attribute space.
+struct View {
+  int relation = -1;
+  // Column i of the view is the source attribute columns[i]; R's own data
+  // attributes come first, then borrowed attributes grouped by referenced
+  // relation in ascending relation-index order. For any referenced relation
+  // S, columns(V_S) ⊆ columns(V_R) as sets.
+  std::vector<AttrRef> columns;
+  std::vector<Interval> domains;  // per column
+  // |R| from metadata; the LP's total-size right-hand side.
+  uint64_t total_rows = 0;
+
+  int num_columns() const { return static_cast<int>(columns.size()); }
+  // Index of `ref` in `columns`, or -1.
+  int ColumnOf(const AttrRef& ref) const;
+};
+
+// A CC rewritten over a view: |σ_predicate(view)| = cardinality.
+struct ViewConstraint {
+  DnfPredicate predicate;  // atoms index view columns
+  uint64_t cardinality = 0;
+  std::string label;
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(const Schema& schema) : schema_(schema) {}
+
+  // Validates paper preconditions (DAG schema, at most one FK per target
+  // relation per relation) and builds one view per relation.
+  StatusOr<std::vector<View>> BuildViews() const;
+
+  // Rewrites every CC onto the view of its root relation. Output is indexed
+  // by relation: result[r] holds the constraints of views[r].
+  StatusOr<std::vector<std::vector<ViewConstraint>>> MapConstraints(
+      const std::vector<View>& views,
+      const std::vector<CardinalityConstraint>& ccs) const;
+
+ private:
+  const Schema& schema_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_HYDRA_PREPROCESSOR_H_

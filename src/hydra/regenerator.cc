@@ -1,0 +1,84 @@
+#include "hydra/regenerator.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "hydra/formulator.h"
+#include "hydra/preprocessor.h"
+#include "hydra/summary_generator.h"
+#include "lp/integerize.h"
+
+namespace hydra {
+
+namespace {
+
+double SecondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+uint64_t RegenerationResult::TotalLpVariables() const {
+  uint64_t total = 0;
+  for (const ViewReport& v : views) total += v.lp_variables;
+  return total;
+}
+
+uint64_t RegenerationResult::MaxLpVariables() const {
+  uint64_t best = 0;
+  for (const ViewReport& v : views) best = std::max(best, v.lp_variables);
+  return best;
+}
+
+StatusOr<RegenerationResult> HydraRegenerator::Regenerate(
+    const std::vector<CardinalityConstraint>& ccs) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  RegenerationResult result;
+
+  Preprocessor pre(schema_);
+  HYDRA_ASSIGN_OR_RETURN(std::vector<View> views, pre.BuildViews());
+  HYDRA_ASSIGN_OR_RETURN(auto view_constraints,
+                         pre.MapConstraints(views, ccs));
+
+  SummaryGenerator generator(schema_);
+  std::vector<ViewSummary> summaries(views.size());
+
+  for (size_t v = 0; v < views.size(); ++v) {
+    ViewReport report;
+    report.relation = views[v].relation;
+
+    const auto tf = std::chrono::steady_clock::now();
+    HYDRA_ASSIGN_OR_RETURN(
+        ViewLp lp, FormulateViewLp(views[v], view_constraints[v]));
+    report.formulate_seconds = SecondsSince(tf);
+    report.num_subviews = static_cast<int>(lp.subviews.size());
+    report.lp_variables = lp.problem.num_vars();
+    report.lp_constraints = lp.problem.num_constraints();
+
+    const auto ts = std::chrono::steady_clock::now();
+    HYDRA_ASSIGN_OR_RETURN(LpSolution lp_solution,
+                           SolveFeasibility(lp.problem, options_.simplex));
+    report.lp_iterations = lp_solution.iterations;
+    IntegerizeResult integers = IntegerizeSolution(
+        lp.problem, lp_solution.values, options_.integerize_passes);
+    report.solve_seconds = SecondsSince(ts);
+    report.max_abs_violation = integers.max_absolute_violation;
+    report.max_rel_violation = integers.max_relative_violation;
+
+    HYDRA_ASSIGN_OR_RETURN(
+        summaries[v],
+        generator.BuildViewSummary(views[v], lp, integers.values));
+    result.views.push_back(report);
+  }
+
+  HYDRA_ASSIGN_OR_RETURN(
+      result.summary,
+      generator.BuildDatabaseSummary(views, std::move(summaries)));
+  result.total_seconds = SecondsSince(t0);
+  return result;
+}
+
+}  // namespace hydra

@@ -1,0 +1,73 @@
+// HydraRegenerator — the end-to-end public API (Figure 2's vendor site).
+//
+// Input: a schema (with metadata row counts) and the cardinality constraints
+// extracted from the client's annotated query plans. Output: the database
+// summary plus per-view diagnostics. The summary can then be materialized
+// (MaterializeDatabase / MaterializeToDisk) or served dynamically through
+// TupleGenerator during query execution.
+//
+// Typical use:
+//   HydraRegenerator hydra(schema);
+//   auto result = hydra.Regenerate(ccs);
+//   TupleGenerator gen(result->summary);          // dynamic generation
+//   auto db = MaterializeDatabase(result->summary);  // or static
+
+#ifndef HYDRA_HYDRA_REGENERATOR_H_
+#define HYDRA_HYDRA_REGENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "hydra/summary.h"
+#include "lp/simplex.h"
+#include "query/constraint.h"
+
+namespace hydra {
+
+struct HydraOptions {
+  SimplexOptions simplex;
+  // Extra repair passes for LP integerization.
+  int integerize_passes = 8;
+};
+
+// Diagnostics for one view's pipeline stage.
+struct ViewReport {
+  int relation = -1;
+  int num_subviews = 0;
+  uint64_t lp_variables = 0;
+  uint64_t lp_constraints = 0;
+  int lp_iterations = 0;
+  double formulate_seconds = 0;
+  double solve_seconds = 0;
+  // Residual integerization error (paper Section 7.1 error tail).
+  int64_t max_abs_violation = 0;
+  double max_rel_violation = 0;
+};
+
+struct RegenerationResult {
+  DatabaseSummary summary;
+  std::vector<ViewReport> views;
+  double total_seconds = 0;
+
+  uint64_t TotalLpVariables() const;
+  uint64_t MaxLpVariables() const;
+};
+
+class HydraRegenerator {
+ public:
+  explicit HydraRegenerator(const Schema& schema, HydraOptions options = {})
+      : schema_(schema), options_(options) {}
+
+  StatusOr<RegenerationResult> Regenerate(
+      const std::vector<CardinalityConstraint>& ccs) const;
+
+ private:
+  const Schema& schema_;
+  HydraOptions options_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_HYDRA_REGENERATOR_H_

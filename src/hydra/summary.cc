@@ -1,0 +1,61 @@
+#include "hydra/summary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+int64_t ViewSummary::TotalCount() const {
+  int64_t total = 0;
+  for (const SolutionRow& r : rows) total += r.count;
+  return total;
+}
+
+void RelationSummary::Finalize() {
+  prefix_counts.resize(rows.size());
+  int64_t running = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    prefix_counts[i] = running;
+    running += rows[i].count;
+  }
+}
+
+int64_t RelationSummary::TotalCount() const {
+  int64_t total = 0;
+  for (const SolutionRow& r : rows) total += r.count;
+  return total;
+}
+
+int RelationSummary::RowIndexForTuple(int64_t r) const {
+  HYDRA_DCHECK(!prefix_counts.empty() || rows.empty());
+  // Largest i with prefix_counts[i] <= r.
+  const auto it =
+      std::upper_bound(prefix_counts.begin(), prefix_counts.end(), r);
+  HYDRA_DCHECK(it != prefix_counts.begin());
+  return static_cast<int>(it - prefix_counts.begin()) - 1;
+}
+
+uint64_t RelationSummary::ByteSize() const {
+  uint64_t bytes = sizeof(RelationSummary);
+  bytes += attr_indices.size() * sizeof(int);
+  bytes += prefix_counts.size() * sizeof(int64_t);
+  for (const SolutionRow& r : rows) {
+    bytes += sizeof(SolutionRow) + r.values.size() * sizeof(Value);
+  }
+  return bytes;
+}
+
+uint64_t DatabaseSummary::ByteSize() const {
+  uint64_t bytes = 0;
+  for (const RelationSummary& r : relations) bytes += r.ByteSize();
+  return bytes;
+}
+
+uint64_t DatabaseSummary::TotalExtraTuples() const {
+  uint64_t total = 0;
+  for (uint64_t e : extra_tuples) total += e;
+  return total;
+}
+
+}  // namespace hydra

@@ -1,0 +1,70 @@
+// Database summary types (Sections 5, 6).
+//
+// A view summary holds the deterministic, instantiated solution of a view:
+// rows of concrete attribute values with a NumTuples count. A relation
+// summary is the per-relation projection with foreign keys resolved to
+// concrete PK values; the full DatabaseSummary is the paper's minuscule
+// artifact from which databases of any size are generated — its size depends
+// only on the query workload, never on the data scale.
+
+#ifndef HYDRA_HYDRA_SUMMARY_H_
+#define HYDRA_HYDRA_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace hydra {
+
+// A group of `count` identical tuples with the given attribute values.
+struct SolutionRow {
+  Row values;
+  int64_t count = 0;
+};
+
+// Instantiated solution of one view (values over the view's column space).
+struct ViewSummary {
+  int relation = -1;
+  std::vector<AttrRef> columns;
+  std::vector<SolutionRow> rows;
+
+  int64_t TotalCount() const;
+};
+
+// Summarized relation R̃ (Section 5.4): every non-PK attribute of R plus a
+// NumTuples count per row. PK values are implicit — the r-th generated tuple
+// has PK r (Section 6).
+struct RelationSummary {
+  int relation = -1;
+  // Relation attribute index of each summary column, in relation attribute
+  // order with the PK excluded.
+  std::vector<int> attr_indices;
+  std::vector<SolutionRow> rows;
+  // Exclusive prefix sums over row counts; entry i is the PK of the first
+  // tuple produced by rows[i]. Built by Finalize().
+  std::vector<int64_t> prefix_counts;
+
+  void Finalize();
+  int64_t TotalCount() const;
+  // Index of the summary row that produces tuple `r` (0 <= r < TotalCount()).
+  int RowIndexForTuple(int64_t r) const;
+
+  uint64_t ByteSize() const;
+};
+
+struct DatabaseSummary {
+  Schema schema;
+  std::vector<RelationSummary> relations;
+  // Tuples added per relation to restore referential integrity — the paper's
+  // scale-independent additive error (Section 5.3, Figure 11).
+  std::vector<uint64_t> extra_tuples;
+
+  uint64_t ByteSize() const;
+  uint64_t TotalExtraTuples() const;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_HYDRA_SUMMARY_H_

@@ -1,0 +1,359 @@
+#include "hydra/summary_generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+namespace {
+
+// Mutable view solution accumulated by the align-and-merge loop.
+struct WorkingSolution {
+  std::vector<int> columns;  // view column indices, in accumulation order
+  std::vector<SolutionRow> rows;
+};
+
+// Instantiates the sub-view solution: one row per region with positive count,
+// at the region's left boundary (Section 5.2).
+std::vector<SolutionRow> InstantiateSubView(const SubViewLp& sv,
+                                            const std::vector<int64_t>& x) {
+  std::vector<SolutionRow> rows;
+  for (int r = 0; r < sv.partition.num_regions(); ++r) {
+    const int64_t count = x[sv.first_var + r];
+    if (count <= 0) continue;
+    SolutionRow row;
+    row.values = sv.partition.regions[r].MinPoint();
+    row.count = count;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// Sort key for alignment: per shared column, (elementary cell index, value).
+// Grouping by cell index first is what makes pairing sound — consistency
+// constraints equate masses per cell, and no constraint changes truth inside
+// a cell.
+struct AlignKey {
+  std::vector<std::pair<int64_t, Value>> parts;
+
+  bool operator<(const AlignKey& o) const { return parts < o.parts; }
+  bool operator==(const AlignKey& o) const { return parts == o.parts; }
+};
+
+AlignKey KeyOf(const SolutionRow& row, const std::vector<int>& positions,
+               const std::vector<const std::vector<int64_t>*>& cuts) {
+  AlignKey key;
+  key.parts.reserve(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    const Value v = row.values[positions[i]];
+    int64_t cell = 0;
+    if (cuts[i] != nullptr) {
+      cell = std::upper_bound(cuts[i]->begin(), cuts[i]->end(), v) -
+             cuts[i]->begin();
+    }
+    key.parts.emplace_back(cell, v);
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<ViewSummary> SummaryGenerator::BuildViewSummary(
+    const View& view, const ViewLp& lp,
+    const std::vector<int64_t>& solution) const {
+  HYDRA_CHECK(static_cast<int>(solution.size()) == lp.problem.num_vars());
+
+  std::map<int, const std::vector<int64_t>*> cuts_of;
+  for (const auto& [col, cuts] : lp.shared_cuts) cuts_of[col] = &cuts;
+
+  WorkingSolution work;
+  for (size_t s = 0; s < lp.subviews.size(); ++s) {
+    const SubViewLp& sv = lp.subviews[s];
+    std::vector<SolutionRow> incoming = InstantiateSubView(sv, solution);
+
+    if (s == 0) {
+      work.columns = sv.subview.columns;
+      work.rows = std::move(incoming);
+      continue;
+    }
+
+    // Shared columns between the accumulated solution and this sub-view.
+    std::vector<int> shared;
+    std::vector<int> new_cols;
+    for (int c : sv.subview.columns) {
+      if (std::find(work.columns.begin(), work.columns.end(), c) !=
+          work.columns.end()) {
+        shared.push_back(c);
+      } else {
+        new_cols.push_back(c);
+      }
+    }
+
+    // Positions of the shared columns in each side's row layout.
+    std::vector<int> work_pos, sv_pos;
+    std::vector<const std::vector<int64_t>*> cuts;
+    for (int c : shared) {
+      work_pos.push_back(static_cast<int>(
+          std::find(work.columns.begin(), work.columns.end(), c) -
+          work.columns.begin()));
+      sv_pos.push_back(static_cast<int>(
+          std::find(sv.subview.columns.begin(), sv.subview.columns.end(), c) -
+          sv.subview.columns.begin()));
+      auto it = cuts_of.find(c);
+      cuts.push_back(it == cuts_of.end() ? nullptr : it->second);
+    }
+    std::vector<int> new_pos;
+    for (int c : new_cols) {
+      new_pos.push_back(static_cast<int>(
+          std::find(sv.subview.columns.begin(), sv.subview.columns.end(), c) -
+          sv.subview.columns.begin()));
+    }
+
+    // Solution Sorting (Section 5.1.2): both sides ordered by shared cells.
+    std::stable_sort(work.rows.begin(), work.rows.end(),
+                     [&](const SolutionRow& a, const SolutionRow& b) {
+                       return KeyOf(a, work_pos, cuts) <
+                              KeyOf(b, work_pos, cuts);
+                     });
+    std::stable_sort(incoming.begin(), incoming.end(),
+                     [&](const SolutionRow& a, const SolutionRow& b) {
+                       return KeyOf(a, sv_pos, cuts) < KeyOf(b, sv_pos, cuts);
+                     });
+
+    // Row Splitting + position-based merge (Sections 5.1.2, 5.1.3): pair off
+    // counts in sorted order; shared values come from the accumulated
+    // solution, new columns from the incoming sub-view.
+    std::vector<SolutionRow> merged;
+    merged.reserve(std::max(work.rows.size(), incoming.size()));
+    size_t wi = 0, ii = 0;
+    int64_t wleft = wi < work.rows.size() ? work.rows[wi].count : 0;
+    int64_t ileft = ii < incoming.size() ? incoming[ii].count : 0;
+    while (wi < work.rows.size() && ii < incoming.size()) {
+      const int64_t take = std::min(wleft, ileft);
+      SolutionRow row;
+      row.values = work.rows[wi].values;
+      row.values.reserve(row.values.size() + new_pos.size());
+      for (int p : new_pos) row.values.push_back(incoming[ii].values[p]);
+      row.count = take;
+      merged.push_back(std::move(row));
+      wleft -= take;
+      ileft -= take;
+      if (wleft == 0 && ++wi < work.rows.size()) wleft = work.rows[wi].count;
+      if (ileft == 0 && ++ii < incoming.size()) ileft = incoming[ii].count;
+    }
+    // Integerization can leave a tiny count mismatch between the two sides;
+    // pad the exhausted side with its last row's values.
+    while (wi < work.rows.size()) {
+      SolutionRow row;
+      row.values = work.rows[wi].values;
+      for (size_t k = 0; k < new_pos.size(); ++k) {
+        row.values.push_back(
+            incoming.empty()
+                ? view.domains[new_cols[k]].lo
+                : incoming.back().values[new_pos[k]]);
+      }
+      row.count = wleft;
+      if (row.count > 0) merged.push_back(std::move(row));
+      if (++wi < work.rows.size()) wleft = work.rows[wi].count;
+    }
+    if (ii < incoming.size() && !work.rows.empty()) {
+      // Excess mass on the incoming side: attach it to the last accumulated
+      // row's values (positive-only spill, never lost).
+      int64_t excess = ileft;
+      for (size_t k = ii + 1; k < incoming.size(); ++k) {
+        excess += incoming[k].count;
+      }
+      if (excess > 0 && !merged.empty()) merged.back().count += excess;
+    }
+
+    work.columns.insert(work.columns.end(), new_cols.begin(), new_cols.end());
+    work.rows = std::move(merged);
+  }
+
+  // Assemble the final view summary in view-column order; columns untouched
+  // by any constraint are instantiated at their domain minimum.
+  ViewSummary out;
+  out.relation = view.relation;
+  out.columns = view.columns;
+  std::vector<int> position(view.num_columns(), -1);
+  for (size_t i = 0; i < work.columns.size(); ++i) {
+    position[work.columns[i]] = static_cast<int>(i);
+  }
+  if (work.rows.empty()) {
+    // No constrained sub-views (or an all-zero solution): a single group of
+    // identical tuples at the domain minimum.
+    if (lp.total_rows > 0) {
+      SolutionRow row;
+      for (int c = 0; c < view.num_columns(); ++c) {
+        row.values.push_back(view.domains[c].lo);
+      }
+      row.count = static_cast<int64_t>(lp.total_rows);
+      out.rows.push_back(std::move(row));
+    }
+    return out;
+  }
+  out.rows.reserve(work.rows.size());
+  for (const SolutionRow& wrow : work.rows) {
+    SolutionRow row;
+    row.count = wrow.count;
+    row.values.resize(view.num_columns());
+    for (int c = 0; c < view.num_columns(); ++c) {
+      row.values[c] = position[c] >= 0 ? wrow.values[position[c]]
+                                       : view.domains[c].lo;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  // Compact: merge rows with identical values.
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const SolutionRow& a, const SolutionRow& b) {
+              return a.values < b.values;
+            });
+  std::vector<SolutionRow> compact;
+  for (SolutionRow& row : out.rows) {
+    if (!compact.empty() && compact.back().values == row.values) {
+      compact.back().count += row.count;
+    } else {
+      compact.push_back(std::move(row));
+    }
+  }
+  out.rows = std::move(compact);
+  return out;
+}
+
+StatusOr<DatabaseSummary> SummaryGenerator::BuildDatabaseSummary(
+    const std::vector<View>& views,
+    std::vector<ViewSummary> view_summaries) const {
+  HYDRA_CHECK(views.size() == view_summaries.size());
+  const int n = schema_.num_relations();
+
+  DatabaseSummary out;
+  out.schema = schema_;
+  out.extra_tuples.assign(n, 0);
+
+  // Step (3): referential repair in dependents-first order — every view is
+  // made consistent with its direct dependencies before those are processed,
+  // so additions cascade exactly once (Section 5.3; DAG-safe via topological
+  // order).
+  HYDRA_ASSIGN_OR_RETURN(const std::vector<int> order,
+                         schema_.DependentsFirstOrder());
+
+  // combo -> first row index, per view.
+  std::vector<std::map<Row, int>> first_row(n);
+  auto index_view = [&](int rel) {
+    first_row[rel].clear();
+    for (size_t i = 0; i < view_summaries[rel].rows.size(); ++i) {
+      first_row[rel].emplace(view_summaries[rel].rows[i].values,
+                             static_cast<int>(i));
+    }
+  };
+  for (int r = 0; r < n; ++r) index_view(r);
+
+  for (int r : order) {
+    for (int dep : schema_.DirectDependencies(r)) {
+      // Projection of V_r columns onto V_dep columns.
+      std::vector<int> proj;
+      proj.reserve(views[dep].columns.size());
+      for (const AttrRef& ref : views[dep].columns) {
+        const int col = views[r].ColumnOf(ref);
+        HYDRA_CHECK_MSG(col >= 0, "view of "
+                                      << schema_.relation(r).name()
+                                      << " is missing borrowed attribute "
+                                      << schema_.QualifiedName(ref));
+        proj.push_back(col);
+      }
+      for (const SolutionRow& row : view_summaries[r].rows) {
+        Row combo;
+        combo.reserve(proj.size());
+        for (int c : proj) combo.push_back(row.values[c]);
+        auto it = first_row[dep].find(combo);
+        if (it == first_row[dep].end()) {
+          SolutionRow added;
+          added.values = combo;
+          added.count = 1;
+          first_row[dep].emplace(
+              std::move(combo),
+              static_cast<int>(view_summaries[dep].rows.size()));
+          view_summaries[dep].rows.push_back(std::move(added));
+          ++out.extra_tuples[dep];
+        }
+      }
+    }
+  }
+
+  // Prefix sums per view (PK of the first tuple of each row group).
+  std::vector<std::vector<int64_t>> view_prefix(n);
+  for (int r = 0; r < n; ++r) {
+    auto& prefix = view_prefix[r];
+    prefix.resize(view_summaries[r].rows.size());
+    int64_t running = 0;
+    for (size_t i = 0; i < view_summaries[r].rows.size(); ++i) {
+      prefix[i] = running;
+      running += view_summaries[r].rows[i].count;
+    }
+  }
+
+  // Step (4): relation summaries.
+  out.relations.resize(n);
+  for (int r = 0; r < n; ++r) {
+    const Relation& rel = schema_.relation(r);
+    RelationSummary& rs = out.relations[r];
+    rs.relation = r;
+
+    struct ColumnSource {
+      bool is_fk = false;
+      int view_column = -1;  // for data attributes
+      int fk_target = -1;    // for FKs: referenced relation
+      std::vector<int> proj;  // for FKs: projection onto the target's view
+    };
+    std::vector<ColumnSource> sources;
+    for (int a = 0; a < rel.num_attributes(); ++a) {
+      const Attribute& attr = rel.attribute(a);
+      if (attr.kind == AttributeKind::kPrimaryKey) continue;
+      rs.attr_indices.push_back(a);
+      ColumnSource src;
+      if (attr.kind == AttributeKind::kData) {
+        src.view_column = views[r].ColumnOf(AttrRef{r, a});
+        HYDRA_CHECK(src.view_column >= 0);
+      } else {
+        src.is_fk = true;
+        src.fk_target = attr.fk_target;
+        for (const AttrRef& ref : views[attr.fk_target].columns) {
+          const int col = views[r].ColumnOf(ref);
+          HYDRA_CHECK(col >= 0);
+          src.proj.push_back(col);
+        }
+      }
+      sources.push_back(std::move(src));
+    }
+
+    rs.rows.reserve(view_summaries[r].rows.size());
+    for (const SolutionRow& vrow : view_summaries[r].rows) {
+      SolutionRow row;
+      row.count = vrow.count;
+      row.values.reserve(sources.size());
+      for (const ColumnSource& src : sources) {
+        if (!src.is_fk) {
+          row.values.push_back(vrow.values[src.view_column]);
+          continue;
+        }
+        Row combo;
+        combo.reserve(src.proj.size());
+        for (int c : src.proj) combo.push_back(vrow.values[c]);
+        auto it = first_row[src.fk_target].find(combo);
+        if (it == first_row[src.fk_target].end()) {
+          return Status::Internal(
+              "referential repair missed a combination for FK into " +
+              schema_.relation(src.fk_target).name());
+        }
+        row.values.push_back(view_prefix[src.fk_target][it->second]);
+      }
+      rs.rows.push_back(std::move(row));
+    }
+    rs.Finalize();
+  }
+  return out;
+}
+
+}  // namespace hydra

@@ -1,0 +1,49 @@
+// Summary Generator (Section 5): turns solved view LPs into the database
+// summary through four deterministic, data-scale-free steps:
+//   (1) per view, order sub-view solutions along the clique tree and
+//       align-and-merge them into a complete view solution (Section 5.1),
+//   (2) instantiate every region at its left boundary (Section 5.2),
+//   (3) make views consistent with the views they borrow attributes from,
+//       adding count-1 rows where a combination is missing (Section 5.3),
+//   (4) extract relation summaries, resolving each foreign key to the PK of
+//       the first tuple carrying the referenced combination (Section 5.4).
+//
+// Unlike DataSynth's sampling-based instantiation, every step here operates
+// on summaries whose size depends only on the workload, never the data scale.
+
+#ifndef HYDRA_HYDRA_SUMMARY_GENERATOR_H_
+#define HYDRA_HYDRA_SUMMARY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "hydra/formulator.h"
+#include "hydra/summary.h"
+
+namespace hydra {
+
+class SummaryGenerator {
+ public:
+  explicit SummaryGenerator(const Schema& schema) : schema_(schema) {}
+
+  // Steps (1)+(2): builds the instantiated view summary from the integer LP
+  // solution (`solution[v]` is the tuple count of LP variable v).
+  StatusOr<ViewSummary> BuildViewSummary(
+      const View& view, const ViewLp& lp,
+      const std::vector<int64_t>& solution) const;
+
+  // Steps (3)+(4): cross-view referential repair and relation-summary
+  // extraction. `views` and `view_summaries` are indexed by relation.
+  StatusOr<DatabaseSummary> BuildDatabaseSummary(
+      const std::vector<View>& views,
+      std::vector<ViewSummary> view_summaries) const;
+
+ private:
+  const Schema& schema_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_HYDRA_SUMMARY_GENERATOR_H_

@@ -1,0 +1,211 @@
+#include "hydra/summary_io.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+namespace {
+
+constexpr uint64_t kSummaryMagic = 0x48594452'53554D31ULL;  // "HYDRSUM1"
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* p, size_t n) {
+    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+    bytes_ += n;
+  }
+
+  bool ok() const { return ok_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+  uint64_t bytes_ = 0;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!ok_ || n > (1u << 20)) {
+      ok_ = false;
+      return "";
+    }
+    std::string s(n, '\0');
+    Raw(s.data(), n);
+    return s;
+  }
+  void Raw(void* p, size_t n) {
+    if (ok_ && std::fread(p, 1, n, f_) != n) ok_ = false;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+StatusOr<uint64_t> WriteSummary(const DatabaseSummary& summary,
+                                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  Writer w(f);
+  w.U64(kSummaryMagic);
+
+  // --- Schema ---------------------------------------------------------
+  const Schema& schema = summary.schema;
+  w.I32(schema.num_relations());
+  for (int r = 0; r < schema.num_relations(); ++r) {
+    const Relation& rel = schema.relation(r);
+    w.Str(rel.name());
+    w.U64(rel.row_count());
+    w.I32(rel.num_attributes());
+    for (int a = 0; a < rel.num_attributes(); ++a) {
+      const Attribute& attr = rel.attribute(a);
+      w.Str(attr.name);
+      w.I32(static_cast<int32_t>(attr.kind));
+      w.I64(attr.domain.lo);
+      w.I64(attr.domain.hi);
+      w.I32(attr.fk_target);
+    }
+  }
+
+  // --- Relation summaries ----------------------------------------------
+  for (const RelationSummary& rs : summary.relations) {
+    w.I32(rs.relation);
+    w.I32(static_cast<int32_t>(rs.attr_indices.size()));
+    for (int a : rs.attr_indices) w.I32(a);
+    w.U64(rs.rows.size());
+    for (const SolutionRow& row : rs.rows) {
+      w.I64(row.count);
+      for (Value v : row.values) w.I64(v);
+    }
+  }
+  for (uint64_t e : summary.extra_tuples) w.U64(e);
+
+  const bool ok = w.ok();
+  const uint64_t bytes = w.bytes();
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::IoError("short write to " + path);
+  }
+  return bytes;
+}
+
+StatusOr<DatabaseSummary> ReadSummary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  Reader r(f);
+  if (r.U64() != kSummaryMagic) {
+    std::fclose(f);
+    return Status::IoError("bad summary header in " + path);
+  }
+
+  DatabaseSummary out;
+  const int32_t num_relations = r.I32();
+  if (!r.ok() || num_relations < 0 || num_relations > 1 << 16) {
+    std::fclose(f);
+    return Status::IoError("corrupt summary: relation count");
+  }
+  for (int32_t rel_idx = 0; rel_idx < num_relations; ++rel_idx) {
+    const std::string name = r.Str();
+    const uint64_t row_count = r.U64();
+    const int32_t num_attrs = r.I32();
+    if (!r.ok() || num_attrs < 0 || num_attrs > 1 << 16) {
+      std::fclose(f);
+      return Status::IoError("corrupt summary: attribute count");
+    }
+    Relation rel(name, row_count);
+    for (int32_t a = 0; a < num_attrs; ++a) {
+      const std::string attr_name = r.Str();
+      const auto kind = static_cast<AttributeKind>(r.I32());
+      const int64_t lo = r.I64();
+      const int64_t hi = r.I64();
+      const int32_t fk_target = r.I32();
+      if (!r.ok() || (kind == AttributeKind::kData && lo >= hi)) {
+        std::fclose(f);
+        return Status::IoError("corrupt summary: attribute payload");
+      }
+      switch (kind) {
+        case AttributeKind::kData:
+          rel.AddDataAttribute(attr_name, Interval(lo, hi));
+          break;
+        case AttributeKind::kPrimaryKey:
+          rel.AddPrimaryKey(attr_name);
+          break;
+        case AttributeKind::kForeignKey:
+          rel.AddForeignKey(attr_name, fk_target);
+          break;
+        default:
+          std::fclose(f);
+          return Status::IoError("corrupt summary: attribute kind");
+      }
+    }
+    out.schema.AddRelation(std::move(rel));
+  }
+
+  out.relations.resize(num_relations);
+  for (int32_t i = 0; i < num_relations; ++i) {
+    RelationSummary& rs = out.relations[i];
+    rs.relation = r.I32();
+    const int32_t cols = r.I32();
+    if (!r.ok() || cols < 0 || cols > 1 << 16) {
+      std::fclose(f);
+      return Status::IoError("corrupt summary: column count");
+    }
+    for (int32_t c = 0; c < cols; ++c) rs.attr_indices.push_back(r.I32());
+    const uint64_t rows = r.U64();
+    if (!r.ok() || rows > (1ull << 32)) {
+      std::fclose(f);
+      return Status::IoError("corrupt summary: row count");
+    }
+    rs.rows.resize(rows);
+    for (uint64_t row = 0; row < rows; ++row) {
+      rs.rows[row].count = r.I64();
+      rs.rows[row].values.resize(cols);
+      for (int32_t c = 0; c < cols; ++c) rs.rows[row].values[c] = r.I64();
+    }
+    rs.Finalize();
+  }
+  out.extra_tuples.resize(num_relations);
+  for (int32_t i = 0; i < num_relations; ++i) out.extra_tuples[i] = r.U64();
+
+  const bool ok = r.ok();
+  std::fclose(f);
+  if (!ok) return Status::IoError("truncated summary file " + path);
+  return out;
+}
+
+}  // namespace hydra

@@ -1,0 +1,28 @@
+// Database-summary serialization.
+//
+// The summary is the artifact Hydra ships between sites (Figure 2): it must
+// be writable to a compact file and reloadable on the engine under test.
+// Format: a small header, the schema (relations, attributes, domains, keys),
+// then per-relation summary rows. All integers little-endian fixed-width.
+
+#ifndef HYDRA_HYDRA_SUMMARY_IO_H_
+#define HYDRA_HYDRA_SUMMARY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hydra/summary.h"
+
+namespace hydra {
+
+// Writes `summary` to `path`. Returns bytes written.
+StatusOr<uint64_t> WriteSummary(const DatabaseSummary& summary,
+                                const std::string& path);
+
+// Reads a summary previously written by WriteSummary. Relation summaries are
+// finalized (prefix sums rebuilt) and ready for TupleGenerator.
+StatusOr<DatabaseSummary> ReadSummary(const std::string& path);
+
+}  // namespace hydra
+
+#endif  // HYDRA_HYDRA_SUMMARY_IO_H_

@@ -1,0 +1,91 @@
+#include "hydra/tuple_generator.h"
+
+#include "common/logging.h"
+#include "storage/disk_table.h"
+
+namespace hydra {
+
+TupleGenerator::TupleGenerator(const DatabaseSummary& summary)
+    : summary_(summary) {
+  for (const RelationSummary& rs : summary_.relations) {
+    HYDRA_CHECK_MSG(!rs.rows.empty() == !rs.prefix_counts.empty() &&
+                        rs.prefix_counts.size() == rs.rows.size(),
+                    "relation summary not finalized");
+  }
+}
+
+uint64_t TupleGenerator::RowCount(int relation) const {
+  return static_cast<uint64_t>(summary_.relations[relation].TotalCount());
+}
+
+void TupleGenerator::FillRow(int relation, int summary_row, int64_t pk,
+                             Row* out) const {
+  const RelationSummary& rs = summary_.relations[relation];
+  const Relation& rel = summary_.schema.relation(relation);
+  const int pk_attr = rel.PrimaryKeyIndex();
+  const SolutionRow& srow = rs.rows[summary_row];
+  for (size_t i = 0; i < rs.attr_indices.size(); ++i) {
+    (*out)[rs.attr_indices[i]] = srow.values[i];
+  }
+  if (pk_attr >= 0) (*out)[pk_attr] = pk;
+}
+
+void TupleGenerator::Scan(int relation,
+                          const std::function<void(const Row&)>& fn) const {
+  const RelationSummary& rs = summary_.relations[relation];
+  const Relation& rel = summary_.schema.relation(relation);
+  Row row(rel.num_attributes(), 0);
+  int64_t pk = 0;
+  for (size_t i = 0; i < rs.rows.size(); ++i) {
+    FillRow(relation, static_cast<int>(i), pk, &row);
+    const int pk_attr = rel.PrimaryKeyIndex();
+    for (int64_t k = 0; k < rs.rows[i].count; ++k) {
+      if (pk_attr >= 0) row[pk_attr] = pk;
+      fn(row);
+      ++pk;
+    }
+  }
+}
+
+void TupleGenerator::GetTuple(int relation, int64_t r, Row* out) const {
+  const RelationSummary& rs = summary_.relations[relation];
+  HYDRA_CHECK_MSG(r >= 0 && r < rs.TotalCount(),
+                  "tuple index " << r << " out of range for relation "
+                                 << summary_.schema.relation(relation).name());
+  out->assign(summary_.schema.relation(relation).num_attributes(), 0);
+  FillRow(relation, rs.RowIndexForTuple(r), r, out);
+}
+
+StatusOr<Database> MaterializeDatabase(const DatabaseSummary& summary) {
+  Database db(summary.schema);
+  TupleGenerator gen(summary);
+  for (int r = 0; r < summary.schema.num_relations(); ++r) {
+    Table& table = db.table(r);
+    table.Reserve(gen.RowCount(r));
+    gen.Scan(r, [&](const Row& row) { table.AppendRow(row); });
+  }
+  return db;
+}
+
+StatusOr<uint64_t> MaterializeToDisk(const DatabaseSummary& summary,
+                                     const std::string& dir) {
+  TupleGenerator gen(summary);
+  uint64_t total_bytes = 0;
+  for (int r = 0; r < summary.schema.num_relations(); ++r) {
+    const Relation& rel = summary.schema.relation(r);
+    const std::string path = dir + "/" + rel.name() + ".tbl";
+    DiskTableWriter writer(path, rel.num_attributes());
+    HYDRA_RETURN_IF_ERROR(writer.Open());
+    Status append_status = Status::OK();
+    gen.Scan(r, [&](const Row& row) {
+      if (append_status.ok()) append_status = writer.Append(row);
+    });
+    HYDRA_RETURN_IF_ERROR(append_status);
+    HYDRA_RETURN_IF_ERROR(writer.Close());
+    HYDRA_ASSIGN_OR_RETURN(const uint64_t bytes, DiskTableBytes(path));
+    total_bytes += bytes;
+  }
+  return total_bytes;
+}
+
+}  // namespace hydra

@@ -1,0 +1,53 @@
+// Tuple Generator (Section 6): generates relation tuples on demand from the
+// database summary, replacing the scan operator of the engine under test
+// (the paper's PostgreSQL `datagen` feature).
+//
+// The r-th tuple of relation R has PK value r; its remaining attributes come
+// from the summary row whose cumulative NumTuples range covers r. Sequential
+// scans walk the summary rows directly; random access binary-searches the
+// prefix sums.
+
+#ifndef HYDRA_HYDRA_TUPLE_GENERATOR_H_
+#define HYDRA_HYDRA_TUPLE_GENERATOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/table.h"
+#include "hydra/summary.h"
+
+namespace hydra {
+
+class TupleGenerator : public TableSource {
+ public:
+  // `summary` must outlive the generator.
+  explicit TupleGenerator(const DatabaseSummary& summary);
+
+  // On-the-fly generation in PK order (no materialized storage touched).
+  void Scan(int relation,
+            const std::function<void(const Row&)>& fn) const override;
+  uint64_t RowCount(int relation) const override;
+
+  // Random access: fills `out` with the tuple whose PK is `r`.
+  void GetTuple(int relation, int64_t r, Row* out) const;
+
+ private:
+  // Writes the non-key values of summary row `summary_row` into `out`
+  // (which must already be sized) and sets the PK to `pk`.
+  void FillRow(int relation, int summary_row, int64_t pk, Row* out) const;
+
+  const DatabaseSummary& summary_;
+};
+
+// Materializes the summary into an in-memory database (the "static
+// generation" option of Section 5).
+StatusOr<Database> MaterializeDatabase(const DatabaseSummary& summary);
+
+// Streams every relation to disk as `<dir>/<relation>.tbl` in the binary
+// format of storage/disk_table.h. Returns total bytes written.
+StatusOr<uint64_t> MaterializeToDisk(const DatabaseSummary& summary,
+                                     const std::string& dir);
+
+}  // namespace hydra
+
+#endif  // HYDRA_HYDRA_TUPLE_GENERATOR_H_

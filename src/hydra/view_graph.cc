@@ -1,0 +1,194 @@
+#include "hydra/view_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+namespace {
+
+// Min-fill elimination: returns the elimination order and completes `adj`
+// (adjacency sets) into a chordal graph by adding fill edges.
+std::vector<int> ChordalizeMinFill(std::vector<std::set<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<bool> eliminated(n, false);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    // Pick the vertex whose elimination adds the fewest fill edges.
+    int best = -1;
+    long best_fill = -1;
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      std::vector<int> nbrs;
+      for (int u : adj[v]) {
+        if (!eliminated[u]) nbrs.push_back(u);
+      }
+      long fill = 0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (adj[nbrs[i]].find(nbrs[j]) == adj[nbrs[i]].end()) ++fill;
+        }
+      }
+      if (best < 0 || fill < best_fill ||
+          (fill == best_fill && nbrs.size() < adj[best].size())) {
+        best = v;
+        best_fill = fill;
+      }
+    }
+    // Add fill edges among best's remaining neighbors.
+    std::vector<int> nbrs;
+    for (int u : adj[best]) {
+      if (!eliminated[u]) nbrs.push_back(u);
+    }
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        adj[nbrs[i]].insert(nbrs[j]);
+        adj[nbrs[j]].insert(nbrs[i]);
+      }
+    }
+    eliminated[best] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<SubView> DecomposeView(
+    int num_columns, const std::vector<ViewConstraint>& constraints) {
+  // Columns mentioned by at least one constraint.
+  std::vector<bool> mentioned(num_columns, false);
+  for (const ViewConstraint& vc : constraints) {
+    for (int c : vc.predicate.Columns()) mentioned[c] = true;
+  }
+  std::vector<int> nodes;  // compact id -> view column
+  std::vector<int> compact(num_columns, -1);
+  for (int c = 0; c < num_columns; ++c) {
+    if (mentioned[c]) {
+      compact[c] = static_cast<int>(nodes.size());
+      nodes.push_back(c);
+    }
+  }
+  if (nodes.empty()) return {};
+
+  // Edges: columns co-occurring in one CC form a clique.
+  std::vector<std::set<int>> adj(nodes.size());
+  for (const ViewConstraint& vc : constraints) {
+    const std::vector<int> cols = vc.predicate.Columns();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      for (size_t j = i + 1; j < cols.size(); ++j) {
+        adj[compact[cols[i]]].insert(compact[cols[j]]);
+        adj[compact[cols[j]]].insert(compact[cols[i]]);
+      }
+    }
+  }
+
+  const std::vector<int> order = ChordalizeMinFill(adj);
+  std::vector<int> position(nodes.size());
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = static_cast<int>(i);
+
+  // Candidate cliques: v plus its neighbors eliminated after v.
+  std::vector<std::vector<int>> candidates;
+  for (int v : order) {
+    std::vector<int> clique = {v};
+    for (int u : adj[v]) {
+      if (position[u] > position[v]) clique.push_back(u);
+    }
+    std::sort(clique.begin(), clique.end());
+    candidates.push_back(std::move(clique));
+  }
+  // Keep only maximal candidates.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  std::vector<std::vector<int>> cliques;
+  for (const auto& cand : candidates) {
+    bool contained = false;
+    for (const auto& kept : cliques) {
+      if (std::includes(kept.begin(), kept.end(), cand.begin(), cand.end())) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) cliques.push_back(cand);
+  }
+
+  // Maximum-weight spanning tree over pairwise separator sizes (Prim).
+  const int k = static_cast<int>(cliques.size());
+  std::vector<int> parent(k, -1);
+  std::vector<bool> in_tree(k, false);
+  std::vector<int> best_weight(k, -1);
+  std::vector<int> best_parent(k, -1);
+  best_weight[0] = 0;
+  for (int step = 0; step < k; ++step) {
+    int pick = -1;
+    for (int i = 0; i < k; ++i) {
+      if (!in_tree[i] && best_weight[i] >= 0 &&
+          (pick < 0 || best_weight[i] > best_weight[pick])) {
+        pick = i;
+      }
+    }
+    HYDRA_CHECK(pick >= 0);
+    in_tree[pick] = true;
+    parent[pick] = best_parent[pick];
+    for (int i = 0; i < k; ++i) {
+      if (in_tree[i]) continue;
+      std::vector<int> isect;
+      std::set_intersection(cliques[pick].begin(), cliques[pick].end(),
+                            cliques[i].begin(), cliques[i].end(),
+                            std::back_inserter(isect));
+      const int w = static_cast<int>(isect.size());
+      if (w > best_weight[i]) {
+        best_weight[i] = w;
+        best_parent[i] = pick;
+      } else if (best_weight[i] < 0) {
+        // Disconnected component: attach with an empty separator.
+        best_weight[i] = 0;
+        best_parent[i] = pick;
+      }
+    }
+  }
+
+  // BFS from the root so parents precede children.
+  std::vector<std::vector<int>> children(k);
+  int root = -1;
+  for (int i = 0; i < k; ++i) {
+    if (parent[i] < 0) {
+      root = i;
+    } else {
+      children[parent[i]].push_back(i);
+    }
+  }
+  HYDRA_CHECK(root >= 0);
+
+  std::vector<SubView> result;
+  std::vector<int> emitted_index(k, -1);
+  std::queue<int> bfs;
+  bfs.push(root);
+  while (!bfs.empty()) {
+    const int c = bfs.front();
+    bfs.pop();
+    SubView sv;
+    for (int node : cliques[c]) sv.columns.push_back(nodes[node]);
+    std::sort(sv.columns.begin(), sv.columns.end());
+    if (parent[c] >= 0) {
+      sv.parent = emitted_index[parent[c]];
+      std::vector<int> isect;
+      std::set_intersection(cliques[c].begin(), cliques[c].end(),
+                            cliques[parent[c]].begin(),
+                            cliques[parent[c]].end(),
+                            std::back_inserter(isect));
+      for (int node : isect) sv.separator.push_back(nodes[node]);
+      std::sort(sv.separator.begin(), sv.separator.end());
+    }
+    emitted_index[c] = static_cast<int>(result.size());
+    result.push_back(std::move(sv));
+    for (int child : children[c]) bfs.push(child);
+  }
+  return result;
+}
+
+}  // namespace hydra

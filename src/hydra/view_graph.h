@@ -1,0 +1,38 @@
+// View-graph decomposition (Section 3.2): nodes are view columns, edges join
+// columns that co-occur in a cardinality constraint. The graph is made
+// chordal (min-fill heuristic elimination), its maximal cliques become the
+// *sub-views*, and a clique tree (maximum-weight spanning tree over separator
+// sizes) provides a merge order with the running-intersection property — the
+// paper's greedy sub-view ordering condition (Section 5.1.1).
+
+#ifndef HYDRA_HYDRA_VIEW_GRAPH_H_
+#define HYDRA_HYDRA_VIEW_GRAPH_H_
+
+#include <vector>
+
+#include "hydra/preprocessor.h"
+
+namespace hydra {
+
+// One maximal clique of the chordal view-graph.
+struct SubView {
+  // View column indices, sorted ascending.
+  std::vector<int> columns;
+  // Index of the parent sub-view in the clique tree; -1 for the root.
+  int parent = -1;
+  // columns ∩ parent's columns (sorted); empty for the root.
+  std::vector<int> separator;
+};
+
+// Decomposes a view with `num_columns` columns under `constraints` into
+// sub-views. Only columns mentioned by at least one constraint participate;
+// unmentioned columns are unconstrained and handled downstream by
+// left-boundary instantiation. Sub-views are returned in clique-tree BFS
+// order (parents before children), so merging them left-to-right satisfies
+// the running-intersection property.
+std::vector<SubView> DecomposeView(int num_columns,
+                                   const std::vector<ViewConstraint>& constraints);
+
+}  // namespace hydra
+
+#endif  // HYDRA_HYDRA_VIEW_GRAPH_H_

@@ -1,0 +1,91 @@
+#include "lp/integerize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+IntegerizeResult IntegerizeSolution(const LpProblem& problem,
+                                    const std::vector<double>& solution,
+                                    int repair_passes) {
+  const int n = problem.num_vars();
+  const int m = problem.num_constraints();
+  HYDRA_CHECK(static_cast<int>(solution.size()) == n);
+
+  IntegerizeResult result;
+  result.values.resize(n);
+  for (int j = 0; j < n; ++j) {
+    result.values[j] =
+        std::max<int64_t>(0, std::llround(std::max(0.0, solution[j])));
+  }
+
+  // How many constraints each variable appears in (repairing via variables
+  // unique to one constraint cannot break any other constraint).
+  std::vector<int> appearances(n, 0);
+  for (const LpConstraint& c : problem.constraints()) {
+    for (int v : c.vars) ++appearances[v];
+  }
+
+  auto residual_of = [&](const LpConstraint& c) -> int64_t {
+    // Constraint coefficients are 0/1 in the regeneration LPs; rounding rhs
+    // is exact for integral inputs.
+    double lhs = 0;
+    for (size_t i = 0; i < c.vars.size(); ++i) {
+      lhs += c.coeffs[i] * static_cast<double>(result.values[c.vars[i]]);
+    }
+    return std::llround(c.rhs - lhs);
+  };
+
+  for (int pass = 0; pass < repair_passes; ++pass) {
+    bool any_change = false;
+    for (int ci = 0; ci < m; ++ci) {
+      const LpConstraint& c = problem.constraints()[ci];
+      int64_t residual = residual_of(c);
+      if (residual == 0) continue;
+      // Candidate variables with unit coefficient, singleton columns first,
+      // then larger current values (more room to subtract).
+      std::vector<int> candidates;
+      for (size_t i = 0; i < c.vars.size(); ++i) {
+        if (std::fabs(c.coeffs[i] - 1.0) < 1e-9) candidates.push_back(c.vars[i]);
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](int a, int b) {
+                         if (appearances[a] != appearances[b]) {
+                           return appearances[a] < appearances[b];
+                         }
+                         return result.values[a] > result.values[b];
+                       });
+      for (int v : candidates) {
+        if (residual == 0) break;
+        if (residual > 0) {
+          result.values[v] += residual;
+          residual = 0;
+          any_change = true;
+        } else {
+          const int64_t take = std::min(result.values[v], -residual);
+          if (take > 0) {
+            result.values[v] -= take;
+            residual += take;
+            any_change = true;
+          }
+        }
+      }
+    }
+    if (!any_change) break;
+  }
+
+  for (const LpConstraint& c : problem.constraints()) {
+    const int64_t residual = residual_of(c);
+    result.max_absolute_violation = std::max<int64_t>(
+        result.max_absolute_violation, std::llabs(residual));
+    const double rel =
+        std::fabs(static_cast<double>(residual)) / std::max(1.0, c.rhs);
+    result.max_relative_violation =
+        std::max(result.max_relative_violation, rel);
+  }
+  return result;
+}
+
+}  // namespace hydra

@@ -1,0 +1,34 @@
+// Integerization of an LP feasibility solution.
+//
+// Region counts must be non-negative integers (they are tuple counts). The
+// simplex solution is rounded and then repaired constraint-by-constraint,
+// preferring variables that appear in no other constraint (common in the
+// regeneration LPs, where most regions touch only the total-size constraint)
+// so that repairs do not cascade. Any residual violation is reported and
+// surfaces as the small relative errors the paper observes.
+
+#ifndef HYDRA_LP_INTEGERIZE_H_
+#define HYDRA_LP_INTEGERIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace hydra {
+
+struct IntegerizeResult {
+  std::vector<int64_t> values;
+  // Worst absolute |Ax - b| after repair.
+  int64_t max_absolute_violation = 0;
+  // Worst |Ax - b| / max(1, b) after repair.
+  double max_relative_violation = 0;
+};
+
+IntegerizeResult IntegerizeSolution(const LpProblem& problem,
+                                    const std::vector<double>& solution,
+                                    int repair_passes = 8);
+
+}  // namespace hydra
+
+#endif  // HYDRA_LP_INTEGERIZE_H_

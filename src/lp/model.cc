@@ -1,0 +1,28 @@
+#include "lp/model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+uint64_t LpProblem::NumNonZeros() const {
+  uint64_t nnz = 0;
+  for (const LpConstraint& c : constraints_) nnz += c.vars.size();
+  return nnz;
+}
+
+double LpProblem::MaxViolation(const std::vector<double>& x) const {
+  HYDRA_CHECK(static_cast<int>(x.size()) == num_vars_);
+  double worst = 0;
+  for (const LpConstraint& c : constraints_) {
+    double lhs = 0;
+    for (size_t i = 0; i < c.vars.size(); ++i) {
+      lhs += c.coeffs[i] * x[c.vars[i]];
+    }
+    worst = std::max(worst, std::fabs(lhs - c.rhs));
+  }
+  return worst;
+}
+
+}  // namespace hydra

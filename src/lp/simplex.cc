@@ -1,0 +1,306 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+namespace {
+
+struct SparseEntry {
+  int row;
+  double coeff;
+};
+
+// Column-major copy of the constraint matrix (rows with b < 0 negated so that
+// b >= 0, as phase-I requires).
+struct ColumnMatrix {
+  int m = 0;
+  int n = 0;
+  std::vector<std::vector<SparseEntry>> cols;
+  std::vector<double> b;
+};
+
+ColumnMatrix BuildColumns(const LpProblem& p) {
+  ColumnMatrix cm;
+  cm.m = p.num_constraints();
+  cm.n = p.num_vars();
+  cm.cols.resize(cm.n);
+  cm.b.resize(cm.m);
+  for (int r = 0; r < cm.m; ++r) {
+    const LpConstraint& c = p.constraints()[r];
+    const double sign = c.rhs < 0 ? -1.0 : 1.0;
+    cm.b[r] = sign * c.rhs;
+    for (size_t i = 0; i < c.vars.size(); ++i) {
+      cm.cols[c.vars[i]].push_back({r, sign * c.coeffs[i]});
+    }
+  }
+  // Merge duplicate (var, row) entries defensively.
+  for (auto& col : cm.cols) {
+    std::sort(col.begin(), col.end(),
+              [](const SparseEntry& a, const SparseEntry& b) {
+                return a.row < b.row;
+              });
+    size_t w = 0;
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (w > 0 && col[w - 1].row == col[i].row) {
+        col[w - 1].coeff += col[i].coeff;
+      } else {
+        col[w++] = col[i];
+      }
+    }
+    col.resize(w);
+  }
+  return cm;
+}
+
+class PhaseOneSimplex {
+ public:
+  PhaseOneSimplex(ColumnMatrix cm, const SimplexOptions& options)
+      : cm_(std::move(cm)), options_(options) {
+    m_ = cm_.m;
+    n_ = cm_.n;
+    binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) binv_[i * m_ + i] = 1.0;
+    basis_.resize(m_);
+    xb_ = cm_.b;
+    in_basis_.assign(n_, false);
+    for (int i = 0; i < m_; ++i) basis_[i] = n_ + i;  // artificials
+    double bmax = 1.0;
+    for (double v : cm_.b) bmax = std::max(bmax, std::fabs(v));
+    tol_ = options_.tolerance * bmax;
+    price_tol_ = options_.tolerance;
+  }
+
+  StatusOr<LpSolution> Solve() {
+    const int max_iters = options_.max_iterations > 0
+                              ? options_.max_iterations
+                              : 50 * m_ + 5000;
+    int iter = 0;
+    int degenerate_streak = 0;
+    while (Objective() > tol_) {
+      if (++iter > max_iters) {
+        return Status::ResourceExhausted(
+            "simplex iteration budget exceeded (" +
+            std::to_string(max_iters) + ")");
+      }
+      const bool bland = degenerate_streak > 2 * m_ + 20;
+      const int entering = PickEntering(bland);
+      if (entering < 0) {
+        // Optimal with positive artificial mass: infeasible system.
+        return Status::FailedPrecondition(
+            "LP infeasible (phase-I objective " +
+            std::to_string(Objective()) + ")");
+      }
+      std::vector<double> w = Ftran(entering);
+      const int leaving = RatioTest(w, bland);
+      if (leaving < 0) {
+        return Status::Internal("phase-I unbounded — numerical failure");
+      }
+      const double theta = xb_[leaving] / w[leaving];
+      if (theta <= tol_ * 1e-3) {
+        ++degenerate_streak;
+      } else {
+        degenerate_streak = 0;
+      }
+      Pivot(entering, leaving, w, theta);
+      if (iter % 512 == 0) Refactorize();
+    }
+    LpSolution sol;
+    sol.values.assign(n_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) sol.values[basis_[i]] = std::max(0.0, xb_[i]);
+    }
+    sol.iterations = iter;
+    return sol;
+  }
+
+ private:
+  // Phase-I objective: total value of artificial basis variables.
+  double Objective() const {
+    double obj = 0;
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] >= n_) obj += xb_[i];
+    }
+    return obj;
+  }
+
+  // y = c_B^T B^-1 where c_B is 1 on artificial rows.
+  std::vector<double> ComputeY() const {
+    std::vector<double> y(m_, 0.0);
+    for (int k = 0; k < m_; ++k) {
+      if (basis_[k] >= n_) {
+        const double* row = &binv_[static_cast<size_t>(k) * m_];
+        for (int i = 0; i < m_; ++i) y[i] += row[i];
+      }
+    }
+    return y;
+  }
+
+  // Most-negative (or first-negative under Bland) reduced cost structural
+  // column; -1 if none.
+  int PickEntering(bool bland) {
+    const std::vector<double> y = ComputeY();
+    int best = -1;
+    double best_d = -price_tol_;
+    for (int j = 0; j < n_; ++j) {
+      if (in_basis_[j]) continue;
+      double d = 0;
+      for (const SparseEntry& e : cm_.cols[j]) d -= y[e.row] * e.coeff;
+      if (d < best_d) {
+        if (bland) return j;
+        best_d = d;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  // w = B^-1 A_j.
+  std::vector<double> Ftran(int j) const {
+    std::vector<double> w(m_, 0.0);
+    for (const SparseEntry& e : cm_.cols[j]) {
+      const double a = e.coeff;
+      for (int k = 0; k < m_; ++k) {
+        w[k] += a * binv_[static_cast<size_t>(k) * m_ + e.row];
+      }
+    }
+    return w;
+  }
+
+  int RatioTest(const std::vector<double>& w, bool bland) const {
+    int leaving = -1;
+    double best_theta = 0;
+    for (int k = 0; k < m_; ++k) {
+      if (w[k] > price_tol_) {
+        const double theta = xb_[k] / w[k];
+        if (leaving < 0 || theta < best_theta - 1e-12 ||
+            (theta < best_theta + 1e-12 &&
+             (bland ? basis_[k] < basis_[leaving]
+                    // Prefer kicking artificials out of the basis on ties.
+                    : basis_[k] >= n_ && basis_[leaving] < n_))) {
+          leaving = k;
+          best_theta = theta;
+        }
+      }
+    }
+    return leaving;
+  }
+
+  void Pivot(int entering, int leaving, const std::vector<double>& w,
+             double theta) {
+    double* lrow = &binv_[static_cast<size_t>(leaving) * m_];
+    const double pivot = w[leaving];
+    for (int i = 0; i < m_; ++i) lrow[i] /= pivot;
+    for (int k = 0; k < m_; ++k) {
+      if (k == leaving) continue;
+      const double f = w[k];
+      if (f == 0.0) continue;
+      double* krow = &binv_[static_cast<size_t>(k) * m_];
+      for (int i = 0; i < m_; ++i) krow[i] -= f * lrow[i];
+      xb_[k] -= theta * f;
+      if (xb_[k] < 0 && xb_[k] > -tol_) xb_[k] = 0;
+    }
+    xb_[leaving] = theta;
+    if (basis_[leaving] < n_) in_basis_[basis_[leaving]] = false;
+    basis_[leaving] = entering;
+    in_basis_[entering] = true;
+  }
+
+  // Rebuilds B^-1 from scratch by Gauss-Jordan elimination of the current
+  // basis matrix, then recomputes x_B = B^-1 b; bounds numerical drift.
+  void Refactorize() {
+    std::vector<double> bmat(static_cast<size_t>(m_) * m_, 0.0);
+    for (int k = 0; k < m_; ++k) {
+      if (basis_[k] >= n_) {
+        bmat[static_cast<size_t>(basis_[k] - n_) * m_ + k] = 1.0;
+      } else {
+        for (const SparseEntry& e : cm_.cols[basis_[k]]) {
+          bmat[static_cast<size_t>(e.row) * m_ + k] = e.coeff;
+        }
+      }
+    }
+    std::vector<double> inv(static_cast<size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) inv[static_cast<size_t>(i) * m_ + i] = 1.0;
+    for (int col = 0; col < m_; ++col) {
+      int piv = col;
+      for (int r = col + 1; r < m_; ++r) {
+        if (std::fabs(bmat[static_cast<size_t>(r) * m_ + col]) >
+            std::fabs(bmat[static_cast<size_t>(piv) * m_ + col])) {
+          piv = r;
+        }
+      }
+      const double pval = bmat[static_cast<size_t>(piv) * m_ + col];
+      if (std::fabs(pval) < 1e-12) return;  // keep the updated inverse
+      if (piv != col) {
+        for (int i = 0; i < m_; ++i) {
+          std::swap(bmat[static_cast<size_t>(piv) * m_ + i],
+                    bmat[static_cast<size_t>(col) * m_ + i]);
+          std::swap(inv[static_cast<size_t>(piv) * m_ + i],
+                    inv[static_cast<size_t>(col) * m_ + i]);
+        }
+      }
+      for (int i = 0; i < m_; ++i) {
+        bmat[static_cast<size_t>(col) * m_ + i] /= pval;
+        inv[static_cast<size_t>(col) * m_ + i] /= pval;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double f = bmat[static_cast<size_t>(r) * m_ + col];
+        if (f == 0.0) continue;
+        for (int i = 0; i < m_; ++i) {
+          bmat[static_cast<size_t>(r) * m_ + i] -=
+              f * bmat[static_cast<size_t>(col) * m_ + i];
+          inv[static_cast<size_t>(r) * m_ + i] -=
+              f * inv[static_cast<size_t>(col) * m_ + i];
+        }
+      }
+    }
+    // inv now holds rows of B^-1 in "column of basis" order: inv[k][*] is the
+    // row for basis position k because we eliminated B (rows=constraints,
+    // cols=basis positions) to identity.
+    binv_ = std::move(inv);
+    // Recompute x_B = B^-1 b.
+    for (int k = 0; k < m_; ++k) {
+      double v = 0;
+      const double* row = &binv_[static_cast<size_t>(k) * m_];
+      for (int i = 0; i < m_; ++i) v += row[i] * cm_.b[i];
+      xb_[k] = std::max(0.0, v);
+    }
+  }
+
+  ColumnMatrix cm_;
+  SimplexOptions options_;
+  int m_ = 0;
+  int n_ = 0;
+  std::vector<double> binv_;  // row-major m x m: row k = basis position k
+  std::vector<double> xb_;
+  std::vector<int> basis_;  // basis_[k] < n_: structural; else artificial
+  std::vector<bool> in_basis_;
+  double tol_ = 1e-7;
+  double price_tol_ = 1e-7;
+};
+
+}  // namespace
+
+StatusOr<LpSolution> SolveFeasibility(const LpProblem& problem,
+                                      const SimplexOptions& options) {
+  if (static_cast<uint64_t>(problem.num_vars()) > options.max_variables) {
+    return Status::ResourceExhausted(
+        "LP has " + std::to_string(problem.num_vars()) +
+        " variables, exceeding the solver budget of " +
+        std::to_string(options.max_variables));
+  }
+  if (problem.num_constraints() == 0) {
+    LpSolution sol;
+    sol.values.assign(problem.num_vars(), 0.0);
+    return sol;
+  }
+  PhaseOneSimplex solver(BuildColumns(problem), options);
+  return solver.Solve();
+}
+
+}  // namespace hydra

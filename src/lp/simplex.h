@@ -1,0 +1,37 @@
+// Phase-I revised simplex solver for { Ax = b, x >= 0 } feasibility.
+//
+// The paper delegates LP feasibility to the Z3 SMT solver; this repository
+// ships its own solver so the pipeline is self-contained. The implementation
+// is a revised simplex with a dense basis inverse (the LPs have few
+// constraints — tens to a few thousand — while the variable count ranges from
+// a handful for Hydra's region partitioning to millions for DataSynth's grid
+// partitioning, which sparse column pricing handles gracefully).
+
+#ifndef HYDRA_LP_SIMPLEX_H_
+#define HYDRA_LP_SIMPLEX_H_
+
+#include "common/status.h"
+#include "lp/model.h"
+
+namespace hydra {
+
+struct SimplexOptions {
+  // Hard budget on the number of structural variables; mirrors the paper's
+  // observation that the solver "crashes" on DataSynth's billion-variable
+  // formulations. Exceeding it returns RESOURCE_EXHAUSTED.
+  uint64_t max_variables = 50'000'000;
+  // Pivoting iteration budget (0 = automatic: 50*m + 5000).
+  int max_iterations = 0;
+  // Feasibility tolerance.
+  double tolerance = 1e-7;
+};
+
+// Returns a basic feasible solution of { Ax = b, x >= 0 }, or:
+//  * FAILED_PRECONDITION if the system is infeasible,
+//  * RESOURCE_EXHAUSTED if it exceeds the variable or iteration budget.
+StatusOr<LpSolution> SolveFeasibility(const LpProblem& problem,
+                                      const SimplexOptions& options = {});
+
+}  // namespace hydra
+
+#endif  // HYDRA_LP_SIMPLEX_H_

@@ -1,0 +1,81 @@
+#include "partition/grid_partition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+uint64_t GridPartition::NumCellsCapped(uint64_t cap) const {
+  uint64_t cells = 1;
+  for (int d = 0; d < num_dims(); ++d) {
+    const uint64_t k = static_cast<uint64_t>(NumIntervals(d));
+    if (k == 0) return 0;
+    if (cells > cap / k) return cap;
+    cells *= k;
+  }
+  return std::min(cells, cap);
+}
+
+std::vector<int> GridPartition::DecodeCell(uint64_t cell) const {
+  std::vector<int> index(num_dims());
+  for (int d = num_dims() - 1; d >= 0; --d) {
+    const uint64_t k = static_cast<uint64_t>(NumIntervals(d));
+    index[d] = static_cast<int>(cell % k);
+    cell /= k;
+  }
+  return index;
+}
+
+Row GridPartition::CellMinPoint(const std::vector<int>& cell_index) const {
+  Row p(num_dims());
+  for (int d = 0; d < num_dims(); ++d) {
+    p[d] = boundaries[d][cell_index[d]];
+  }
+  return p;
+}
+
+uint64_t GridPartition::CellOf(const Row& point) const {
+  uint64_t cell = 0;
+  for (int d = 0; d < num_dims(); ++d) {
+    const auto& bs = boundaries[d];
+    // Largest i with bs[i] <= point[d]; point must be within the domain.
+    const auto it = std::upper_bound(bs.begin(), bs.end(), point[d]);
+    HYDRA_CHECK(it != bs.begin() && it != bs.end());
+    const int idx = static_cast<int>(it - bs.begin()) - 1;
+    cell = cell * NumIntervals(d) + idx;
+  }
+  return cell;
+}
+
+GridPartition BuildGridPartition(const std::vector<Interval>& domains,
+                                 const std::vector<DnfPredicate>& constraints) {
+  GridPartition grid;
+  grid.domains = domains;
+  grid.boundaries.resize(domains.size());
+  for (size_t d = 0; d < domains.size(); ++d) {
+    std::vector<int64_t>& bs = grid.boundaries[d];
+    bs.push_back(domains[d].lo);
+    bs.push_back(domains[d].hi);
+    for (const DnfPredicate& p : constraints) {
+      for (const Conjunct& c : p.conjuncts()) {
+        for (const Atom& a : c.atoms) {
+          if (a.column != static_cast<int>(d)) continue;
+          for (const Interval& iv : a.values.intervals()) {
+            if (iv.lo > domains[d].lo && iv.lo < domains[d].hi) {
+              bs.push_back(iv.lo);
+            }
+            if (iv.hi > domains[d].lo && iv.hi < domains[d].hi) {
+              bs.push_back(iv.hi);
+            }
+          }
+        }
+      }
+    }
+    std::sort(bs.begin(), bs.end());
+    bs.erase(std::unique(bs.begin(), bs.end()), bs.end());
+  }
+  return grid;
+}
+
+}  // namespace hydra

@@ -1,0 +1,50 @@
+// Grid partitioning — DataSynth's LP formulation strategy (the baseline
+// Hydra is compared against; see Section 3.2 and Figure 3a).
+//
+// Every attribute domain is intervalized at the constants appearing in the
+// CCs, and the sub-view domain is cut into the full cross-product grid of
+// those intervals, one LP variable per cell. The cell count is the product of
+// per-dimension interval counts — exponential in the number of attributes,
+// which is exactly the scalability failure the paper quantifies (Fig. 12/13).
+
+#ifndef HYDRA_PARTITION_GRID_PARTITION_H_
+#define HYDRA_PARTITION_GRID_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "query/predicate.h"
+
+namespace hydra {
+
+struct GridPartition {
+  std::vector<Interval> domains;
+  // Per dimension: sorted cell boundaries b_0 < b_1 < ... < b_k with
+  // b_0 = domain.lo and b_k = domain.hi; cells along the dimension are
+  // [b_i, b_{i+1}).
+  std::vector<std::vector<int64_t>> boundaries;
+
+  int num_dims() const { return static_cast<int>(domains.size()); }
+  // Number of intervals along dimension d.
+  int NumIntervals(int d) const {
+    return static_cast<int>(boundaries[d].size()) - 1;
+  }
+  // Total number of grid cells, saturated at `cap`.
+  uint64_t NumCellsCapped(uint64_t cap) const;
+
+  // Row index decoding: cell id -> per-dimension interval index.
+  std::vector<int> DecodeCell(uint64_t cell) const;
+  // Representative (minimum) point of a cell.
+  Row CellMinPoint(const std::vector<int>& cell_index) const;
+  // The cell containing `point`.
+  uint64_t CellOf(const Row& point) const;
+};
+
+// Builds the grid induced by the constants of `constraints` over `domains`.
+GridPartition BuildGridPartition(const std::vector<Interval>& domains,
+                                 const std::vector<DnfPredicate>& constraints);
+
+}  // namespace hydra
+
+#endif  // HYDRA_PARTITION_GRID_PARTITION_H_

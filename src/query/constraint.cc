@@ -1,0 +1,16 @@
+#include "query/constraint.h"
+
+namespace hydra {
+
+std::string CardinalityConstraint::ToString(const Schema& schema) const {
+  std::string joined;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i > 0) joined += " ⋈ ";
+    joined += schema.relation(relations[i]).name();
+  }
+  std::string pred = predicate.IsTrue() ? "" : predicate.ToString() + " ";
+  return "|σ " + pred + "(" + joined + ")| = " + std::to_string(cardinality) +
+         (label.empty() ? "" : "   [" + label + "]");
+}
+
+}  // namespace hydra

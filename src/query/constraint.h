@@ -1,0 +1,51 @@
+// Cardinality constraints (CCs) — the declarative interchange format between
+// client and vendor (Section 2.2, Figure 1d).
+//
+// A CC states: |σ_pred( R_0 ⋈ R_1 ⋈ ... )| = cardinality, where all joins are
+// PK-FK and the predicate is a DNF filter over non-key attributes of the
+// participating relations. The predicate's column space is `columns`, a list
+// of (relation, attribute) references.
+
+#ifndef HYDRA_QUERY_CONSTRAINT_H_
+#define HYDRA_QUERY_CONSTRAINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/predicate.h"
+
+namespace hydra {
+
+// One PK-FK join edge between schema relations.
+struct CcJoin {
+  int fk_relation = -1;
+  int fk_attr = -1;   // attribute index within fk_relation
+  int pk_relation = -1;
+};
+
+struct CardinalityConstraint {
+  // Distinct schema relations participating, root (FK-source) first.
+  std::vector<int> relations;
+  // PK-FK edges connecting `relations` into a tree.
+  std::vector<CcJoin> joins;
+  // Column space for `predicate`.
+  std::vector<AttrRef> columns;
+  // DNF filter whose atoms index into `columns`.
+  DnfPredicate predicate;
+  // Required output row count.
+  uint64_t cardinality = 0;
+  // Provenance label, e.g. "q17/join2" — used in reports only.
+  std::string label;
+
+  // The relation from which every other participating relation is reachable
+  // via FK edges: relations[0] by construction.
+  int RootRelation() const { return relations.empty() ? -1 : relations[0]; }
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_QUERY_CONSTRAINT_H_

@@ -1,0 +1,180 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+std::string Atom::ToString() const {
+  return "c" + std::to_string(column) + "∈" + values.ToString();
+}
+
+bool Conjunct::Eval(const Row& row) const {
+  for (const Atom& a : atoms) {
+    HYDRA_DCHECK(a.column >= 0 && a.column < static_cast<int>(row.size()));
+    if (!a.Eval(row[a.column])) return false;
+  }
+  return true;
+}
+
+IntervalSet Conjunct::RestrictTo(int column, const Interval& domain) const {
+  IntervalSet result = IntervalSet(domain);
+  for (const Atom& a : atoms) {
+    if (a.column == column) result = result.Intersect(a.values);
+  }
+  return result;
+}
+
+bool Conjunct::Mentions(int column) const {
+  for (const Atom& a : atoms) {
+    if (a.column == column) return true;
+  }
+  return false;
+}
+
+void Conjunct::AddAtom(Atom atom) {
+  for (Atom& a : atoms) {
+    if (a.column == atom.column) {
+      a.values = a.values.Intersect(atom.values);
+      return;
+    }
+  }
+  atoms.push_back(std::move(atom));
+}
+
+std::string Conjunct::ToString() const {
+  if (atoms.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += " ∧ ";
+    out += atoms[i].ToString();
+  }
+  return out;
+}
+
+DnfPredicate DnfPredicate::True() {
+  DnfPredicate p;
+  p.AddConjunct(Conjunct{});
+  return p;
+}
+
+DnfPredicate DnfPredicate::False() { return DnfPredicate(); }
+
+bool DnfPredicate::IsTrue() const {
+  return conjuncts_.size() == 1 && conjuncts_[0].atoms.empty();
+}
+
+bool DnfPredicate::IsFalse() const { return conjuncts_.empty(); }
+
+bool DnfPredicate::Eval(const Row& row) const {
+  for (const Conjunct& c : conjuncts_) {
+    if (c.Eval(row)) return true;
+  }
+  return false;
+}
+
+DnfPredicate DnfPredicate::And(const DnfPredicate& other) const {
+  DnfPredicate out;
+  for (const Conjunct& a : conjuncts_) {
+    for (const Conjunct& b : other.conjuncts_) {
+      Conjunct merged = a;
+      for (const Atom& atom : b.atoms) merged.AddAtom(atom);
+      out.AddConjunct(std::move(merged));
+    }
+  }
+  return out;
+}
+
+DnfPredicate DnfPredicate::Or(const DnfPredicate& other) const {
+  DnfPredicate out = *this;
+  for (const Conjunct& c : other.conjuncts_) out.AddConjunct(c);
+  return out;
+}
+
+DnfPredicate DnfPredicate::RemapColumns(
+    const std::vector<int>& mapping) const {
+  DnfPredicate out;
+  for (const Conjunct& c : conjuncts_) {
+    Conjunct mapped;
+    for (const Atom& a : c.atoms) {
+      HYDRA_CHECK_MSG(a.column >= 0 &&
+                          a.column < static_cast<int>(mapping.size()) &&
+                          mapping[a.column] >= 0,
+                      "unmapped predicate column " << a.column);
+      Atom na = a;
+      na.column = mapping[a.column];
+      mapped.AddAtom(std::move(na));
+    }
+    out.AddConjunct(std::move(mapped));
+  }
+  return out;
+}
+
+std::vector<int> DnfPredicate::Columns() const {
+  std::vector<int> cols;
+  for (const Conjunct& c : conjuncts_) {
+    for (const Atom& a : c.atoms) cols.push_back(a.column);
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+std::string DnfPredicate::ToString() const {
+  if (IsFalse()) return "FALSE";
+  if (IsTrue()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (i > 0) out += " ∨ ";
+    out += "(" + conjuncts_[i].ToString() + ")";
+  }
+  return out;
+}
+
+Atom AtomLess(int column, Value v) {
+  return Atom{column, IntervalSet(Interval(kValueMin, v))};
+}
+Atom AtomLessEqual(int column, Value v) {
+  return Atom{column, IntervalSet(Interval(kValueMin, v + 1))};
+}
+Atom AtomGreater(int column, Value v) {
+  return Atom{column, IntervalSet(Interval(v + 1, kValueMax))};
+}
+Atom AtomGreaterEqual(int column, Value v) {
+  return Atom{column, IntervalSet(Interval(v, kValueMax))};
+}
+Atom AtomEqual(int column, Value v) {
+  return Atom{column, IntervalSet(Interval(v, v + 1))};
+}
+Atom AtomNotEqual(int column, Value v) {
+  return Atom{column, IntervalSet(std::vector<Interval>{
+                          Interval(kValueMin, v), Interval(v + 1, kValueMax)})};
+}
+Atom AtomRange(int column, Value lo, Value hi) {
+  return Atom{column, IntervalSet(Interval(lo, hi))};
+}
+Atom AtomIn(int column, const std::vector<Value>& values) {
+  std::vector<Interval> ivs;
+  ivs.reserve(values.size());
+  for (Value v : values) ivs.push_back(Interval(v, v + 1));
+  return Atom{column, IntervalSet(std::move(ivs))};
+}
+
+DnfPredicate PredicateOf(Atom atom) {
+  Conjunct c;
+  c.AddAtom(std::move(atom));
+  DnfPredicate p;
+  p.AddConjunct(std::move(c));
+  return p;
+}
+
+DnfPredicate PredicateAllOf(std::vector<Atom> atoms) {
+  Conjunct c;
+  for (Atom& a : atoms) c.AddAtom(std::move(a));
+  DnfPredicate p;
+  p.AddConjunct(std::move(c));
+  return p;
+}
+
+}  // namespace hydra

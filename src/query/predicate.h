@@ -1,0 +1,115 @@
+// Filter predicates in disjunctive normal form (DNF).
+//
+// A predicate is a disjunction of conjuncts; a conjunct is a conjunction of
+// atoms; an atom constrains a single column to an IntervalSet of values.
+// Every comparison (<, <=, >, >=, =, !=, BETWEEN, IN) over the anonymized
+// numeric domain reduces to interval-set membership, so this representation
+// is closed under the paper's query scope (DNF filters on non-key columns).
+//
+// Column indices are abstract: in a relation-level filter they index the
+// relation's attributes; in a view-level constraint they index the view's
+// columns. The owner of the predicate defines the column space.
+
+#ifndef HYDRA_QUERY_PREDICATE_H_
+#define HYDRA_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+
+#include "catalog/schema.h"
+
+namespace hydra {
+
+// Sentinels used to express one-sided comparisons without knowing the domain;
+// partitioning intersects atoms with the actual domain.
+inline constexpr int64_t kValueMin = INT64_MIN / 4;
+inline constexpr int64_t kValueMax = INT64_MAX / 4;
+
+// column ∈ values.
+struct Atom {
+  int column = -1;
+  IntervalSet values;
+
+  bool Eval(Value v) const { return values.Contains(v); }
+  std::string ToString() const;
+};
+
+// Conjunction of atoms. An empty conjunct is TRUE. This is the paper's
+// "sub-constraint" (Section 4.2).
+struct Conjunct {
+  std::vector<Atom> atoms;
+
+  bool Eval(const Row& row) const;
+
+  // The restriction of this conjunct to `column` (Definition 4.5): the set of
+  // values the conjunct permits on that column, intersected with `domain`.
+  // Returns the full domain when the conjunct does not mention the column.
+  IntervalSet RestrictTo(int column, const Interval& domain) const;
+
+  // Whether the conjunct mentions `column`.
+  bool Mentions(int column) const;
+
+  // ANDs another atom in, intersecting with an existing atom on the same
+  // column if present.
+  void AddAtom(Atom atom);
+
+  std::string ToString() const;
+};
+
+// Disjunction of conjuncts. An empty disjunction is FALSE; use True() for the
+// trivially-true predicate (one empty conjunct).
+class DnfPredicate {
+ public:
+  DnfPredicate() = default;
+
+  static DnfPredicate True();
+  static DnfPredicate False();
+
+  bool IsTrue() const;   // exactly one empty conjunct
+  bool IsFalse() const;  // no conjuncts
+
+  bool Eval(const Row& row) const;
+
+  void AddConjunct(Conjunct c) { conjuncts_.push_back(std::move(c)); }
+  const std::vector<Conjunct>& conjuncts() const { return conjuncts_; }
+
+  // Conjunction of two DNF predicates (distributes into DNF: cross product of
+  // conjunct lists).
+  DnfPredicate And(const DnfPredicate& other) const;
+  // Disjunction (concatenation of conjunct lists).
+  DnfPredicate Or(const DnfPredicate& other) const;
+
+  // Rewrites every atom's column index through `mapping` (old -> new).
+  DnfPredicate RemapColumns(const std::vector<int>& mapping) const;
+
+  // All distinct columns mentioned by any atom, sorted.
+  std::vector<int> Columns() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Conjunct> conjuncts_;
+};
+
+// --- Atom builders -----------------------------------------------------
+
+Atom AtomLess(int column, Value v);          // col <  v
+Atom AtomLessEqual(int column, Value v);     // col <= v
+Atom AtomGreater(int column, Value v);       // col >  v
+Atom AtomGreaterEqual(int column, Value v);  // col >= v
+Atom AtomEqual(int column, Value v);         // col == v
+Atom AtomNotEqual(int column, Value v);      // col != v
+Atom AtomRange(int column, Value lo, Value hi);  // lo <= col < hi
+Atom AtomIn(int column, const std::vector<Value>& values);
+
+// Single-conjunct, single-atom predicate.
+DnfPredicate PredicateOf(Atom atom);
+// Single conjunct of the given atoms.
+DnfPredicate PredicateAllOf(std::vector<Atom> atoms);
+
+}  // namespace hydra
+
+#endif  // HYDRA_QUERY_PREDICATE_H_

@@ -1,0 +1,60 @@
+#include "query/query.h"
+
+namespace hydra {
+
+Status Query::Validate(const Schema& schema) const {
+  if (tables.empty()) {
+    return Status::InvalidArgument("query " + name + " has no tables");
+  }
+  if (joins.size() + 1 != tables.size()) {
+    return Status::InvalidArgument("query " + name +
+                                   ": joins must connect all tables");
+  }
+  for (const QueryTable& qt : tables) {
+    if (qt.relation < 0 || qt.relation >= schema.num_relations()) {
+      return Status::InvalidArgument("query " + name + ": bad relation index");
+    }
+    const Relation& rel = schema.relation(qt.relation);
+    for (const Conjunct& c : qt.filter.conjuncts()) {
+      for (const Atom& a : c.atoms) {
+        if (a.column < 0 || a.column >= rel.num_attributes()) {
+          return Status::InvalidArgument("query " + name +
+                                         ": filter column out of range");
+        }
+        if (rel.attribute(a.column).kind != AttributeKind::kData) {
+          return Status::InvalidArgument(
+              "query " + name + ": filter on key attribute " + rel.name() +
+              "." + rel.attribute(a.column).name);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < joins.size(); ++i) {
+    const JoinEdge& j = joins[i];
+    const int joined_so_far = static_cast<int>(i) + 1;
+    if (j.pk_table != joined_so_far && j.fk_table != joined_so_far) {
+      return Status::InvalidArgument(
+          "query " + name + ": join " + std::to_string(i) +
+          " must include table " + std::to_string(joined_so_far));
+    }
+    if (j.fk_table < 0 || j.fk_table > joined_so_far || j.pk_table < 0 ||
+        j.pk_table > joined_so_far) {
+      return Status::InvalidArgument("query " + name +
+                                     ": join table index out of range");
+    }
+    const Relation& fk_rel = schema.relation(tables[j.fk_table].relation);
+    if (j.fk_attr < 0 || j.fk_attr >= fk_rel.num_attributes() ||
+        fk_rel.attribute(j.fk_attr).kind != AttributeKind::kForeignKey) {
+      return Status::InvalidArgument("query " + name +
+                                     ": join attr is not a foreign key");
+    }
+    if (fk_rel.attribute(j.fk_attr).fk_target !=
+        tables[j.pk_table].relation) {
+      return Status::InvalidArgument(
+          "query " + name + ": FK does not reference the joined relation");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hydra

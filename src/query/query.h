@@ -1,0 +1,50 @@
+// Query specification: filters on base relations plus PK-FK equi-joins.
+//
+// This matches the paper's workload scope (Section 2.2): every CC-bearing
+// query consists of per-relation DNF filters on non-key attributes and
+// PK-FK joins. A query is a join tree rooted at the relation all others are
+// reachable from via foreign keys (star/snowflake shape).
+
+#ifndef HYDRA_QUERY_QUERY_H_
+#define HYDRA_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "query/predicate.h"
+
+namespace hydra {
+
+// One participating base relation with its pushed-down filter. The filter's
+// column space is the relation's attribute indices.
+struct QueryTable {
+  int relation = -1;
+  DnfPredicate filter = DnfPredicate::True();
+};
+
+// A PK-FK join: tables[fk_table].relation's attribute fk_attr references the
+// primary key of tables[pk_table].relation.
+struct JoinEdge {
+  int fk_table = -1;
+  int fk_attr = -1;
+  int pk_table = -1;
+};
+
+struct Query {
+  std::string name;
+  // tables[0] is the join root (the relation on the FK side of every path).
+  std::vector<QueryTable> tables;
+  // joins[i] connects tables[i+1] into the accumulated join of
+  // tables[0..i]; executed left-deep in this order.
+  std::vector<JoinEdge> joins;
+
+  // Structural validation against a schema: join arity, FK targets, filter
+  // columns are non-key attributes.
+  Status Validate(const Schema& schema) const;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_QUERY_QUERY_H_

@@ -1,0 +1,165 @@
+#include "storage/disk_table.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x48594452'54424C31ULL;  // "HYDRTBL1"
+constexpr size_t kBufferRows = 1 << 16;
+
+struct Header {
+  uint64_t magic;
+  uint64_t num_columns;
+  uint64_t num_rows;
+};
+
+}  // namespace
+
+DiskTableWriter::DiskTableWriter(std::string path, int num_columns)
+    : path_(std::move(path)), num_columns_(num_columns) {
+  buffer_.reserve(kBufferRows * num_columns_);
+}
+
+DiskTableWriter::~DiskTableWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status DiskTableWriter::Open() {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open " + path_ + " for writing");
+  }
+  Header h{kMagic, static_cast<uint64_t>(num_columns_), 0};
+  if (std::fwrite(&h, sizeof(h), 1, file_) != 1) {
+    return Status::IoError("cannot write header to " + path_);
+  }
+  return Status::OK();
+}
+
+Status DiskTableWriter::Append(const Row& row) {
+  HYDRA_DCHECK(static_cast<int>(row.size()) == num_columns_);
+  return AppendRaw(row.data());
+}
+
+Status DiskTableWriter::AppendRaw(const Value* row) {
+  buffer_.insert(buffer_.end(), row, row + num_columns_);
+  ++rows_written_;
+  if (buffer_.size() >= kBufferRows * static_cast<size_t>(num_columns_)) {
+    return FlushBuffer();
+  }
+  return Status::OK();
+}
+
+Status DiskTableWriter::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  if (std::fwrite(buffer_.data(), sizeof(Value), buffer_.size(), file_) !=
+      buffer_.size()) {
+    return Status::IoError("short write to " + path_);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status DiskTableWriter::Close() {
+  HYDRA_RETURN_IF_ERROR(FlushBuffer());
+  // Patch the row count into the header.
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IoError("seek failed on " + path_);
+  }
+  Header h{kMagic, static_cast<uint64_t>(num_columns_), rows_written_};
+  if (std::fwrite(&h, sizeof(h), 1, file_) != 1) {
+    return Status::IoError("cannot rewrite header of " + path_);
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IoError("close failed on " + path_);
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> ScanDiskTable(const std::string& path,
+                                 const std::function<void(const Row&)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  Header h;
+  if (std::fread(&h, sizeof(h), 1, f) != 1 || h.magic != kMagic) {
+    std::fclose(f);
+    return Status::IoError("bad header in " + path);
+  }
+  const int cols = static_cast<int>(h.num_columns);
+  std::vector<Value> buffer(kBufferRows * cols);
+  Row row(cols);
+  uint64_t remaining = h.num_rows;
+  while (remaining > 0) {
+    const uint64_t batch = std::min<uint64_t>(remaining, kBufferRows);
+    if (std::fread(buffer.data(), sizeof(Value), batch * cols, f) !=
+        batch * cols) {
+      std::fclose(f);
+      return Status::IoError("short read from " + path);
+    }
+    for (uint64_t r = 0; r < batch; ++r) {
+      row.assign(buffer.begin() + r * cols, buffer.begin() + (r + 1) * cols);
+      fn(row);
+    }
+    remaining -= batch;
+  }
+  std::fclose(f);
+  return h.num_rows;
+}
+
+StatusOr<Table> ReadDiskTable(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  Header h;
+  if (std::fread(&h, sizeof(h), 1, f) != 1 || h.magic != kMagic) {
+    std::fclose(f);
+    return Status::IoError("bad header in " + path);
+  }
+  Table table(static_cast<int>(h.num_columns));
+  table.Reserve(h.num_rows);
+  std::vector<Value> buffer(kBufferRows * h.num_columns);
+  uint64_t remaining = h.num_rows;
+  while (remaining > 0) {
+    const uint64_t batch = std::min<uint64_t>(remaining, kBufferRows);
+    if (std::fread(buffer.data(), sizeof(Value), batch * h.num_columns, f) !=
+        batch * h.num_columns) {
+      std::fclose(f);
+      return Status::IoError("short read from " + path);
+    }
+    for (uint64_t r = 0; r < batch; ++r) {
+      table.AppendRaw(buffer.data() + r * h.num_columns);
+    }
+    remaining -= batch;
+  }
+  std::fclose(f);
+  return table;
+}
+
+Status WriteDiskTable(const Table& table, const std::string& path) {
+  DiskTableWriter writer(path, table.num_columns());
+  HYDRA_RETURN_IF_ERROR(writer.Open());
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    HYDRA_RETURN_IF_ERROR(writer.AppendRaw(table.RowPtr(r)));
+  }
+  return writer.Close();
+}
+
+StatusOr<uint64_t> DiskTableBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  if (size < 0) return Status::IoError("ftell failed on " + path);
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace hydra

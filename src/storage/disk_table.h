@@ -1,0 +1,63 @@
+// Disk-backed table storage: a flat binary row-major format with a small
+// header, plus buffered writer/reader.
+//
+// Used by the materialization experiments (Figure 14: time to produce a fully
+// materialized database) and the supply-time experiment (Figure 15: classic
+// disk scan vs Hydra's dynamic generation).
+
+#ifndef HYDRA_STORAGE_DISK_TABLE_H_
+#define HYDRA_STORAGE_DISK_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace hydra {
+
+// Streaming writer. Rows are buffered and flushed in large chunks.
+class DiskTableWriter {
+ public:
+  DiskTableWriter(std::string path, int num_columns);
+  ~DiskTableWriter();
+
+  DiskTableWriter(const DiskTableWriter&) = delete;
+  DiskTableWriter& operator=(const DiskTableWriter&) = delete;
+
+  Status Open();
+  Status Append(const Row& row);
+  Status AppendRaw(const Value* row);
+  // Finalizes the header and closes the file.
+  Status Close();
+
+  uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  Status FlushBuffer();
+
+  std::string path_;
+  int num_columns_;
+  std::FILE* file_ = nullptr;
+  std::vector<Value> buffer_;
+  uint64_t rows_written_ = 0;
+};
+
+// Scans a disk table, invoking `fn` for each row. Returns the row count.
+StatusOr<uint64_t> ScanDiskTable(const std::string& path,
+                                 const std::function<void(const Row&)>& fn);
+
+// Reads a whole disk table into memory.
+StatusOr<Table> ReadDiskTable(const std::string& path);
+
+// Writes an in-memory table to `path`.
+Status WriteDiskTable(const Table& table, const std::string& path);
+
+// Size of the file in bytes, or an error.
+StatusOr<uint64_t> DiskTableBytes(const std::string& path);
+
+}  // namespace hydra
+
+#endif  // HYDRA_STORAGE_DISK_TABLE_H_

@@ -1,0 +1,115 @@
+#include "workload/datagen.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace hydra {
+
+StatusOr<Database> GenerateClientDatabase(const Schema& schema,
+                                          const DataGenOptions& options) {
+  HYDRA_RETURN_IF_ERROR(schema.Validate());
+  Database db(schema);
+  Rng rng(options.seed);
+
+  for (int r = 0; r < schema.num_relations(); ++r) {
+    const Relation& rel = schema.relation(r);
+    Table& table = db.table(r);
+    const int64_t rows = static_cast<int64_t>(rel.row_count());
+    table.Reserve(rows);
+    Rng rel_rng = rng.Fork();
+
+    // Per-attribute samplers.
+    struct AttrSampler {
+      enum Kind { kPk, kFkZipf, kUniform, kZipf, kClustered } kind = kUniform;
+      Interval domain;
+      std::unique_ptr<ZipfDistribution> zipf;
+      int64_t cluster_step = 1;
+      int64_t cluster_count = 1;
+    };
+    std::vector<AttrSampler> samplers(rel.num_attributes());
+    int data_seq = 0;
+    for (int a = 0; a < rel.num_attributes(); ++a) {
+      const Attribute& attr = rel.attribute(a);
+      AttrSampler& s = samplers[a];
+      switch (attr.kind) {
+        case AttributeKind::kPrimaryKey:
+          s.kind = AttrSampler::kPk;
+          break;
+        case AttributeKind::kForeignKey: {
+          s.kind = AttrSampler::kFkZipf;
+          const uint64_t target_rows =
+              schema.relation(attr.fk_target).row_count();
+          HYDRA_CHECK_MSG(target_rows > 0, "FK target " +
+                                               schema.relation(attr.fk_target)
+                                                   .name() +
+                                               " has no rows");
+          s.zipf = std::make_unique<ZipfDistribution>(
+              target_rows, options.fk_zipf_theta);
+          break;
+        }
+        case AttributeKind::kData: {
+          s.domain = attr.domain;
+          const int64_t width = s.domain.Count();
+          // Rotate distribution families across data attributes so every
+          // relation mixes uniform, skewed and clustered columns.
+          switch (data_seq % 3) {
+            case 0:
+              s.kind = AttrSampler::kUniform;
+              break;
+            case 1:
+              s.kind = AttrSampler::kZipf;
+              s.zipf = std::make_unique<ZipfDistribution>(
+                  static_cast<uint64_t>(width), options.attr_zipf_theta);
+              break;
+            default:
+              s.kind = AttrSampler::kClustered;
+              s.cluster_count = std::max<int64_t>(1, std::min<int64_t>(
+                                                         width, 16));
+              s.cluster_step = std::max<int64_t>(1, width / s.cluster_count);
+              s.zipf = std::make_unique<ZipfDistribution>(
+                  static_cast<uint64_t>(s.cluster_count),
+                  options.attr_zipf_theta);
+              break;
+          }
+          ++data_seq;
+          break;
+        }
+      }
+    }
+
+    Row row(rel.num_attributes());
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int a = 0; a < rel.num_attributes(); ++a) {
+        AttrSampler& s = samplers[a];
+        switch (s.kind) {
+          case AttrSampler::kPk:
+            row[a] = i;
+            break;
+          case AttrSampler::kFkZipf:
+            row[a] = static_cast<int64_t>(s.zipf->Sample(rel_rng));
+            break;
+          case AttrSampler::kUniform:
+            row[a] = rel_rng.NextInt(s.domain.lo, s.domain.hi);
+            break;
+          case AttrSampler::kZipf:
+            row[a] = s.domain.lo +
+                     static_cast<int64_t>(s.zipf->Sample(rel_rng));
+            break;
+          case AttrSampler::kClustered:
+            row[a] = std::min<int64_t>(
+                s.domain.hi - 1,
+                s.domain.lo +
+                    static_cast<int64_t>(s.zipf->Sample(rel_rng)) *
+                        s.cluster_step);
+            break;
+        }
+      }
+      table.AppendRow(row);
+    }
+  }
+  return db;
+}
+
+}  // namespace hydra

@@ -1,0 +1,180 @@
+#include "workload/job.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "workload/querygen.h"
+
+namespace hydra {
+
+namespace {
+
+uint64_t Scaled(double base, double sf) {
+  return static_cast<uint64_t>(std::llround(base * sf));
+}
+
+}  // namespace
+
+Schema JobSchema(double scale_factor) {
+  HYDRA_CHECK(scale_factor > 0);
+  const double sf = scale_factor;
+  Schema s;
+
+  Relation kind_type("kind_type", 10);
+  kind_type.AddPrimaryKey("kt_id");
+  kind_type.AddDataAttribute("kt_kind", Interval(0, 10));
+  const int rkt = s.AddRelation(std::move(kind_type));
+
+  Relation info_type("info_type", 113);
+  info_type.AddPrimaryKey("it_id");
+  info_type.AddDataAttribute("it_code", Interval(0, 113));
+  const int rit = s.AddRelation(std::move(info_type));
+
+  Relation company_type("company_type", 4);
+  company_type.AddPrimaryKey("ct_id");
+  company_type.AddDataAttribute("ct_kind", Interval(0, 4));
+  const int rct = s.AddRelation(std::move(company_type));
+
+  Relation role_type("role_type", 12);
+  role_type.AddPrimaryKey("rt_id");
+  role_type.AddDataAttribute("rt_role", Interval(0, 12));
+  const int rrt = s.AddRelation(std::move(role_type));
+
+  Relation company_name("company_name", Scaled(5000, sf));
+  company_name.AddPrimaryKey("cn_id");
+  company_name.AddDataAttribute("cn_country_code", Interval(0, 120));
+  const int rcn = s.AddRelation(std::move(company_name));
+
+  Relation keyword("keyword", Scaled(8000, sf));
+  keyword.AddPrimaryKey("k_id");
+  keyword.AddDataAttribute("k_group", Interval(0, 2000));
+  const int rk = s.AddRelation(std::move(keyword));
+
+  Relation name("name", Scaled(20000, sf));
+  name.AddPrimaryKey("n_id");
+  name.AddDataAttribute("n_gender", Interval(0, 3));
+  name.AddDataAttribute("n_birth_decade", Interval(185, 202));
+  const int rn = s.AddRelation(std::move(name));
+
+  Relation title("title", Scaled(25000, sf));
+  title.AddPrimaryKey("t_id");
+  title.AddForeignKey("t_kind_id", rkt);
+  title.AddDataAttribute("t_production_year", Interval(1880, 2020));
+  title.AddDataAttribute("t_season_nr", Interval(0, 50));
+  const int rtitle = s.AddRelation(std::move(title));
+
+  Relation movie_info("movie_info", Scaled(50000, sf));
+  movie_info.AddPrimaryKey("mi_id");
+  movie_info.AddForeignKey("mi_movie_id", rtitle);
+  movie_info.AddForeignKey("mi_info_type_id", rit);
+  movie_info.AddDataAttribute("mi_info_bucket", Interval(0, 1000));
+  s.AddRelation(std::move(movie_info));
+
+  Relation cast_info("cast_info", Scaled(60000, sf));
+  cast_info.AddPrimaryKey("ci_id");
+  cast_info.AddForeignKey("ci_movie_id", rtitle);
+  cast_info.AddForeignKey("ci_person_id", rn);
+  cast_info.AddForeignKey("ci_role_id", rrt);
+  cast_info.AddDataAttribute("ci_nr_order", Interval(0, 100));
+  s.AddRelation(std::move(cast_info));
+
+  Relation movie_companies("movie_companies", Scaled(20000, sf));
+  movie_companies.AddPrimaryKey("mc_id");
+  movie_companies.AddForeignKey("mc_movie_id", rtitle);
+  movie_companies.AddForeignKey("mc_company_id", rcn);
+  movie_companies.AddForeignKey("mc_company_type_id", rct);
+  movie_companies.AddDataAttribute("mc_note_bucket", Interval(0, 100));
+  s.AddRelation(std::move(movie_companies));
+
+  Relation movie_keyword("movie_keyword", Scaled(40000, sf));
+  movie_keyword.AddPrimaryKey("mk_id");
+  movie_keyword.AddForeignKey("mk_movie_id", rtitle);
+  movie_keyword.AddForeignKey("mk_keyword_id", rk);
+  s.AddRelation(std::move(movie_keyword));
+
+  Relation person_info("person_info", Scaled(30000, sf));
+  person_info.AddPrimaryKey("pi_id");
+  person_info.AddForeignKey("pi_person_id", rn);
+  person_info.AddForeignKey("pi_info_type_id", rit);
+  person_info.AddDataAttribute("pi_info_bucket", Interval(0, 500));
+  s.AddRelation(std::move(person_info));
+
+  HYDRA_CHECK_OK(s.Validate());
+  return s;
+}
+
+std::vector<Query> JobWorkload(const Schema& schema, int num_queries,
+                               uint64_t seed) {
+  Rng rng(seed ^ 0x10B);
+  FilterGenOptions filter_options;
+  filter_options.quantize_positions = 0;
+  filter_options.dnf_probability = 0.15;
+  filter_options.in_probability = 0.3;
+  // JOB predicates are narrow: type-code equalities, IN-lists and tight
+  // production-year ranges. Wide overlapping ranges would be unfaithful and
+  // quadratically inflate the constraint-signature space.
+  filter_options.narrow = true;
+
+  const std::vector<std::string> roots = {
+      "cast_info", "movie_info",  "movie_companies",
+      "movie_keyword", "person_info", "title"};
+
+  std::vector<Query> queries;
+  queries.reserve(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    Query query;
+    query.name = "job_q" + std::to_string(q);
+    const int root =
+        schema.RelationIndex(roots[rng.NextBounded(roots.size())]);
+    HYDRA_CHECK(root >= 0);
+    query.tables.push_back(QueryTable{root, DnfPredicate::True()});
+
+    const Relation& root_rel = schema.relation(root);
+    std::vector<int> fks = root_rel.ForeignKeyIndices();
+    for (size_t i = fks.size(); i > 1; --i) {
+      std::swap(fks[i - 1], fks[rng.NextBounded(i)]);
+    }
+    const int max_joins = static_cast<int>(rng.NextInt(1, 3));
+    std::vector<int> joined_tables = {0};
+    int joins_done = 0;
+    for (int fk : fks) {
+      if (joins_done >= max_joins) break;
+      const int target = root_rel.attribute(fk).fk_target;
+      const int t = JoinPkSide(&query, 0, fk, target);
+      joined_tables.push_back(t);
+      ++joins_done;
+      // title → kind_type snowflake.
+      if (rng.NextBool(0.35)) {
+        const Relation& dim = schema.relation(target);
+        const std::vector<int> dim_fks = dim.ForeignKeyIndices();
+        if (!dim_fks.empty() && joins_done < max_joins) {
+          const int dfk = dim_fks[rng.NextBounded(dim_fks.size())];
+          joined_tables.push_back(
+              JoinPkSide(&query, t, dfk, dim.attribute(dfk).fk_target));
+          ++joins_done;
+        }
+      }
+    }
+
+    int filter_budget = static_cast<int>(rng.NextInt(1, 3));
+    int attempts = 0;
+    while (filter_budget > 0 && attempts < 24) {
+      ++attempts;
+      const int t = static_cast<int>(
+          joined_tables[rng.NextBounded(joined_tables.size())]);
+      const Relation& rel = schema.relation(query.tables[t].relation);
+      const std::vector<int> data_attrs = rel.DataAttrIndices();
+      if (data_attrs.empty()) continue;
+      AddFilter(&query.tables[t],
+                RandomFilter(rel, data_attrs[rng.NextBounded(
+                                      data_attrs.size())],
+                             rng, filter_options));
+      --filter_budget;
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace hydra

@@ -1,0 +1,29 @@
+// JOB-shaped benchmark environment (Section 7.6): an IMDB-like schema that is
+// structurally very different from TPC-DS — several medium-size "satellite"
+// fact relations (cast_info, movie_info, movie_companies, movie_keyword,
+// person_info) all referencing a central title/name pair, with small
+// type-code dimensions. The workload generator produces PK-FK join queries
+// rooted at a single FK-source relation, matching the paper's restriction of
+// JOB queries to non-key filters and PK-FK joins.
+
+#ifndef HYDRA_WORKLOAD_JOB_H_
+#define HYDRA_WORKLOAD_JOB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/query.h"
+
+namespace hydra {
+
+// Builds the JOB-like schema; `scale_factor` multiplies row counts.
+Schema JobSchema(double scale_factor = 1.0);
+
+// Generates `num_queries` queries (the paper used 260, yielding 523 CCs).
+std::vector<Query> JobWorkload(const Schema& schema, int num_queries,
+                               uint64_t seed);
+
+}  // namespace hydra
+
+#endif  // HYDRA_WORKLOAD_JOB_H_

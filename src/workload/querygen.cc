@@ -1,0 +1,91 @@
+#include "workload/querygen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+namespace {
+
+// A random sub-range of `domain` covering ~5-60% of it (or ~2-12% when
+// `narrow`), optionally with endpoints quantized to a coarse lattice.
+Interval RandomRange(const Interval& domain, Rng& rng, int quantize,
+                     bool narrow) {
+  const int64_t width = domain.Count();
+  int64_t lo, hi;
+  if (quantize > 1 && width >= quantize) {
+    const int64_t step = width / quantize;
+    if (narrow) {
+      const int64_t a = rng.NextInt(0, quantize);
+      lo = domain.lo + a * step;
+      hi = std::min(domain.hi, lo + step * rng.NextInt(1, 3));
+    } else {
+      const int64_t a = rng.NextInt(0, quantize);
+      const int64_t b = rng.NextInt(0, quantize) + 1;
+      lo = domain.lo + std::min(a, b - 1) * step;
+      hi = domain.lo + std::max(a + 1, b) * step;
+      hi = std::min(hi, domain.hi);
+    }
+  } else {
+    const int64_t max_span =
+        narrow ? std::max<int64_t>(1, width / 10)
+               : std::max<int64_t>(1, width * 11 / 20);
+    const int64_t span = std::max<int64_t>(
+        1, width / (narrow ? 50 : 20) + rng.NextInt(0, max_span));
+    lo = rng.NextInt(domain.lo, std::max(domain.lo + 1, domain.hi - span));
+    hi = std::min(domain.hi, lo + span);
+  }
+  if (hi <= lo) hi = lo + 1;
+  return Interval(lo, hi);
+}
+
+}  // namespace
+
+DnfPredicate RandomFilter(const Relation& rel, int attr, Rng& rng,
+                          const FilterGenOptions& options) {
+  const Interval domain = rel.attribute(attr).domain;
+  HYDRA_CHECK(rel.attribute(attr).kind == AttributeKind::kData);
+
+  auto random_atom = [&]() -> Atom {
+    if (rng.NextBool(options.in_probability) && domain.Count() >= 8) {
+      const int k = static_cast<int>(rng.NextInt(2, 5));
+      std::vector<Value> values;
+      for (int i = 0; i < k; ++i) {
+        values.push_back(rng.NextInt(domain.lo, domain.hi));
+      }
+      return AtomIn(attr, values);
+    }
+    const Interval range =
+        RandomRange(domain, rng, options.quantize_positions, options.narrow);
+    return AtomRange(attr, range.lo, range.hi);
+  };
+
+  if (rng.NextBool(options.dnf_probability)) {
+    // (atom ∧ atom) ∨ atom — a genuine multi-conjunct DNF filter.
+    Conjunct c1;
+    c1.AddAtom(random_atom());
+    c1.AddAtom(random_atom());
+    Conjunct c2;
+    c2.AddAtom(random_atom());
+    DnfPredicate p;
+    p.AddConjunct(std::move(c1));
+    p.AddConjunct(std::move(c2));
+    return p;
+  }
+  return PredicateOf(random_atom());
+}
+
+void AddFilter(QueryTable* table, const DnfPredicate& extra) {
+  table->filter =
+      table->filter.IsTrue() ? extra : table->filter.And(extra);
+}
+
+int JoinPkSide(Query* query, int fk_table, int fk_attr, int relation) {
+  const int new_index = static_cast<int>(query->tables.size());
+  query->tables.push_back(QueryTable{relation, DnfPredicate::True()});
+  query->joins.push_back(JoinEdge{fk_table, fk_attr, new_index});
+  return new_index;
+}
+
+}  // namespace hydra

@@ -1,0 +1,48 @@
+// Shared random query-construction helpers for the synthetic TPC-DS-like and
+// JOB-like workload generators.
+
+#ifndef HYDRA_WORKLOAD_QUERYGEN_H_
+#define HYDRA_WORKLOAD_QUERYGEN_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "query/predicate.h"
+#include "query/query.h"
+
+namespace hydra {
+
+struct FilterGenOptions {
+  // Quantize range endpoints to this many positions across the domain
+  // (0 = arbitrary constants). Small values keep DataSynth's grid small —
+  // used by the "simple" workload WLs.
+  int quantize_positions = 0;
+  // Probability that a filter is a 2-conjunct DNF rather than a single range.
+  double dnf_probability = 0.0;
+  // Probability of an IN-list atom instead of a range.
+  double in_probability = 0.2;
+  // Narrow predicates (~2-12% of the domain instead of ~5-60%), like the
+  // point/tight-range constants of real TPC-DS filters. Narrow ranges barely
+  // overlap, so region partitioning splits additively; their boundaries
+  // still accumulate multiplicatively in the cross-product grid.
+  bool narrow = false;
+};
+
+// A random filter predicate on one data attribute of `rel` (given by
+// attribute index `attr`), selective roughly between 5% and 60% of the
+// domain.
+DnfPredicate RandomFilter(const Relation& rel, int attr, Rng& rng,
+                          const FilterGenOptions& options);
+
+// ANDs `extra` into the filter of `table`.
+void AddFilter(QueryTable* table, const DnfPredicate& extra);
+
+// Appends a PK-side join of `relation` to `query` (the new table joins via
+// foreign key `fk_attr` of the existing table `fk_table`). Returns the new
+// table's index within the query.
+int JoinPkSide(Query* query, int fk_table, int fk_attr, int relation);
+
+}  // namespace hydra
+
+#endif  // HYDRA_WORKLOAD_QUERYGEN_H_

@@ -1,0 +1,90 @@
+#include "workload/toy.h"
+
+#include "engine/executor.h"
+
+namespace hydra {
+
+ToyEnvironment MakeToyEnvironment() {
+  ToyEnvironment env;
+
+  Relation s("S", 700);
+  s.AddPrimaryKey("S_pk");
+  const int s_a = s.AddDataAttribute("A", Interval(0, 100));
+  s.AddDataAttribute("B", Interval(0, 50));
+  const int s_rel = env.schema.AddRelation(std::move(s));
+
+  Relation t("T", 1500);
+  t.AddPrimaryKey("T_pk");
+  const int t_c = t.AddDataAttribute("C", Interval(0, 10));
+  const int t_rel = env.schema.AddRelation(std::move(t));
+
+  Relation r("R", 80000);
+  r.AddPrimaryKey("R_pk");
+  const int r_sfk = r.AddForeignKey("S_fk", s_rel);
+  r.AddForeignKey("T_fk", t_rel);
+  const int r_rel = env.schema.AddRelation(std::move(r));
+
+  // Figure 1d, first row: base sizes.
+  env.ccs.push_back(RelationSizeConstraint(r_rel, 80000, "|R|"));
+  env.ccs.push_back(RelationSizeConstraint(s_rel, 700, "|S|"));
+  env.ccs.push_back(RelationSizeConstraint(t_rel, 1500, "|T|"));
+
+  // |σ_{A∈[20,60)}(S)| = 400.
+  {
+    CardinalityConstraint cc;
+    cc.relations = {s_rel};
+    cc.columns = {AttrRef{s_rel, s_a}};
+    cc.predicate = PredicateOf(AtomRange(0, 20, 60));
+    cc.cardinality = 400;
+    cc.label = "|σ_A(S)|";
+    env.ccs.push_back(std::move(cc));
+  }
+  // |σ_{C∈[2,3)}(T)| = 900.
+  {
+    CardinalityConstraint cc;
+    cc.relations = {t_rel};
+    cc.columns = {AttrRef{t_rel, t_c}};
+    cc.predicate = PredicateOf(AtomRange(0, 2, 3));
+    cc.cardinality = 900;
+    cc.label = "|σ_C(T)|";
+    env.ccs.push_back(std::move(cc));
+  }
+  // |σ_{A∈[20,60)}(R ⋈ S)| = 50000.
+  {
+    CardinalityConstraint cc;
+    cc.relations = {r_rel, s_rel};
+    cc.joins = {CcJoin{r_rel, r_sfk, s_rel}};
+    cc.columns = {AttrRef{s_rel, s_a}};
+    cc.predicate = PredicateOf(AtomRange(0, 20, 60));
+    cc.cardinality = 50000;
+    cc.label = "|σ_A(R⋈S)|";
+    env.ccs.push_back(std::move(cc));
+  }
+  // |σ_{A∈[20,60) ∧ C∈[2,3)}(R ⋈ S ⋈ T)| = 30000.
+  {
+    CardinalityConstraint cc;
+    cc.relations = {r_rel, s_rel, t_rel};
+    cc.joins = {CcJoin{r_rel, r_sfk, s_rel},
+                CcJoin{r_rel, env.schema.relation(r_rel).AttrIndex("T_fk"),
+                       t_rel}};
+    cc.columns = {AttrRef{s_rel, s_a}, AttrRef{t_rel, t_c}};
+    cc.predicate = PredicateAllOf({AtomRange(0, 20, 60), AtomRange(1, 2, 3)});
+    cc.cardinality = 30000;
+    cc.label = "|σ_{A∧C}(R⋈S⋈T)|";
+    env.ccs.push_back(std::move(cc));
+  }
+
+  // The Figure 1b query: R ⋈ S ⋈ T with both filters.
+  env.query.name = "toy_q1";
+  env.query.tables.push_back(QueryTable{r_rel, DnfPredicate::True()});
+  env.query.tables.push_back(QueryTable{
+      s_rel, PredicateOf(AtomRange(s_a, 20, 60))});
+  env.query.tables.push_back(QueryTable{
+      t_rel, PredicateOf(AtomRange(t_c, 2, 3))});
+  env.query.joins.push_back(JoinEdge{0, r_sfk, 1});
+  env.query.joins.push_back(
+      JoinEdge{0, env.schema.relation(r_rel).AttrIndex("T_fk"), 2});
+  return env;
+}
+
+}  // namespace hydra

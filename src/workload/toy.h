@@ -1,0 +1,29 @@
+// The paper's running example (Figure 1): relations R(R_pk, S_fk, T_fk),
+// S(S_pk, A, B), T(T_pk, C) with the example query's cardinality constraints
+// (Figure 1d). Used by the quickstart example and by end-to-end tests.
+
+#ifndef HYDRA_WORKLOAD_TOY_H_
+#define HYDRA_WORKLOAD_TOY_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/constraint.h"
+#include "query/query.h"
+
+namespace hydra {
+
+struct ToyEnvironment {
+  Schema schema;
+  // The Figure 1d constraints, hand-built (|R|, |S|, |T|, two filter CCs and
+  // two join CCs).
+  std::vector<CardinalityConstraint> ccs;
+  // The Figure 1b query (for engine-based round trips).
+  Query query;
+};
+
+ToyEnvironment MakeToyEnvironment();
+
+}  // namespace hydra
+
+#endif  // HYDRA_WORKLOAD_TOY_H_

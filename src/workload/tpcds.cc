@@ -1,0 +1,394 @@
+#include "workload/tpcds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "workload/querygen.h"
+
+namespace hydra {
+
+namespace {
+
+uint64_t Scaled(double base, double sf) {
+  return static_cast<uint64_t>(std::llround(base * sf));
+}
+
+// Dimension tables grow with the square root of the scale factor, roughly as
+// in TPC-DS.
+uint64_t DimScaled(double base, double sf) {
+  return static_cast<uint64_t>(std::llround(base * std::sqrt(sf)));
+}
+
+}  // namespace
+
+Schema TpcdsSchema(double scale_factor) {
+  HYDRA_CHECK(scale_factor > 0);
+  const double sf = scale_factor;
+  Schema s;
+
+  // --- Dimensions -------------------------------------------------------
+  Relation date_dim("date_dim", DimScaled(7300, sf));
+  date_dim.AddPrimaryKey("d_date_sk");
+  date_dim.AddDataAttribute("d_year", Interval(1998, 2004));
+  date_dim.AddDataAttribute("d_moy", Interval(1, 13));
+  date_dim.AddDataAttribute("d_dom", Interval(1, 32));
+  date_dim.AddDataAttribute("d_qoy", Interval(1, 5));
+  date_dim.AddDataAttribute("d_day_of_week", Interval(0, 7));
+  const int rd = s.AddRelation(std::move(date_dim));
+
+  Relation time_dim("time_dim", DimScaled(8640, sf));
+  time_dim.AddPrimaryKey("t_time_sk");
+  time_dim.AddDataAttribute("t_hour", Interval(0, 24));
+  time_dim.AddDataAttribute("t_minute", Interval(0, 60));
+  time_dim.AddDataAttribute("t_shift", Interval(0, 3));
+  const int rt = s.AddRelation(std::move(time_dim));
+
+  Relation item("item", DimScaled(1800, sf));
+  item.AddPrimaryKey("i_item_sk");
+  item.AddDataAttribute("i_category", Interval(0, 10));
+  item.AddDataAttribute("i_class", Interval(0, 100));
+  item.AddDataAttribute("i_brand", Interval(0, 500));
+  item.AddDataAttribute("i_current_price", Interval(1, 1000));
+  item.AddDataAttribute("i_size", Interval(0, 7));
+  item.AddDataAttribute("i_manufact_id", Interval(0, 1000));
+  item.AddDataAttribute("i_wholesale_cost", Interval(1, 100));
+  item.AddDataAttribute("i_units", Interval(0, 50));
+  const int ri = s.AddRelation(std::move(item));
+
+  Relation customer_address("customer_address", DimScaled(5000, sf));
+  customer_address.AddPrimaryKey("ca_address_sk");
+  customer_address.AddDataAttribute("ca_state", Interval(0, 50));
+  customer_address.AddDataAttribute("ca_zip", Interval(0, 10000));
+  customer_address.AddDataAttribute("ca_gmt_offset", Interval(-12, 13));
+  const int rca = s.AddRelation(std::move(customer_address));
+
+  Relation customer_demographics("customer_demographics",
+                                 DimScaled(19200, sf));
+  customer_demographics.AddPrimaryKey("cd_demo_sk");
+  customer_demographics.AddDataAttribute("cd_gender", Interval(0, 2));
+  customer_demographics.AddDataAttribute("cd_marital_status", Interval(0, 5));
+  customer_demographics.AddDataAttribute("cd_education", Interval(0, 7));
+  customer_demographics.AddDataAttribute("cd_credit_rating", Interval(0, 4));
+  const int rcd = s.AddRelation(std::move(customer_demographics));
+
+  Relation income_band("income_band", 20);
+  income_band.AddPrimaryKey("ib_income_band_sk");
+  income_band.AddDataAttribute("ib_bracket", Interval(0, 20));
+  const int rib = s.AddRelation(std::move(income_band));
+
+  Relation household_demographics("household_demographics",
+                                  DimScaled(720, sf));
+  household_demographics.AddPrimaryKey("hd_demo_sk");
+  household_demographics.AddForeignKey("hd_income_band_sk", rib);
+  household_demographics.AddDataAttribute("hd_buy_potential", Interval(0, 6));
+  household_demographics.AddDataAttribute("hd_dep_count", Interval(0, 10));
+  household_demographics.AddDataAttribute("hd_vehicle_count", Interval(0, 5));
+  const int rhd = s.AddRelation(std::move(household_demographics));
+
+  Relation store("store", DimScaled(60, sf));
+  store.AddPrimaryKey("s_store_sk");
+  store.AddDataAttribute("s_floor_space", Interval(5000, 10000));
+  store.AddDataAttribute("s_number_employees", Interval(50, 300));
+  store.AddDataAttribute("s_market_id", Interval(0, 10));
+  const int rst = s.AddRelation(std::move(store));
+
+  Relation warehouse("warehouse", DimScaled(25, sf));
+  warehouse.AddPrimaryKey("w_warehouse_sk");
+  warehouse.AddDataAttribute("w_warehouse_sq_ft", Interval(50, 1000));
+  const int rw = s.AddRelation(std::move(warehouse));
+
+  Relation ship_mode("ship_mode", 20);
+  ship_mode.AddPrimaryKey("sm_ship_mode_sk");
+  ship_mode.AddDataAttribute("sm_type", Interval(0, 6));
+  const int rsm = s.AddRelation(std::move(ship_mode));
+
+  Relation promotion("promotion", DimScaled(300, sf));
+  promotion.AddPrimaryKey("p_promo_sk");
+  promotion.AddDataAttribute("p_channel", Interval(0, 5));
+  promotion.AddDataAttribute("p_cost", Interval(100, 10000));
+  const int rp = s.AddRelation(std::move(promotion));
+
+  Relation reason("reason", 35);
+  reason.AddPrimaryKey("r_reason_sk");
+  reason.AddDataAttribute("r_reason_code", Interval(0, 35));
+  const int rr = s.AddRelation(std::move(reason));
+
+  Relation call_center("call_center", DimScaled(30, sf));
+  call_center.AddPrimaryKey("cc_call_center_sk");
+  call_center.AddDataAttribute("cc_employees", Interval(10, 500));
+  const int rcc = s.AddRelation(std::move(call_center));
+
+  Relation catalog_page("catalog_page", DimScaled(1170, sf));
+  catalog_page.AddPrimaryKey("cp_catalog_page_sk");
+  catalog_page.AddDataAttribute("cp_type", Interval(0, 4));
+  const int rcp = s.AddRelation(std::move(catalog_page));
+
+  Relation web_site("web_site", DimScaled(30, sf));
+  web_site.AddPrimaryKey("web_site_sk");
+  web_site.AddDataAttribute("web_market", Interval(0, 6));
+  const int rws = s.AddRelation(std::move(web_site));
+
+  Relation web_page("web_page", DimScaled(60, sf));
+  web_page.AddPrimaryKey("wp_web_page_sk");
+  web_page.AddDataAttribute("wp_type", Interval(0, 7));
+  const int rwp = s.AddRelation(std::move(web_page));
+
+  Relation customer("customer", DimScaled(10000, sf));
+  customer.AddPrimaryKey("c_customer_sk");
+  customer.AddForeignKey("c_current_addr_sk", rca);
+  customer.AddForeignKey("c_current_cdemo_sk", rcd);
+  customer.AddForeignKey("c_current_hdemo_sk", rhd);
+  customer.AddDataAttribute("c_birth_year", Interval(1920, 2000));
+  customer.AddDataAttribute("c_preferred_flag", Interval(0, 2));
+  const int rc = s.AddRelation(std::move(customer));
+
+  // --- Facts -------------------------------------------------------------
+  Relation store_sales("store_sales", Scaled(28800, sf));
+  store_sales.AddPrimaryKey("ss_ticket_sk");
+  store_sales.AddForeignKey("ss_sold_date_sk", rd);
+  store_sales.AddForeignKey("ss_sold_time_sk", rt);
+  store_sales.AddForeignKey("ss_item_sk", ri);
+  store_sales.AddForeignKey("ss_customer_sk", rc);
+  store_sales.AddForeignKey("ss_store_sk", rst);
+  store_sales.AddForeignKey("ss_promo_sk", rp);
+  store_sales.AddDataAttribute("ss_quantity", Interval(1, 100));
+  store_sales.AddDataAttribute("ss_sales_price", Interval(1, 200));
+  store_sales.AddDataAttribute("ss_ext_discount_amt", Interval(0, 100));
+  store_sales.AddDataAttribute("ss_net_profit", Interval(-5000, 5000));
+  s.AddRelation(std::move(store_sales));
+
+  Relation store_returns("store_returns", Scaled(2880, sf));
+  store_returns.AddPrimaryKey("sr_ticket_sk");
+  store_returns.AddForeignKey("sr_returned_date_sk", rd);
+  store_returns.AddForeignKey("sr_item_sk", ri);
+  store_returns.AddForeignKey("sr_customer_sk", rc);
+  store_returns.AddForeignKey("sr_store_sk", rst);
+  store_returns.AddForeignKey("sr_reason_sk", rr);
+  store_returns.AddDataAttribute("sr_return_quantity", Interval(1, 100));
+  store_returns.AddDataAttribute("sr_return_amt", Interval(1, 20000));
+  s.AddRelation(std::move(store_returns));
+
+  Relation catalog_sales("catalog_sales", Scaled(14400, sf));
+  catalog_sales.AddPrimaryKey("cs_order_sk");
+  catalog_sales.AddForeignKey("cs_sold_date_sk", rd);
+  catalog_sales.AddForeignKey("cs_item_sk", ri);
+  catalog_sales.AddForeignKey("cs_bill_customer_sk", rc);
+  catalog_sales.AddForeignKey("cs_call_center_sk", rcc);
+  catalog_sales.AddForeignKey("cs_catalog_page_sk", rcp);
+  catalog_sales.AddForeignKey("cs_ship_mode_sk", rsm);
+  catalog_sales.AddForeignKey("cs_warehouse_sk", rw);
+  catalog_sales.AddForeignKey("cs_promo_sk", rp);
+  catalog_sales.AddDataAttribute("cs_quantity", Interval(1, 100));
+  catalog_sales.AddDataAttribute("cs_sales_price", Interval(1, 300));
+  catalog_sales.AddDataAttribute("cs_net_paid", Interval(1, 30000));
+  s.AddRelation(std::move(catalog_sales));
+
+  Relation catalog_returns("catalog_returns", Scaled(1440, sf));
+  catalog_returns.AddPrimaryKey("cr_order_sk");
+  catalog_returns.AddForeignKey("cr_returned_date_sk", rd);
+  catalog_returns.AddForeignKey("cr_item_sk", ri);
+  catalog_returns.AddForeignKey("cr_customer_sk", rc);
+  catalog_returns.AddForeignKey("cr_call_center_sk", rcc);
+  catalog_returns.AddForeignKey("cr_reason_sk", rr);
+  catalog_returns.AddForeignKey("cr_warehouse_sk", rw);
+  catalog_returns.AddDataAttribute("cr_return_quantity", Interval(1, 100));
+  catalog_returns.AddDataAttribute("cr_return_amount", Interval(1, 30000));
+  s.AddRelation(std::move(catalog_returns));
+
+  Relation web_sales("web_sales", Scaled(7200, sf));
+  web_sales.AddPrimaryKey("ws_order_sk");
+  web_sales.AddForeignKey("ws_sold_date_sk", rd);
+  web_sales.AddForeignKey("ws_sold_time_sk", rt);
+  web_sales.AddForeignKey("ws_item_sk", ri);
+  web_sales.AddForeignKey("ws_bill_customer_sk", rc);
+  web_sales.AddForeignKey("ws_web_site_sk", rws);
+  web_sales.AddForeignKey("ws_web_page_sk", rwp);
+  web_sales.AddForeignKey("ws_ship_mode_sk", rsm);
+  web_sales.AddForeignKey("ws_warehouse_sk", rw);
+  web_sales.AddForeignKey("ws_promo_sk", rp);
+  web_sales.AddDataAttribute("ws_quantity", Interval(1, 100));
+  web_sales.AddDataAttribute("ws_sales_price", Interval(1, 300));
+  web_sales.AddDataAttribute("ws_net_profit", Interval(-5000, 10000));
+  s.AddRelation(std::move(web_sales));
+
+  Relation web_returns("web_returns", Scaled(720, sf));
+  web_returns.AddPrimaryKey("wr_order_sk");
+  web_returns.AddForeignKey("wr_returned_date_sk", rd);
+  web_returns.AddForeignKey("wr_item_sk", ri);
+  web_returns.AddForeignKey("wr_customer_sk", rc);
+  web_returns.AddForeignKey("wr_web_page_sk", rwp);
+  web_returns.AddForeignKey("wr_reason_sk", rr);
+  web_returns.AddDataAttribute("wr_return_quantity", Interval(1, 100));
+  web_returns.AddDataAttribute("wr_return_amt", Interval(1, 30000));
+  s.AddRelation(std::move(web_returns));
+
+  Relation inventory("inventory", Scaled(58500, sf));
+  inventory.AddPrimaryKey("inv_sk");
+  inventory.AddForeignKey("inv_date_sk", rd);
+  inventory.AddForeignKey("inv_item_sk", ri);
+  inventory.AddForeignKey("inv_warehouse_sk", rw);
+  inventory.AddDataAttribute("inv_quantity_on_hand", Interval(0, 1000));
+  s.AddRelation(std::move(inventory));
+
+  HYDRA_CHECK_OK(s.Validate());
+  return s;
+}
+
+std::vector<Query> TpcdsWorkload(const Schema& schema, TpcdsWorkloadKind kind,
+                                 int num_queries, uint64_t seed) {
+  Rng rng(seed ^ (kind == TpcdsWorkloadKind::kComplex ? 0xC0 : 0x51));
+  const bool complex = kind == TpcdsWorkloadKind::kComplex;
+
+  FilterGenOptions filter_options;
+  filter_options.quantize_positions = complex ? 0 : 20;
+  filter_options.dnf_probability = complex ? 0.25 : 0.0;
+  filter_options.in_probability = complex ? 0.2 : 0.0;
+
+  const std::vector<std::string> fact_names = {
+      "store_sales", "catalog_sales", "web_sales",      "inventory",
+      "store_returns", "catalog_returns", "web_returns"};
+  const std::vector<std::string> dim_only = {"item", "customer", "date_dim",
+                                             "customer_demographics"};
+
+  std::vector<Query> queries;
+  queries.reserve(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    Query query;
+    query.name = (complex ? "wlc_q" : "wls_q") + std::to_string(q);
+
+    // "Wide dimension probes" constrain most attributes of one
+    // attribute-rich dimension at once (TPC-DS queries routinely pair
+    // i_category, i_class, i_brand and i_current_price). They are what make
+    // grid-partitioning explode — the sub-view clique covers the whole
+    // dimension and the grid is the product of every column's interval
+    // count — while Hydra's region count only grows with realized
+    // constraint signatures.
+    const bool wide_probe = rng.NextBool(complex ? 0.35 : 0.25);
+    const bool dim_query =
+        (wide_probe && !complex) || rng.NextBool(complex ? 0.15 : 0.3);
+    const std::string root_name =
+        wide_probe && !complex
+            ? (rng.NextBool(0.5) ? "item" : "date_dim")
+            : (dim_query ? dim_only[rng.NextBounded(dim_only.size())]
+                         : fact_names[rng.NextBounded(fact_names.size())]);
+    const int root = schema.RelationIndex(root_name);
+    HYDRA_CHECK(root >= 0);
+    query.tables.push_back(QueryTable{root, DnfPredicate::True()});
+
+    // Join a random subset of the root's FK targets; optionally snowflake
+    // through customer / household_demographics.
+    const Relation& root_rel = schema.relation(root);
+    std::vector<int> fks = root_rel.ForeignKeyIndices();
+    // Shuffle.
+    for (size_t i = fks.size(); i > 1; --i) {
+      std::swap(fks[i - 1], fks[rng.NextBounded(i)]);
+    }
+    const int max_joins =
+        complex ? static_cast<int>(rng.NextInt(1, 5))
+                : static_cast<int>(rng.NextInt(0, 3));
+    int filter_budget = complex ? static_cast<int>(rng.NextInt(1, 4))
+                                : static_cast<int>(rng.NextInt(1, 3));
+
+    std::vector<int> joined_tables = {0};
+    int joins_done = 0;
+    for (int fk : fks) {
+      if (joins_done >= max_joins) break;
+      const int target = root_rel.attribute(fk).fk_target;
+      const int t = JoinPkSide(&query, 0, fk, target);
+      joined_tables.push_back(t);
+      ++joins_done;
+      // Snowflake one level deeper with some probability.
+      if (complex && rng.NextBool(0.3) && joins_done < max_joins) {
+        const Relation& dim_rel = schema.relation(target);
+        const std::vector<int> dim_fks = dim_rel.ForeignKeyIndices();
+        if (!dim_fks.empty()) {
+          const int dfk =
+              dim_fks[rng.NextBounded(dim_fks.size())];
+          const int t2 = JoinPkSide(&query, t, dfk,
+                                    dim_rel.attribute(dfk).fk_target);
+          joined_tables.push_back(t2);
+          ++joins_done;
+        }
+      }
+    }
+
+    if (wide_probe) {
+      // Pick the joined table with the most data attributes.
+      int wide_t = 0;
+      size_t best = 0;
+      for (int t : joined_tables) {
+        const size_t n =
+            schema.relation(query.tables[t].relation).DataAttrIndices().size();
+        if (n > best) {
+          best = n;
+          wide_t = t;
+        }
+      }
+      const Relation& rel = schema.relation(query.tables[wide_t].relation);
+      std::vector<int> data_attrs = rel.DataAttrIndices();
+      // WLs probes stay at <= 5 attributes so that DataSynth's grid remains
+      // within its solver budget — WLs is by construction the workload the
+      // baseline can still handle (Section 7).
+      if (!complex && data_attrs.size() > 5) data_attrs.resize(5);
+      FilterGenOptions narrow_options = filter_options;
+      narrow_options.narrow = true;
+      narrow_options.dnf_probability = 0;
+      for (int attr : data_attrs) {
+        AddFilter(&query.tables[wide_t],
+                  RandomFilter(rel, attr, rng, narrow_options));
+      }
+      queries.push_back(std::move(query));
+      continue;
+    }
+
+    // Otherwise filters touch at most two of the joined tables (pairing a
+    // fact measure with one dimension attribute, as the benchmark's typical
+    // queries do); spreading filters across every dimension would create
+    // view-graph cliques and separators no real workload exhibits.
+    std::vector<int> filter_tables;
+    filter_tables.push_back(
+        static_cast<int>(joined_tables[rng.NextBounded(joined_tables.size())]));
+    filter_tables.push_back(
+        static_cast<int>(joined_tables[rng.NextBounded(joined_tables.size())]));
+    int attempts = 0;
+    while (filter_budget > 0 && attempts < 32) {
+      ++attempts;
+      const int t = filter_tables[rng.NextBounded(filter_tables.size())];
+      const Relation& rel = schema.relation(query.tables[t].relation);
+      const std::vector<int> data_attrs = rel.DataAttrIndices();
+      if (data_attrs.empty()) continue;
+      // Real TPC-DS workloads hammer a few hot columns (d_year, i_category,
+      // ss_quantity, ...): bias towards each table's first data attributes.
+      // This concentration is what piles dozens of interval boundaries onto
+      // the same columns, blowing up DataSynth's grids while Hydra's region
+      // count only grows with realized constraint signatures.
+      const size_t hot = std::min<size_t>(2, data_attrs.size());
+      const int attr = (complex && rng.NextBool(0.75))
+                           ? data_attrs[rng.NextBounded(hot)]
+                           : data_attrs[rng.NextBounded(data_attrs.size())];
+      AddFilter(&query.tables[t],
+                RandomFilter(rel, attr, rng, filter_options));
+      --filter_budget;
+    }
+
+    // Guarantee at least one non-trivial step.
+    bool has_filter = false;
+    for (const QueryTable& qt : query.tables) {
+      if (!qt.filter.IsTrue()) has_filter = true;
+    }
+    if (!has_filter && query.joins.empty()) {
+      const Relation& rel = schema.relation(root);
+      const std::vector<int> data_attrs = rel.DataAttrIndices();
+      if (!data_attrs.empty()) {
+        AddFilter(&query.tables[0],
+                  RandomFilter(rel, data_attrs[0], rng, filter_options));
+      }
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace hydra

@@ -1,0 +1,41 @@
+// TPC-DS-shaped benchmark environment (DESIGN.md §3 substitution for the
+// paper's 100 GB TPC-DS installation).
+//
+// The schema reproduces TPC-DS's structure — 24 relations, star/snowflake
+// PK-FK DAG with diamonds (e.g. store_sales→customer→household_demographics→
+// income_band and store_sales→date_dim shared across facts) — with numeric
+// attribute domains (the post-anonymizer setting) and row-count ratios scaled
+// from the benchmark. Two workload generators mirror the paper's WLc
+// (complex: deep joins, 2-6 filter attributes, DNF predicates, arbitrary
+// constants) and WLs (simple: shallow joins, few filters, quantized
+// constants — the workload DataSynth's grid formulation can still solve).
+
+#ifndef HYDRA_WORKLOAD_TPCDS_H_
+#define HYDRA_WORKLOAD_TPCDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/query.h"
+
+namespace hydra {
+
+// Builds the TPC-DS-like schema. `scale_factor` multiplies fact-table row
+// counts (1.0 ≈ 130 K total rows; dimension sizes grow sub-linearly as in
+// TPC-DS).
+Schema TpcdsSchema(double scale_factor = 1.0);
+
+enum class TpcdsWorkloadKind {
+  kComplex,  // WLc
+  kSimple,   // WLs
+};
+
+// Generates `num_queries` filter+join queries over the schema. Deterministic
+// in `seed`.
+std::vector<Query> TpcdsWorkload(const Schema& schema, TpcdsWorkloadKind kind,
+                                 int num_queries, uint64_t seed);
+
+}  // namespace hydra
+
+#endif  // HYDRA_WORKLOAD_TPCDS_H_

@@ -1,0 +1,82 @@
+// Tests for anonymizer/: dictionaries and schema masking.
+
+#include <gtest/gtest.h>
+
+#include "anonymizer/anonymizer.h"
+#include "workload/toy.h"
+
+namespace hydra {
+namespace {
+
+TEST(ValueDictionaryTest, EncodeAssignsConsecutiveCodes) {
+  ValueDictionary dict;
+  EXPECT_EQ(dict.Encode("red"), 0);
+  EXPECT_EQ(dict.Encode("green"), 1);
+  EXPECT_EQ(dict.Encode("red"), 0);  // stable
+  EXPECT_EQ(dict.size(), 2);
+}
+
+TEST(ValueDictionaryTest, DecodeInvertsEncode) {
+  ValueDictionary dict;
+  dict.Encode("alpha");
+  dict.Encode("beta");
+  auto v = dict.Decode(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "beta");
+  EXPECT_FALSE(dict.Decode(5).ok());
+  EXPECT_FALSE(dict.Decode(-1).ok());
+}
+
+TEST(AnonymizerTest, SchemaNamesMasked) {
+  ToyEnvironment env = MakeToyEnvironment();
+  Anonymizer anon;
+  const Schema masked = anon.AnonymizeSchema(env.schema);
+  ASSERT_EQ(masked.num_relations(), env.schema.num_relations());
+  for (int r = 0; r < masked.num_relations(); ++r) {
+    EXPECT_EQ(masked.relation(r).name(), "r" + std::to_string(r));
+    // Structure preserved.
+    EXPECT_EQ(masked.relation(r).num_attributes(),
+              env.schema.relation(r).num_attributes());
+    EXPECT_EQ(masked.relation(r).row_count(),
+              env.schema.relation(r).row_count());
+  }
+  EXPECT_TRUE(masked.Validate().ok());
+}
+
+TEST(AnonymizerTest, DomainsAndKeysPreserved) {
+  ToyEnvironment env = MakeToyEnvironment();
+  Anonymizer anon;
+  const Schema masked = anon.AnonymizeSchema(env.schema);
+  const int s = env.schema.RelationIndex("S");
+  const int a = env.schema.relation(s).AttrIndex("A");
+  EXPECT_EQ(masked.relation(s).attribute(a).domain,
+            env.schema.relation(s).attribute(a).domain);
+  EXPECT_EQ(masked.relation(s).PrimaryKeyIndex(),
+            env.schema.relation(s).PrimaryKeyIndex());
+  const int r = env.schema.RelationIndex("R");
+  EXPECT_EQ(masked.relation(r).ForeignKeyIndices(),
+            env.schema.relation(r).ForeignKeyIndices());
+}
+
+TEST(AnonymizerTest, RelationNameLookup) {
+  ToyEnvironment env = MakeToyEnvironment();
+  Anonymizer anon;
+  anon.AnonymizeSchema(env.schema);
+  auto name = anon.AnonymizedRelationName("S");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "r0");
+  EXPECT_FALSE(anon.AnonymizedRelationName("unknown").ok());
+}
+
+TEST(AnonymizerTest, PerAttributeDictionariesIndependent) {
+  Anonymizer anon;
+  ValueDictionary& d1 = anon.DictionaryFor(AttrRef{0, 1});
+  ValueDictionary& d2 = anon.DictionaryFor(AttrRef{0, 2});
+  EXPECT_EQ(d1.Encode("x"), 0);
+  EXPECT_EQ(d2.Encode("y"), 0);
+  EXPECT_EQ(d1.Encode("y"), 1);
+  EXPECT_EQ(&anon.DictionaryFor(AttrRef{0, 1}), &d1);
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,175 @@
+// Unit tests for catalog/schema: attribute kinds, FK graph, topological order.
+
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "workload/toy.h"
+
+namespace hydra {
+namespace {
+
+Schema ChainSchema() {
+  // a -> b -> c
+  Schema s;
+  Relation c("c", 10);
+  c.AddPrimaryKey("c_pk");
+  c.AddDataAttribute("cx", Interval(0, 5));
+  const int rc = s.AddRelation(std::move(c));
+  Relation b("b", 20);
+  b.AddPrimaryKey("b_pk");
+  b.AddForeignKey("c_fk", rc);
+  b.AddDataAttribute("bx", Interval(0, 5));
+  const int rb = s.AddRelation(std::move(b));
+  Relation a("a", 30);
+  a.AddPrimaryKey("a_pk");
+  a.AddForeignKey("b_fk", rb);
+  s.AddRelation(std::move(a));
+  return s;
+}
+
+TEST(RelationTest, AttributeKindsAndLookup) {
+  Relation r("r", 100);
+  const int pk = r.AddPrimaryKey("pk");
+  const int d = r.AddDataAttribute("x", Interval(0, 10));
+  EXPECT_EQ(r.PrimaryKeyIndex(), pk);
+  EXPECT_EQ(r.AttrIndex("x"), d);
+  EXPECT_EQ(r.AttrIndex("missing"), -1);
+  EXPECT_EQ(r.DataAttrIndices(), std::vector<int>{d});
+  EXPECT_TRUE(r.ForeignKeyIndices().empty());
+}
+
+TEST(RelationTest, PkDomainTracksRowCount) {
+  Relation r("r", 100);
+  r.AddPrimaryKey("pk");
+  EXPECT_EQ(r.attribute(r.PrimaryKeyIndex()).domain, Interval(0, 100));
+  r.set_row_count(250);
+  EXPECT_EQ(r.attribute(r.PrimaryKeyIndex()).domain, Interval(0, 250));
+  EXPECT_EQ(r.row_count(), 250u);
+}
+
+TEST(SchemaTest, RelationLookup) {
+  Schema s = ChainSchema();
+  EXPECT_EQ(s.num_relations(), 3);
+  EXPECT_EQ(s.RelationIndex("a"), 2);
+  EXPECT_EQ(s.RelationIndex("zzz"), -1);
+}
+
+TEST(SchemaTest, DirectAndTransitiveDependencies) {
+  Schema s = ChainSchema();
+  const int a = s.RelationIndex("a");
+  const int b = s.RelationIndex("b");
+  const int c = s.RelationIndex("c");
+  EXPECT_EQ(s.DirectDependencies(a), std::vector<int>{b});
+  EXPECT_EQ(s.DirectDependencies(c), std::vector<int>{});
+  EXPECT_EQ(s.TransitiveDependencies(a), (std::vector<int>{c, b}))
+      << "sorted output";
+  EXPECT_EQ(s.TransitiveDependencies(b), std::vector<int>{c});
+}
+
+TEST(SchemaTest, DependentsFirstOrder) {
+  Schema s = ChainSchema();
+  auto order = s.DependentsFirstOrder();
+  ASSERT_TRUE(order.ok());
+  // a (index 2) must come before b (1) before c (0).
+  const std::vector<int>& o = *order;
+  auto pos = [&](int r) {
+    return std::find(o.begin(), o.end(), r) - o.begin();
+  };
+  EXPECT_LT(pos(2), pos(1));
+  EXPECT_LT(pos(1), pos(0));
+}
+
+TEST(SchemaTest, DiamondDependencyIsDag) {
+  // a -> b -> d, a -> c -> d: the DAG case Hydra supports beyond DataSynth.
+  Schema s;
+  Relation d("d", 5);
+  d.AddPrimaryKey("d_pk");
+  const int rd = s.AddRelation(std::move(d));
+  Relation b("b", 5);
+  b.AddPrimaryKey("b_pk");
+  b.AddForeignKey("d_fk", rd);
+  const int rb = s.AddRelation(std::move(b));
+  Relation c("c", 5);
+  c.AddPrimaryKey("c_pk");
+  c.AddForeignKey("d_fk", rd);
+  const int rc = s.AddRelation(std::move(c));
+  Relation a("a", 5);
+  a.AddPrimaryKey("a_pk");
+  a.AddForeignKey("b_fk", rb);
+  a.AddForeignKey("c_fk", rc);
+  s.AddRelation(std::move(a));
+  EXPECT_TRUE(s.IsDag());
+  EXPECT_TRUE(s.Validate().ok());
+  const auto deps = s.TransitiveDependencies(3);
+  EXPECT_EQ(deps, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchemaTest, CycleDetected) {
+  Schema s;
+  Relation a("a", 5);
+  a.AddPrimaryKey("a_pk");
+  a.AddForeignKey("b_fk", 1);
+  s.AddRelation(std::move(a));
+  Relation b("b", 5);
+  b.AddPrimaryKey("b_pk");
+  b.AddForeignKey("a_fk", 0);
+  s.AddRelation(std::move(b));
+  EXPECT_FALSE(s.IsDag());
+  EXPECT_FALSE(s.Validate().ok());
+  EXPECT_FALSE(s.DependentsFirstOrder().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsDanglingFk) {
+  Schema s;
+  Relation a("a", 5);
+  a.AddPrimaryKey("a_pk");
+  a.AddForeignKey("bad_fk", 7);
+  s.AddRelation(std::move(a));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsFkToPkLessRelation) {
+  Schema s;
+  Relation nopk("nopk", 5);
+  nopk.AddDataAttribute("x", Interval(0, 3));
+  const int r = s.AddRelation(std::move(nopk));
+  Relation a("a", 5);
+  a.AddPrimaryKey("a_pk");
+  a.AddForeignKey("fk", r);
+  s.AddRelation(std::move(a));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsSelfReference) {
+  Schema s;
+  Relation a("a", 5);
+  a.AddPrimaryKey("a_pk");
+  a.AddForeignKey("self", 0);
+  s.AddRelation(std::move(a));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, QualifiedName) {
+  Schema s = ChainSchema();
+  EXPECT_EQ(s.QualifiedName(AttrRef{s.RelationIndex("b"), 2}), "b.bx");
+}
+
+TEST(SchemaTest, ToySchemaValidates) {
+  ToyEnvironment env = MakeToyEnvironment();
+  EXPECT_TRUE(env.schema.Validate().ok());
+  EXPECT_EQ(env.schema.num_relations(), 3);
+  const int r = env.schema.RelationIndex("R");
+  EXPECT_EQ(env.schema.DirectDependencies(r).size(), 2u);
+}
+
+TEST(AttrRefTest, OrderingAndEquality) {
+  AttrRef a{0, 1}, b{0, 2}, c{1, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == (AttrRef{0, 1}));
+  AttrRefHash h;
+  EXPECT_NE(h(a), h(b));
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,81 @@
+// Tests for codd/metadata: capture, matching, scale modeling.
+
+#include <gtest/gtest.h>
+
+#include "codd/metadata.h"
+#include "workload/datagen.h"
+#include "workload/toy.h"
+
+namespace hydra {
+namespace {
+
+TEST(CoddTest, CaptureReflectsData) {
+  ToyEnvironment env = MakeToyEnvironment();
+  env.schema.mutable_relation(env.schema.RelationIndex("R"))
+      .set_row_count(500);
+  auto db = GenerateClientDatabase(env.schema, DataGenOptions{.seed = 1});
+  ASSERT_TRUE(db.ok());
+  const DatabaseMetadata md = CaptureMetadata(*db);
+  ASSERT_EQ(md.relations.size(), 3u);
+  const int s = env.schema.RelationIndex("S");
+  EXPECT_EQ(md.relations[s].name, "S");
+  EXPECT_EQ(md.relations[s].row_count, 700u);
+  const int a = env.schema.relation(s).AttrIndex("A");
+  EXPECT_GE(md.relations[s].columns[a].min_value, 0);
+  EXPECT_LT(md.relations[s].columns[a].max_value, 100);
+  EXPECT_GT(md.relations[s].columns[a].num_distinct, 1u);
+}
+
+TEST(CoddTest, ApplyMetadataTransfersRowCountsAndDomains) {
+  ToyEnvironment env = MakeToyEnvironment();
+  auto db = GenerateClientDatabase(env.schema, DataGenOptions{.seed = 2});
+  ASSERT_TRUE(db.ok());
+  DatabaseMetadata md = CaptureMetadata(*db);
+  md.relations[0].row_count = 4242;
+
+  Schema vendor = env.schema;  // pristine copy
+  ASSERT_TRUE(ApplyMetadata(md, &vendor).ok());
+  EXPECT_EQ(vendor.relation(0).row_count(), 4242u);
+  // Data-attribute domain tightened to observed min/max.
+  const int s = env.schema.RelationIndex("S");
+  const int a = env.schema.relation(s).AttrIndex("A");
+  EXPECT_EQ(vendor.relation(s).attribute(a).domain.lo,
+            md.relations[s].columns[a].min_value);
+  EXPECT_EQ(vendor.relation(s).attribute(a).domain.hi,
+            md.relations[s].columns[a].max_value + 1);
+}
+
+TEST(CoddTest, ApplyMetadataRejectsArityMismatch) {
+  ToyEnvironment env = MakeToyEnvironment();
+  DatabaseMetadata md;
+  md.relations.resize(2);  // schema has 3
+  Schema schema = env.schema;
+  EXPECT_FALSE(ApplyMetadata(md, &schema).ok());
+}
+
+TEST(CoddTest, ScaleMetadataMultipliesRowCounts) {
+  DatabaseMetadata md;
+  md.relations.push_back(RelationMetadata{"x", 100, {}});
+  const DatabaseMetadata scaled = ScaleMetadata(md, 1e7);
+  EXPECT_EQ(scaled.relations[0].row_count, 1000000000u);
+}
+
+TEST(CoddTest, ScaleConstraintsToExabyteCardinalities) {
+  ToyEnvironment env = MakeToyEnvironment();
+  const auto scaled = ScaleConstraints(env.ccs, 1e7);
+  EXPECT_EQ(scaled[0].cardinality, 800000000000u);  // 8e4 * 1e7
+  // Labels and structure preserved.
+  EXPECT_EQ(scaled[0].label, env.ccs[0].label);
+  EXPECT_EQ(scaled.back().relations, env.ccs.back().relations);
+}
+
+TEST(CoddTest, EstimatedBytes) {
+  ToyEnvironment env = MakeToyEnvironment();
+  auto db = GenerateClientDatabase(env.schema, DataGenOptions{.seed = 4});
+  ASSERT_TRUE(db.ok());
+  const DatabaseMetadata md = CaptureMetadata(*db);
+  EXPECT_EQ(md.EstimatedBytes(env.schema), db->TotalBytes());
+}
+
+}  // namespace
+}  // namespace hydra

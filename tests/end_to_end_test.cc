@@ -1,0 +1,164 @@
+// End-to-end integration: client site → CC extraction → Hydra regeneration →
+// vendor-side volumetric similarity, on TPC-DS-like and JOB-like
+// environments. These are the moral equivalent of the paper's Section 7.1.
+
+#include <gtest/gtest.h>
+
+#include "codd/metadata.h"
+#include "hydra/regenerator.h"
+#include "hydra/tuple_generator.h"
+#include "workload/job.h"
+#include "workload/tpcds.h"
+#include "workload/workload_runner.h"
+
+namespace hydra {
+namespace {
+
+class TpcdsEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Schema schema = TpcdsSchema(0.3);
+    auto queries = TpcdsWorkload(schema, TpcdsWorkloadKind::kSimple, 20, 21);
+    auto site =
+        BuildClientSite(schema, DataGenOptions{.seed = 31}, std::move(queries));
+    ASSERT_TRUE(site.ok()) << site.status().ToString();
+    site_ = new ClientSite(std::move(*site));
+
+    HydraRegenerator hydra(site_->schema);
+    auto result = hydra.Regenerate(site_->ccs);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    result_ = new RegenerationResult(std::move(*result));
+  }
+  static void TearDownTestSuite() {
+    delete site_;
+    delete result_;
+    site_ = nullptr;
+    result_ = nullptr;
+  }
+
+  static ClientSite* site_;
+  static RegenerationResult* result_;
+};
+
+ClientSite* TpcdsEndToEndTest::site_ = nullptr;
+RegenerationResult* TpcdsEndToEndTest::result_ = nullptr;
+
+TEST_F(TpcdsEndToEndTest, SummaryIsSmall) {
+  // The database is tens of MB; the summary must be a few hundred KB at most.
+  EXPECT_LT(result_->summary.ByteSize(), 2u << 20);
+}
+
+TEST_F(TpcdsEndToEndTest, MaterializedDatabaseKeepsReferentialIntegrity) {
+  auto db = MaterializeDatabase(result_->summary);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->CheckReferentialIntegrity().ok());
+}
+
+TEST_F(TpcdsEndToEndTest, VolumetricSimilarityHigh) {
+  auto db = MaterializeDatabase(result_->summary);
+  ASSERT_TRUE(db.ok());
+  auto report = MeasureVolumetricSimilarity(*site_, *db);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Paper Section 7.1: ~90% of CCs essentially exact, all within ~10%.
+  EXPECT_GE(report->FractionWithin(0.01), 0.85)
+      << "max error " << report->MaxAbsError();
+  EXPECT_GE(report->FractionWithin(0.15), 0.98);
+}
+
+TEST_F(TpcdsEndToEndTest, DynamicGenerationMatchesMaterialized) {
+  TupleGenerator gen(result_->summary);
+  auto dynamic_report = MeasureVolumetricSimilarity(*site_, gen);
+  ASSERT_TRUE(dynamic_report.ok());
+  auto db = MaterializeDatabase(result_->summary);
+  ASSERT_TRUE(db.ok());
+  auto static_report = MeasureVolumetricSimilarity(*site_, *db);
+  ASSERT_TRUE(static_report.ok());
+  ASSERT_EQ(dynamic_report->entries.size(), static_report->entries.size());
+  for (size_t i = 0; i < dynamic_report->entries.size(); ++i) {
+    EXPECT_EQ(dynamic_report->entries[i].vendor_cardinality,
+              static_report->entries[i].vendor_cardinality)
+        << dynamic_report->entries[i].label;
+  }
+}
+
+TEST_F(TpcdsEndToEndTest, ErrorsAreOneSidedPositive) {
+  auto db = MaterializeDatabase(result_->summary);
+  ASSERT_TRUE(db.ok());
+  auto report = MeasureVolumetricSimilarity(*site_, *db);
+  ASSERT_TRUE(report.ok());
+  // Hydra only adds tuples; any deviation beyond integerization noise must
+  // be positive (Section 7.1).
+  for (const SimilarityEntry& e : report->entries) {
+    EXPECT_GE(e.signed_relative_error, -0.02) << e.label;
+  }
+}
+
+TEST_F(TpcdsEndToEndTest, LpStaysSmall) {
+  // Region partitioning keeps per-view LPs in the low thousands of variables.
+  EXPECT_LT(result_->MaxLpVariables(), 100000u);
+}
+
+TEST(JobEndToEndTest, RegeneratesWithHighFidelity) {
+  Schema schema = JobSchema(0.3);
+  auto queries = JobWorkload(schema, 30, 77);
+  auto site =
+      BuildClientSite(schema, DataGenOptions{.seed = 78}, std::move(queries));
+  ASSERT_TRUE(site.ok()) << site.status().ToString();
+
+  HydraRegenerator hydra(site->schema);
+  auto result = hydra.Regenerate(site->ccs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Paper Section 7.6: JOB views stay below 1e5 variables, all constraints
+  // within 2% relative error.
+  EXPECT_LT(result->MaxLpVariables(), 100000u);
+
+  auto db = MaterializeDatabase(result->summary);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->CheckReferentialIntegrity().ok());
+  auto report = MeasureVolumetricSimilarity(*site, *db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->FractionWithin(0.05), 0.9)
+      << "max error " << report->MaxAbsError();
+}
+
+TEST(ExabyteEndToEndTest, SummaryBuildsAtExtremeScale) {
+  // Section 7.4: scale the toy CCs to an exabyte-equivalent row count and
+  // verify the summary still builds instantly and describes the scaled data.
+  Schema schema = TpcdsSchema(0.2);
+  auto queries = TpcdsWorkload(schema, TpcdsWorkloadKind::kSimple, 6, 91);
+  auto site =
+      BuildClientSite(schema, DataGenOptions{.seed = 92}, std::move(queries));
+  ASSERT_TRUE(site.ok());
+
+  const double factor = 1e7;
+  auto scaled_ccs = ScaleConstraints(site->ccs, factor);
+  Schema scaled_schema = site->schema;
+  for (int r = 0; r < scaled_schema.num_relations(); ++r) {
+    scaled_schema.mutable_relation(r).set_row_count(
+        static_cast<uint64_t>(scaled_schema.relation(r).row_count() *
+                              factor));
+  }
+  HydraRegenerator hydra(scaled_schema);
+  auto result = hydra.Regenerate(scaled_ccs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The summary stays tiny while describing ~1e12 rows.
+  EXPECT_LT(result->summary.ByteSize(), 4u << 20);
+  uint64_t total_rows = 0;
+  for (const auto& rs : result->summary.relations) {
+    total_rows += static_cast<uint64_t>(rs.TotalCount());
+  }
+  EXPECT_GT(total_rows, 100'000'000'000ull);  // ~1e11 rows described
+
+  // Dynamic generation can serve tuples from anywhere in the range without
+  // materializing anything.
+  TupleGenerator gen(result->summary);
+  const int ss = scaled_schema.RelationIndex("store_sales");
+  Row row;
+  gen.GetTuple(ss, static_cast<int64_t>(gen.RowCount(ss)) - 1, &row);
+  EXPECT_EQ(row[scaled_schema.relation(ss).PrimaryKeyIndex()],
+            static_cast<int64_t>(gen.RowCount(ss)) - 1);
+}
+
+}  // namespace
+}  // namespace hydra

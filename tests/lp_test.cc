@@ -1,0 +1,252 @@
+// Unit + property tests for the LP layer: model, phase-I simplex,
+// integerization.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lp/integerize.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace hydra {
+namespace {
+
+LpConstraint MakeConstraint(std::vector<int> vars, double rhs,
+                            const std::string& label = "") {
+  LpConstraint c;
+  for (int v : vars) c.AddTerm(v, 1.0);
+  c.rhs = rhs;
+  c.label = label;
+  return c;
+}
+
+TEST(LpModelTest, NonZerosAndViolation) {
+  LpProblem p;
+  p.AddVariables(3);
+  p.AddConstraint(MakeConstraint({0, 1}, 5));
+  p.AddConstraint(MakeConstraint({1, 2}, 7));
+  EXPECT_EQ(p.NumNonZeros(), 4u);
+  EXPECT_DOUBLE_EQ(p.MaxViolation({2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(p.MaxViolation({2, 2, 4}), 1.0);
+}
+
+TEST(SimplexTest, PaperRegionExample) {
+  // Figure 4b: y1+y2 = 1000, y2+y3 = 2000, y1+y2+y3+y4 = 8000.
+  LpProblem p;
+  p.AddVariables(4);
+  p.AddConstraint(MakeConstraint({0, 1}, 1000));
+  p.AddConstraint(MakeConstraint({1, 2}, 2000));
+  p.AddConstraint(MakeConstraint({0, 1, 2, 3}, 8000));
+  auto sol = SolveFeasibility(p);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_LT(p.MaxViolation(sol->values), 1e-6);
+  for (double v : sol->values) EXPECT_GE(v, -1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x0 = 5 and x0 = 7 cannot both hold.
+  LpProblem p;
+  p.AddVariables(1);
+  p.AddConstraint(MakeConstraint({0}, 5));
+  p.AddConstraint(MakeConstraint({0}, 7));
+  auto sol = SolveFeasibility(p);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimplexTest, SubsetExceedingTotalInfeasible) {
+  // x0 + x1 = 10 but x0 = 20 with all x >= 0.
+  LpProblem p;
+  p.AddVariables(2);
+  p.AddConstraint(MakeConstraint({0, 1}, 10));
+  p.AddConstraint(MakeConstraint({0}, 20));
+  EXPECT_FALSE(SolveFeasibility(p).ok());
+}
+
+TEST(SimplexTest, VariableBudgetEnforced) {
+  LpProblem p;
+  p.AddVariables(100);
+  p.AddConstraint(MakeConstraint({0}, 1));
+  SimplexOptions options;
+  options.max_variables = 50;
+  auto sol = SolveFeasibility(p, options);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SimplexTest, EmptyProblemTriviallyFeasible) {
+  LpProblem p;
+  p.AddVariables(3);
+  auto sol = SolveFeasibility(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->values, (std::vector<double>{0, 0, 0}));
+}
+
+TEST(SimplexTest, ZeroRhsFeasibleAtOrigin) {
+  LpProblem p;
+  p.AddVariables(2);
+  p.AddConstraint(MakeConstraint({0, 1}, 0));
+  auto sol = SolveFeasibility(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LT(p.MaxViolation(sol->values), 1e-9);
+}
+
+TEST(SimplexTest, NegativeCoefficientsAndRhs) {
+  // x0 - x1 = -3, x0 + x1 = 7  =>  x0 = 2, x1 = 5.
+  LpProblem p;
+  p.AddVariables(2);
+  LpConstraint c1;
+  c1.AddTerm(0, 1.0);
+  c1.AddTerm(1, -1.0);
+  c1.rhs = -3;
+  p.AddConstraint(std::move(c1));
+  p.AddConstraint(MakeConstraint({0, 1}, 7));
+  auto sol = SolveFeasibility(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->values[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol->values[1], 5.0, 1e-6);
+}
+
+TEST(SimplexTest, LargeCardinalities) {
+  // Billion-scale right-hand sides (Big Data row counts).
+  LpProblem p;
+  p.AddVariables(3);
+  p.AddConstraint(MakeConstraint({0, 1}, 1.5e9));
+  p.AddConstraint(MakeConstraint({1, 2}, 2.5e9));
+  p.AddConstraint(MakeConstraint({0, 1, 2}, 3.5e9));
+  auto sol = SolveFeasibility(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LT(p.MaxViolation(sol->values) / 3.5e9, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateNestedConstraints) {
+  // Laminar family with several zero-valued differences; exercises the
+  // anti-cycling path.
+  LpProblem p;
+  p.AddVariables(6);
+  p.AddConstraint(MakeConstraint({0}, 100));
+  p.AddConstraint(MakeConstraint({0, 1}, 100));
+  p.AddConstraint(MakeConstraint({0, 1, 2}, 100));
+  p.AddConstraint(MakeConstraint({0, 1, 2, 3, 4, 5}, 100));
+  auto sol = SolveFeasibility(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LT(p.MaxViolation(sol->values), 1e-6);
+}
+
+// Property sweep: random 0/1 systems constructed from a known non-negative
+// integer witness are always solved, and the solution satisfies the system.
+class SimplexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexPropertyTest, SolvesSystemsWithKnownWitness) {
+  Rng rng(GetParam() * 1337 + 17);
+  const int n = static_cast<int>(rng.NextInt(3, 40));
+  const int m = static_cast<int>(rng.NextInt(1, 15));
+  std::vector<int64_t> witness(n);
+  for (int j = 0; j < n; ++j) witness[j] = rng.NextInt(0, 1000);
+
+  LpProblem p;
+  p.AddVariables(n);
+  for (int i = 0; i < m; ++i) {
+    LpConstraint c;
+    int64_t rhs = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBool(0.4)) {
+        c.AddTerm(j, 1.0);
+        rhs += witness[j];
+      }
+    }
+    c.rhs = static_cast<double>(rhs);
+    p.AddConstraint(std::move(c));
+  }
+  auto sol = SolveFeasibility(p);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_LT(p.MaxViolation(sol->values), 1e-5);
+  for (double v : sol->values) EXPECT_GE(v, -1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+// --- Integerization --------------------------------------------------------
+
+TEST(IntegerizeTest, ExactIntegralSolutionUntouched) {
+  LpProblem p;
+  p.AddVariables(2);
+  p.AddConstraint(MakeConstraint({0, 1}, 10));
+  const auto result = IntegerizeSolution(p, {4.0, 6.0});
+  EXPECT_EQ(result.values, (std::vector<int64_t>{4, 6}));
+  EXPECT_EQ(result.max_absolute_violation, 0);
+}
+
+TEST(IntegerizeTest, RepairsFractionalSplit) {
+  LpProblem p;
+  p.AddVariables(2);
+  p.AddConstraint(MakeConstraint({0, 1}, 10));
+  const auto result = IntegerizeSolution(p, {4.5, 5.5});
+  EXPECT_EQ(result.values[0] + result.values[1], 10);
+  EXPECT_EQ(result.max_absolute_violation, 0);
+}
+
+TEST(IntegerizeTest, ClampsNegativeNoise) {
+  LpProblem p;
+  p.AddVariables(2);
+  p.AddConstraint(MakeConstraint({0, 1}, 5));
+  const auto result = IntegerizeSolution(p, {-1e-9, 5.0});
+  EXPECT_GE(result.values[0], 0);
+  EXPECT_EQ(result.values[0] + result.values[1], 5);
+}
+
+TEST(IntegerizeTest, PrefersSingletonColumns) {
+  // x0 appears in both constraints; x1 and x2 are singletons. The repair of
+  // constraint 1 must not break constraint 0.
+  LpProblem p;
+  p.AddVariables(3);
+  p.AddConstraint(MakeConstraint({0, 1}, 10, "c0"));
+  p.AddConstraint(MakeConstraint({0, 2}, 20, "c1"));
+  const auto result = IntegerizeSolution(p, {3.4, 6.6, 16.6});
+  EXPECT_EQ(result.max_absolute_violation, 0)
+      << "values: " << result.values[0] << "," << result.values[1] << ","
+      << result.values[2];
+}
+
+// Property sweep: integerizing a slightly-perturbed fractional solution of a
+// random feasible system keeps violations small (and usually zero).
+class IntegerizePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntegerizePropertyTest, RepairKeepsViolationsSmall) {
+  Rng rng(GetParam() * 31 + 5);
+  const int n = static_cast<int>(rng.NextInt(4, 30));
+  std::vector<int64_t> witness(n);
+  for (int j = 0; j < n; ++j) witness[j] = rng.NextInt(0, 500);
+  LpProblem p;
+  p.AddVariables(n);
+  const int m = static_cast<int>(rng.NextInt(1, 8));
+  for (int i = 0; i < m; ++i) {
+    LpConstraint c;
+    int64_t rhs = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBool(0.5)) {
+        c.AddTerm(j, 1.0);
+        rhs += witness[j];
+      }
+    }
+    c.rhs = static_cast<double>(rhs);
+    p.AddConstraint(std::move(c));
+  }
+  auto sol = SolveFeasibility(p);
+  ASSERT_TRUE(sol.ok());
+  const auto result = IntegerizeSolution(p, sol->values);
+  // Simplex vertices of these systems are integral in the vast majority of
+  // cases; the repair must keep any residual small relative to the rhs.
+  EXPECT_LE(result.max_relative_violation, 0.02)
+      << "abs=" << result.max_absolute_violation;
+  for (int64_t v : result.values) EXPECT_GE(v, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegerizePropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace hydra

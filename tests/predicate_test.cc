@@ -1,0 +1,194 @@
+// Unit tests for query/predicate: DNF algebra, builders, restrictions.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/predicate.h"
+
+namespace hydra {
+namespace {
+
+TEST(AtomTest, BuildersMatchComparisons) {
+  // Domain values to probe.
+  for (Value v = -3; v <= 12; ++v) {
+    EXPECT_EQ(AtomLess(0, 5).Eval(v), v < 5) << v;
+    EXPECT_EQ(AtomLessEqual(0, 5).Eval(v), v <= 5) << v;
+    EXPECT_EQ(AtomGreater(0, 5).Eval(v), v > 5) << v;
+    EXPECT_EQ(AtomGreaterEqual(0, 5).Eval(v), v >= 5) << v;
+    EXPECT_EQ(AtomEqual(0, 5).Eval(v), v == 5) << v;
+    EXPECT_EQ(AtomNotEqual(0, 5).Eval(v), v != 5) << v;
+    EXPECT_EQ(AtomRange(0, 2, 8).Eval(v), v >= 2 && v < 8) << v;
+    EXPECT_EQ(AtomIn(0, {1, 5, 9}).Eval(v), v == 1 || v == 5 || v == 9) << v;
+  }
+}
+
+TEST(ConjunctTest, EvalIsConjunction) {
+  Conjunct c;
+  c.AddAtom(AtomGreaterEqual(0, 2));
+  c.AddAtom(AtomLess(1, 10));
+  EXPECT_TRUE(c.Eval({5, 3}));
+  EXPECT_FALSE(c.Eval({1, 3}));
+  EXPECT_FALSE(c.Eval({5, 12}));
+}
+
+TEST(ConjunctTest, EmptyConjunctIsTrue) {
+  Conjunct c;
+  EXPECT_TRUE(c.Eval({1, 2, 3}));
+}
+
+TEST(ConjunctTest, AddAtomIntersectsSameColumn) {
+  Conjunct c;
+  c.AddAtom(AtomGreaterEqual(0, 2));
+  c.AddAtom(AtomLess(0, 8));
+  ASSERT_EQ(c.atoms.size(), 1u);
+  EXPECT_TRUE(c.Eval({5}));
+  EXPECT_FALSE(c.Eval({9}));
+  EXPECT_FALSE(c.Eval({1}));
+}
+
+TEST(ConjunctTest, RestrictToClipsToDomain) {
+  Conjunct c;
+  c.AddAtom(AtomGreaterEqual(1, 4));
+  c.AddAtom(AtomLessEqual(1, 5));
+  const IntervalSet r = c.RestrictTo(1, Interval(0, 10));
+  EXPECT_EQ(r.Count(), 2);  // {4, 5}
+  EXPECT_TRUE(r.Contains(4));
+  EXPECT_TRUE(r.Contains(5));
+  // Unmentioned dimension restricts to the full domain.
+  const IntervalSet full = c.RestrictTo(0, Interval(0, 10));
+  EXPECT_EQ(full.Count(), 10);
+}
+
+TEST(ConjunctTest, Mentions) {
+  Conjunct c;
+  c.AddAtom(AtomEqual(2, 1));
+  EXPECT_TRUE(c.Mentions(2));
+  EXPECT_FALSE(c.Mentions(0));
+}
+
+TEST(DnfTest, TrueAndFalse) {
+  EXPECT_TRUE(DnfPredicate::True().IsTrue());
+  EXPECT_TRUE(DnfPredicate::True().Eval({0}));
+  EXPECT_TRUE(DnfPredicate::False().IsFalse());
+  EXPECT_FALSE(DnfPredicate::False().Eval({0}));
+}
+
+TEST(DnfTest, EvalIsDisjunctionOfConjunctions) {
+  // (c0 <= 20 ∧ c1 > 30) ∨ (c0 > 50) — the Section 4.2 example.
+  Conjunct c1;
+  c1.AddAtom(AtomLessEqual(0, 20));
+  c1.AddAtom(AtomGreater(1, 30));
+  Conjunct c2;
+  c2.AddAtom(AtomGreater(0, 50));
+  DnfPredicate p;
+  p.AddConjunct(c1);
+  p.AddConjunct(c2);
+  EXPECT_TRUE(p.Eval({10, 40}));
+  EXPECT_FALSE(p.Eval({10, 20}));
+  EXPECT_TRUE(p.Eval({60, 0}));
+  EXPECT_FALSE(p.Eval({30, 40}));
+}
+
+TEST(DnfTest, AndDistributes) {
+  DnfPredicate a = PredicateOf(AtomLess(0, 10)).Or(
+      PredicateOf(AtomGreaterEqual(0, 20)));
+  DnfPredicate b = PredicateOf(AtomEqual(1, 3));
+  DnfPredicate c = a.And(b);
+  EXPECT_EQ(c.conjuncts().size(), 2u);
+  EXPECT_TRUE(c.Eval({5, 3}));
+  EXPECT_TRUE(c.Eval({25, 3}));
+  EXPECT_FALSE(c.Eval({5, 4}));
+  EXPECT_FALSE(c.Eval({15, 3}));
+}
+
+TEST(DnfTest, AndWithTrueIsIdentity) {
+  DnfPredicate a = PredicateOf(AtomLess(0, 10));
+  DnfPredicate c = a.And(DnfPredicate::True());
+  EXPECT_TRUE(c.Eval({5}));
+  EXPECT_FALSE(c.Eval({15}));
+  EXPECT_EQ(c.conjuncts().size(), 1u);
+}
+
+TEST(DnfTest, AndWithFalseIsFalse) {
+  DnfPredicate a = PredicateOf(AtomLess(0, 10));
+  EXPECT_TRUE(a.And(DnfPredicate::False()).IsFalse());
+}
+
+TEST(DnfTest, OrConcatenates) {
+  DnfPredicate a = PredicateOf(AtomLess(0, 3));
+  DnfPredicate b = PredicateOf(AtomGreater(0, 8));
+  DnfPredicate c = a.Or(b);
+  EXPECT_EQ(c.conjuncts().size(), 2u);
+  EXPECT_TRUE(c.Eval({1}));
+  EXPECT_TRUE(c.Eval({9}));
+  EXPECT_FALSE(c.Eval({5}));
+}
+
+TEST(DnfTest, RemapColumns) {
+  DnfPredicate a = PredicateAllOf({AtomLess(0, 10), AtomEqual(1, 2)});
+  DnfPredicate b = a.RemapColumns({3, 1});
+  EXPECT_TRUE(b.Eval({0, 2, 0, 5}));
+  EXPECT_FALSE(b.Eval({0, 2, 0, 15}));
+  EXPECT_FALSE(b.Eval({0, 3, 0, 5}));
+  EXPECT_EQ(b.Columns(), (std::vector<int>{1, 3}));
+}
+
+TEST(DnfTest, ColumnsDeduplicatedSorted) {
+  Conjunct c1;
+  c1.AddAtom(AtomLess(4, 1));
+  c1.AddAtom(AtomLess(2, 1));
+  Conjunct c2;
+  c2.AddAtom(AtomLess(2, 5));
+  DnfPredicate p;
+  p.AddConjunct(c1);
+  p.AddConjunct(c2);
+  EXPECT_EQ(p.Columns(), (std::vector<int>{2, 4}));
+}
+
+TEST(DnfTest, ToStringIsReadable) {
+  EXPECT_EQ(DnfPredicate::True().ToString(), "TRUE");
+  EXPECT_EQ(DnfPredicate::False().ToString(), "FALSE");
+  const std::string s = PredicateOf(AtomRange(0, 2, 8)).ToString();
+  EXPECT_NE(s.find("c0"), std::string::npos);
+}
+
+// Property sweep: And/Or semantics equal pointwise boolean combination for
+// random predicates over a small 2-D domain.
+class DnfPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+DnfPredicate RandomPredicate(Rng& rng) {
+  DnfPredicate p;
+  const int conjuncts = static_cast<int>(rng.NextInt(1, 4));
+  for (int i = 0; i < conjuncts; ++i) {
+    Conjunct c;
+    const int atoms = static_cast<int>(rng.NextInt(1, 4));
+    for (int a = 0; a < atoms; ++a) {
+      const int col = static_cast<int>(rng.NextInt(0, 2));
+      const int64_t lo = rng.NextInt(0, 15);
+      c.AddAtom(AtomRange(col, lo, rng.NextInt(lo + 1, 16)));
+    }
+    p.AddConjunct(std::move(c));
+  }
+  return p;
+}
+
+TEST_P(DnfPropertyTest, AndOrMatchPointwise) {
+  Rng rng(GetParam() * 77 + 1);
+  const DnfPredicate a = RandomPredicate(rng);
+  const DnfPredicate b = RandomPredicate(rng);
+  const DnfPredicate both = a.And(b);
+  const DnfPredicate either = a.Or(b);
+  for (Value x = 0; x < 16; ++x) {
+    for (Value y = 0; y < 16; ++y) {
+      const Row row = {x, y};
+      EXPECT_EQ(both.Eval(row), a.Eval(row) && b.Eval(row));
+      EXPECT_EQ(either.Eval(row), a.Eval(row) || b.Eval(row));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,142 @@
+// Unit tests for hydra/preprocessor: view construction and CC rewriting.
+
+#include <gtest/gtest.h>
+
+#include "hydra/preprocessor.h"
+#include "workload/tpcds.h"
+#include "workload/toy.h"
+
+namespace hydra {
+namespace {
+
+TEST(PreprocessorTest, ToyViewsMatchPaperSection32) {
+  ToyEnvironment env = MakeToyEnvironment();
+  Preprocessor pre(env.schema);
+  auto views = pre.BuildViews();
+  ASSERT_TRUE(views.ok()) << views.status().ToString();
+  const int r = env.schema.RelationIndex("R");
+  const int s = env.schema.RelationIndex("S");
+  const int t = env.schema.RelationIndex("T");
+  // R_view(A, B, C), S_view(A, B), T_view(C).
+  EXPECT_EQ((*views)[r].num_columns(), 3);
+  EXPECT_EQ((*views)[s].num_columns(), 2);
+  EXPECT_EQ((*views)[t].num_columns(), 1);
+  EXPECT_EQ((*views)[r].total_rows, 80000u);
+}
+
+TEST(PreprocessorTest, ViewColumnsAreSupersets) {
+  // columns(V_S) ⊆ columns(V_R) whenever R references S — the invariant the
+  // summary generator's projections rely on.
+  Schema schema = TpcdsSchema(0.2);
+  Preprocessor pre(schema);
+  auto views = pre.BuildViews();
+  ASSERT_TRUE(views.ok());
+  for (int r = 0; r < schema.num_relations(); ++r) {
+    for (int dep : schema.TransitiveDependencies(r)) {
+      for (const AttrRef& ref : (*views)[dep].columns) {
+        EXPECT_GE((*views)[r].ColumnOf(ref), 0)
+            << schema.relation(r).name() << " missing "
+            << schema.QualifiedName(ref);
+      }
+    }
+  }
+}
+
+TEST(PreprocessorTest, ColumnOfFindsOwnAttrs) {
+  ToyEnvironment env = MakeToyEnvironment();
+  Preprocessor pre(env.schema);
+  auto views = pre.BuildViews();
+  ASSERT_TRUE(views.ok());
+  const int s = env.schema.RelationIndex("S");
+  const int a = env.schema.relation(s).AttrIndex("A");
+  EXPECT_EQ((*views)[s].ColumnOf(AttrRef{s, a}), 0);
+  EXPECT_EQ((*views)[s].ColumnOf(AttrRef{s, 99}), -1);
+}
+
+TEST(PreprocessorTest, JoinCcRewrittenOntoRootView) {
+  ToyEnvironment env = MakeToyEnvironment();
+  Preprocessor pre(env.schema);
+  auto views = pre.BuildViews();
+  ASSERT_TRUE(views.ok());
+  auto mapped = pre.MapConstraints(*views, env.ccs);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const int r = env.schema.RelationIndex("R");
+  const int s = env.schema.RelationIndex("S");
+  const int t = env.schema.RelationIndex("T");
+  // R gets: |R| (TRUE), the R⋈S CC and the R⋈S⋈T CC.
+  EXPECT_EQ((*mapped)[r].size(), 3u);
+  // S gets |S| and the filter CC; T likewise.
+  EXPECT_EQ((*mapped)[s].size(), 2u);
+  EXPECT_EQ((*mapped)[t].size(), 2u);
+
+  // The rewritten R⋈S⋈T predicate must evaluate over R_view columns: find it
+  // and probe semantics. R_view columns are (S.A, S.B, T.C) in some order.
+  const View& rv = (*views)[r];
+  const ViewConstraint* joint = nullptr;
+  for (const ViewConstraint& vc : (*mapped)[r]) {
+    if (vc.cardinality == 30000) joint = &vc;
+  }
+  ASSERT_NE(joint, nullptr);
+  Row probe(rv.num_columns(), 0);
+  const int s_a = rv.ColumnOf(AttrRef{s, env.schema.relation(s).AttrIndex("A")});
+  const int t_c = rv.ColumnOf(AttrRef{t, env.schema.relation(t).AttrIndex("C")});
+  ASSERT_GE(s_a, 0);
+  ASSERT_GE(t_c, 0);
+  probe[s_a] = 30;
+  probe[t_c] = 2;
+  EXPECT_TRUE(joint->predicate.Eval(probe));
+  probe[t_c] = 5;
+  EXPECT_FALSE(joint->predicate.Eval(probe));
+}
+
+TEST(PreprocessorTest, RejectsUnreachableJoin) {
+  ToyEnvironment env = MakeToyEnvironment();
+  Preprocessor pre(env.schema);
+  auto views = pre.BuildViews();
+  ASSERT_TRUE(views.ok());
+  CardinalityConstraint bad;
+  // Root S cannot reach T.
+  bad.relations = {env.schema.RelationIndex("S"),
+                   env.schema.RelationIndex("T")};
+  bad.predicate = DnfPredicate::True();
+  bad.cardinality = 1;
+  bad.label = "bad";
+  auto mapped = pre.MapConstraints(*views, {bad});
+  EXPECT_FALSE(mapped.ok());
+}
+
+TEST(PreprocessorTest, RejectsDuplicateFkTarget) {
+  Schema s;
+  Relation d("d", 10);
+  d.AddPrimaryKey("d_pk");
+  d.AddDataAttribute("x", Interval(0, 5));
+  const int rd = s.AddRelation(std::move(d));
+  Relation f("f", 100);
+  f.AddPrimaryKey("f_pk");
+  f.AddForeignKey("fk1", rd);
+  f.AddForeignKey("fk2", rd);  // second FK to the same relation
+  s.AddRelation(std::move(f));
+  Preprocessor pre(s);
+  auto views = pre.BuildViews();
+  ASSERT_FALSE(views.ok());
+  EXPECT_EQ(views.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PreprocessorTest, TpcdsViewsBuild) {
+  Schema schema = TpcdsSchema(0.2);
+  Preprocessor pre(schema);
+  auto views = pre.BuildViews();
+  ASSERT_TRUE(views.ok());
+  // store_sales borrows from 6 direct + transitive dims.
+  const int ss = schema.RelationIndex("store_sales");
+  const View& v = (*views)[ss];
+  EXPECT_GT(v.num_columns(), 25);
+  // customer's own view is a subset.
+  const int c = schema.RelationIndex("customer");
+  for (const AttrRef& ref : (*views)[c].columns) {
+    EXPECT_GE(v.ColumnOf(ref), 0);
+  }
+}
+
+}  // namespace
+}  // namespace hydra

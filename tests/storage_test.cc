@@ -1,0 +1,115 @@
+// Unit tests for storage/disk_table.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "storage/disk_table.h"
+
+namespace hydra {
+namespace {
+
+class DiskTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hydra_storage_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskTableTest, WriteScanRoundTrip) {
+  const std::string path = Path("t1.tbl");
+  DiskTableWriter writer(path, 3);
+  ASSERT_TRUE(writer.Open().ok());
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(writer.Append({i, i * 2, -i}).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(writer.rows_written(), 1000u);
+
+  int64_t next = 0;
+  auto rows = ScanDiskTable(path, [&](const Row& r) {
+    EXPECT_EQ(r[0], next);
+    EXPECT_EQ(r[1], next * 2);
+    EXPECT_EQ(r[2], -next);
+    ++next;
+  });
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 1000u);
+  EXPECT_EQ(next, 1000);
+}
+
+TEST_F(DiskTableTest, ReadWholeTable) {
+  const std::string path = Path("t2.tbl");
+  Table t(2);
+  t.AppendRow({1, 2});
+  t.AppendRow({3, 4});
+  ASSERT_TRUE(WriteDiskTable(t, path).ok());
+  auto back = ReadDiskTable(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->At(1, 1), 4);
+}
+
+TEST_F(DiskTableTest, EmptyTableRoundTrip) {
+  const std::string path = Path("t3.tbl");
+  DiskTableWriter writer(path, 4);
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto rows = ScanDiskTable(path, [](const Row&) { FAIL(); });
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 0u);
+}
+
+TEST_F(DiskTableTest, LargeBatchCrossesBufferBoundary) {
+  // More rows than the 64K-row internal buffer.
+  const std::string path = Path("t4.tbl");
+  DiskTableWriter writer(path, 1);
+  ASSERT_TRUE(writer.Open().ok());
+  const int64_t n = 70000;
+  for (int64_t i = 0; i < n; ++i) ASSERT_TRUE(writer.Append({i}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  int64_t sum = 0;
+  auto rows = ScanDiskTable(path, [&](const Row& r) { sum += r[0]; });
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, static_cast<uint64_t>(n));
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST_F(DiskTableTest, MissingFileIsIoError) {
+  auto rows = ScanDiskTable(Path("nope.tbl"), [](const Row&) {});
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DiskTableTest, CorruptHeaderRejected) {
+  const std::string path = Path("garbage.tbl");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "not a hydra table";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_FALSE(ScanDiskTable(path, [](const Row&) {}).ok());
+  EXPECT_FALSE(ReadDiskTable(path).ok());
+}
+
+TEST_F(DiskTableTest, BytesReflectsContent) {
+  const std::string path = Path("t5.tbl");
+  Table t(2);
+  for (int i = 0; i < 100; ++i) t.AppendRow({i, i});
+  ASSERT_TRUE(WriteDiskTable(t, path).ok());
+  auto bytes = DiskTableBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  // Header (24 bytes) + 200 values.
+  EXPECT_EQ(*bytes, 24u + 200u * sizeof(Value));
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,114 @@
+// Tests for hydra/summary_io: summary serialization round trips.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "hydra/regenerator.h"
+#include "hydra/summary_io.h"
+#include "hydra/tuple_generator.h"
+#include "workload/toy.h"
+
+namespace hydra {
+namespace {
+
+class SummaryIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hydra_sio_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    ToyEnvironment env = MakeToyEnvironment();
+    schema_ = env.schema;
+    HydraRegenerator hydra(env.schema);
+    auto result = hydra.Regenerate(env.ccs);
+    ASSERT_TRUE(result.ok());
+    summary_ = std::move(result->summary);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+  Schema schema_;
+  DatabaseSummary summary_;
+};
+
+TEST_F(SummaryIoTest, RoundTripPreservesEverything) {
+  auto bytes = WriteSummary(summary_, Path("toy.summary"));
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_GT(*bytes, 0u);
+
+  auto back = ReadSummary(Path("toy.summary"));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  // Schema round trip.
+  ASSERT_EQ(back->schema.num_relations(), schema_.num_relations());
+  for (int r = 0; r < schema_.num_relations(); ++r) {
+    EXPECT_EQ(back->schema.relation(r).name(), schema_.relation(r).name());
+    EXPECT_EQ(back->schema.relation(r).num_attributes(),
+              schema_.relation(r).num_attributes());
+    EXPECT_EQ(back->schema.relation(r).PrimaryKeyIndex(),
+              schema_.relation(r).PrimaryKeyIndex());
+  }
+  EXPECT_TRUE(back->schema.Validate().ok());
+
+  // Summary rows round trip.
+  ASSERT_EQ(back->relations.size(), summary_.relations.size());
+  for (size_t r = 0; r < summary_.relations.size(); ++r) {
+    const RelationSummary& a = summary_.relations[r];
+    const RelationSummary& b = back->relations[r];
+    EXPECT_EQ(a.attr_indices, b.attr_indices);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+      EXPECT_EQ(a.rows[i].values, b.rows[i].values);
+      EXPECT_EQ(a.rows[i].count, b.rows[i].count);
+    }
+    EXPECT_EQ(a.prefix_counts, b.prefix_counts) << "Finalize() on load";
+  }
+  EXPECT_EQ(back->extra_tuples, summary_.extra_tuples);
+}
+
+TEST_F(SummaryIoTest, LoadedSummaryDrivesTupleGenerator) {
+  ASSERT_TRUE(WriteSummary(summary_, Path("toy.summary")).ok());
+  auto back = ReadSummary(Path("toy.summary"));
+  ASSERT_TRUE(back.ok());
+
+  TupleGenerator original(summary_);
+  TupleGenerator loaded(*back);
+  for (int r = 0; r < schema_.num_relations(); ++r) {
+    ASSERT_EQ(original.RowCount(r), loaded.RowCount(r));
+    Row a, b;
+    const int64_t n = static_cast<int64_t>(original.RowCount(r));
+    for (int64_t probe = 0; probe < n; probe += std::max<int64_t>(1, n / 7)) {
+      original.GetTuple(r, probe, &a);
+      loaded.GetTuple(r, probe, &b);
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST_F(SummaryIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadSummary(Path("nope.summary")).ok());
+}
+
+TEST_F(SummaryIoTest, GarbageFileFails) {
+  std::FILE* f = std::fopen(Path("junk.summary").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[32] = "definitely not a summary";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadSummary(Path("junk.summary")).ok());
+}
+
+TEST_F(SummaryIoTest, TruncatedFileFails) {
+  ASSERT_TRUE(WriteSummary(summary_, Path("full.summary")).ok());
+  // Copy a truncated prefix.
+  auto full = std::filesystem::file_size(Path("full.summary"));
+  std::filesystem::copy_file(Path("full.summary"), Path("cut.summary"));
+  std::filesystem::resize_file(Path("cut.summary"), full / 2);
+  EXPECT_FALSE(ReadSummary(Path("cut.summary")).ok());
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,152 @@
+// Unit + property tests for hydra/view_graph: chordal decomposition, maximal
+// cliques, clique-tree order with the running-intersection property.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hydra/view_graph.h"
+
+namespace hydra {
+namespace {
+
+ViewConstraint MakeVc(std::vector<int> columns) {
+  ViewConstraint vc;
+  Conjunct c;
+  for (int col : columns) c.AddAtom(AtomRange(col, 0, 5));
+  vc.predicate.AddConjunct(std::move(c));
+  vc.cardinality = 1;
+  return vc;
+}
+
+TEST(ViewGraphTest, NoConstraintsNoSubViews) {
+  EXPECT_TRUE(DecomposeView(5, {}).empty());
+}
+
+TEST(ViewGraphTest, SingleConstraintSingleClique) {
+  const auto svs = DecomposeView(5, {MakeVc({1, 3})});
+  ASSERT_EQ(svs.size(), 1u);
+  EXPECT_EQ(svs[0].columns, (std::vector<int>{1, 3}));
+  EXPECT_EQ(svs[0].parent, -1);
+  EXPECT_TRUE(svs[0].separator.empty());
+}
+
+TEST(ViewGraphTest, ChainDecomposesIntoTwoCliquesWithSeparator) {
+  // CCs on (A,B) and (B,C): cliques {A,B} and {B,C}, separator {B}.
+  const auto svs = DecomposeView(3, {MakeVc({0, 1}), MakeVc({1, 2})});
+  ASSERT_EQ(svs.size(), 2u);
+  EXPECT_EQ(svs[0].parent, -1);
+  EXPECT_EQ(svs[1].parent, 0);
+  EXPECT_EQ(svs[1].separator, std::vector<int>{1});
+}
+
+TEST(ViewGraphTest, TriangleIsOneClique) {
+  const auto svs =
+      DecomposeView(3, {MakeVc({0, 1}), MakeVc({1, 2}), MakeVc({0, 2})});
+  ASSERT_EQ(svs.size(), 1u);
+  EXPECT_EQ(svs[0].columns, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ViewGraphTest, FourCycleGetsChordalFill) {
+  // 0-1, 1-2, 2-3, 3-0: chordal completion adds one chord → two triangles.
+  const auto svs = DecomposeView(
+      4, {MakeVc({0, 1}), MakeVc({1, 2}), MakeVc({2, 3}), MakeVc({0, 3})});
+  ASSERT_EQ(svs.size(), 2u);
+  EXPECT_EQ(svs[0].columns.size(), 3u);
+  EXPECT_EQ(svs[1].columns.size(), 3u);
+  EXPECT_EQ(svs[1].separator.size(), 2u);  // the chord
+}
+
+TEST(ViewGraphTest, DisconnectedComponentsEmptySeparator) {
+  const auto svs = DecomposeView(4, {MakeVc({0, 1}), MakeVc({2, 3})});
+  ASSERT_EQ(svs.size(), 2u);
+  EXPECT_TRUE(svs[1].separator.empty());
+}
+
+TEST(ViewGraphTest, UnmentionedColumnsExcluded) {
+  const auto svs = DecomposeView(10, {MakeVc({7})});
+  ASSERT_EQ(svs.size(), 1u);
+  EXPECT_EQ(svs[0].columns, std::vector<int>{7});
+}
+
+TEST(ViewGraphTest, EveryConstraintCoveredBySomeSubView) {
+  // A CC's columns always form a clique, so some maximal clique covers them.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ViewConstraint> vcs;
+    const int n = 8;
+    const int k = static_cast<int>(rng.NextInt(1, 8));
+    for (int i = 0; i < k; ++i) {
+      std::vector<int> cols;
+      const int arity = static_cast<int>(rng.NextInt(1, 5));
+      for (int a = 0; a < arity; ++a) {
+        cols.push_back(static_cast<int>(rng.NextInt(0, n)));
+      }
+      std::sort(cols.begin(), cols.end());
+      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+      vcs.push_back(MakeVc(cols));
+    }
+    const auto svs = DecomposeView(n, vcs);
+    for (const ViewConstraint& vc : vcs) {
+      const auto cols = vc.predicate.Columns();
+      bool covered = false;
+      for (const SubView& sv : svs) {
+        if (std::includes(sv.columns.begin(), sv.columns.end(), cols.begin(),
+                          cols.end())) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+// Running-intersection property: when sub-views are merged in the returned
+// order, each sub-view's intersection with the union of its predecessors is
+// exactly its separator — the paper's ordering condition (Section 5.1.1).
+class ViewGraphRipTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ViewGraphRipTest, OrderSatisfiesRunningIntersection) {
+  Rng rng(GetParam() * 97 + 13);
+  const int n = static_cast<int>(rng.NextInt(4, 12));
+  std::vector<ViewConstraint> vcs;
+  const int k = static_cast<int>(rng.NextInt(2, 10));
+  for (int i = 0; i < k; ++i) {
+    std::vector<int> cols;
+    const int arity = static_cast<int>(rng.NextInt(2, 5));
+    for (int a = 0; a < arity; ++a) {
+      cols.push_back(static_cast<int>(rng.NextInt(0, n)));
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    vcs.push_back(MakeVc(cols));
+  }
+  const auto svs = DecomposeView(n, vcs);
+  std::set<int> seen;
+  for (size_t s = 0; s < svs.size(); ++s) {
+    std::vector<int> shared;
+    for (int c : svs[s].columns) {
+      if (seen.count(c)) shared.push_back(c);
+    }
+    if (s == 0) {
+      EXPECT_TRUE(shared.empty());
+    } else {
+      ASSERT_GE(svs[s].parent, 0);
+      ASSERT_LT(svs[s].parent, static_cast<int>(s))
+          << "parents must precede children";
+      EXPECT_EQ(shared, svs[s].separator)
+          << "sub-view " << s << ": intersection with predecessors must "
+          << "equal the clique-tree separator";
+    }
+    for (int c : svs[s].columns) seen.insert(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewGraphRipTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace hydra
