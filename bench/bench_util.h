@@ -9,8 +9,11 @@
 #define HYDRA_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/text_table.h"
@@ -52,6 +55,77 @@ inline ClientSite BuildTpcdsSite(double scale_factor, TpcdsWorkloadKind kind,
   HYDRA_CHECK_MSG(site.ok(), site.status().ToString());
   return std::move(*site);
 }
+
+// Machine-readable measurement records, enabled by `--json` on the bench
+// command line. Each Record() call adds one {name, seconds, iterations}
+// object and rewrites the JSON array at `BENCH_<bench name>.json` in the
+// working directory (or at the path given as `--json=<path>`), so
+// successive PRs can diff a perf trajectory — and a bench that aborts
+// mid-run still leaves the measurements taken so far on disk. Without the
+// flag, Record() is a no-op and nothing is written.
+class JsonReporter {
+ public:
+  JsonReporter(const std::string& bench_name, int argc, char** argv)
+      : path_("BENCH_" + bench_name + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        enabled_ = true;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        enabled_ = true;
+        path_ = argv[i] + 7;
+      }
+    }
+  }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() {
+    if (enabled_ && !records_.empty()) {
+      std::printf("JSON records written to %s\n", path_.c_str());
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  void Record(const std::string& name, double seconds,
+              uint64_t iterations = 1) {
+    if (!enabled_) return;
+    records_.push_back({name, seconds, iterations});
+    WriteFile();
+  }
+
+ private:
+  struct Rec {
+    std::string name;
+    double seconds;
+    uint64_t iterations;
+  };
+
+  void WriteFile() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   path_.empty() ? "(empty --json= path)" : path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Rec& r = records_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"seconds\": %.9g, "
+                   "\"iterations\": %llu}%s\n",
+                   r.name.c_str(), r.seconds,
+                   static_cast<unsigned long long>(r.iterations),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+  bool enabled_ = false;
+  std::string path_;
+  std::vector<Rec> records_;
+};
 
 }  // namespace hydra::bench
 

@@ -17,10 +17,11 @@
 #include "hydra/tuple_generator.h"
 #include "storage/disk_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
   using namespace hydra::bench;
 
+  JsonReporter json("fig14_materialization", argc, argv);
   PrintHeader("Figure 14 — Data Materialization Time",
               "10/100/1000 GB: DataSynth 4 h / 42 h / >1 week vs Hydra "
               "2 min / 11 min / 1.6 h");
@@ -42,6 +43,8 @@ int main() {
     auto bytes = MaterializeToDisk(result->summary, dir.string());
     HYDRA_CHECK_OK(bytes.status());
     const double hydra_seconds = hydra_timer.Seconds();
+    json.Record("hydra_materialize_sf" + TextTable::Cell(sf, 0),
+                hydra_seconds);
 
     // DataSynth: sampling instantiation + repair + extraction -> disk.
     DataSynthRegenerator ds(site.schema);

@@ -15,6 +15,10 @@ void Table::AppendRaw(const Value* row) {
   data_.insert(data_.end(), row, row + num_columns_);
 }
 
+void Table::AppendBlock(const Value* rows, int64_t num_rows) {
+  data_.insert(data_.end(), rows, rows + num_rows * num_columns_);
+}
+
 void Table::GetRow(uint64_t row, Row* out) const {
   out->assign(RowPtr(row), RowPtr(row) + num_columns_);
 }

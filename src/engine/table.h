@@ -33,6 +33,8 @@ class Table {
   void AppendRow(const Row& row);
   // Appends a row given as a raw pointer to num_columns() values.
   void AppendRaw(const Value* row);
+  // Appends `num_rows` contiguous row-major rows in one insertion.
+  void AppendBlock(const Value* rows, int64_t num_rows);
 
   Value At(uint64_t row, int col) const {
     return data_[row * num_columns_ + col];

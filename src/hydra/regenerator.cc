@@ -1,8 +1,10 @@
 #include "hydra/regenerator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
+#include "common/thread_pool.h"
 #include "hydra/formulator.h"
 #include "hydra/preprocessor.h"
 #include "hydra/summary_generator.h"
@@ -44,35 +46,72 @@ StatusOr<RegenerationResult> HydraRegenerator::Regenerate(
                          pre.MapConstraints(views, ccs));
 
   SummaryGenerator generator(schema_);
-  std::vector<ViewSummary> summaries(views.size());
+  const int num_views = static_cast<int>(views.size());
+  std::vector<ViewSummary> summaries(num_views);
+  std::vector<ViewReport> reports(num_views);
+  std::vector<Status> statuses(num_views, Status::OK());
 
-  for (size_t v = 0; v < views.size(); ++v) {
-    ViewReport report;
+  // The per-view stages — formulate, solve, integerize, build the view
+  // summary — touch no state shared between views, so they run as one task
+  // per view. Every task writes only its own slot; reduction below is in
+  // view order, so the output is identical to the sequential path no matter
+  // how the tasks interleave.
+  const int pool_threads = std::min(
+      num_views == 0 ? 1 : num_views,
+      options_.num_threads > 0 ? options_.num_threads
+                               : ThreadPool::DefaultThreads());
+  // Once any view fails, tasks that have not started yet bail immediately —
+  // the whole Regenerate returns an error either way, so finishing the
+  // remaining solves is wasted work. Which failing view's status is reported
+  // can then depend on scheduling (the lowest-indexed view that actually
+  // ran and failed); the success path is unaffected and stays deterministic.
+  std::atomic<bool> any_failed{false};
+  ThreadPool pool(pool_threads);
+  ParallelFor(pool, num_views, [&](int v) {
+    if (any_failed.load(std::memory_order_relaxed)) return;
+    ViewReport& report = reports[v];
     report.relation = views[v].relation;
 
     const auto tf = std::chrono::steady_clock::now();
-    HYDRA_ASSIGN_OR_RETURN(
-        ViewLp lp, FormulateViewLp(views[v], view_constraints[v]));
+    auto lp_or = FormulateViewLp(views[v], view_constraints[v]);
+    if (!lp_or.ok()) {
+      statuses[v] = lp_or.status();
+      any_failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    ViewLp& lp = *lp_or;
     report.formulate_seconds = SecondsSince(tf);
     report.num_subviews = static_cast<int>(lp.subviews.size());
     report.lp_variables = lp.problem.num_vars();
     report.lp_constraints = lp.problem.num_constraints();
 
     const auto ts = std::chrono::steady_clock::now();
-    HYDRA_ASSIGN_OR_RETURN(LpSolution lp_solution,
-                           SolveFeasibility(lp.problem, options_.simplex));
-    report.lp_iterations = lp_solution.iterations;
+    auto lp_solution = SolveFeasibility(lp.problem, options_.simplex);
+    if (!lp_solution.ok()) {
+      statuses[v] = lp_solution.status();
+      any_failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    report.lp_iterations = lp_solution->iterations;
     IntegerizeResult integers = IntegerizeSolution(
-        lp.problem, lp_solution.values, options_.integerize_passes);
+        lp.problem, lp_solution->values, options_.integerize_passes);
     report.solve_seconds = SecondsSince(ts);
     report.max_abs_violation = integers.max_absolute_violation;
     report.max_rel_violation = integers.max_relative_violation;
 
-    HYDRA_ASSIGN_OR_RETURN(
-        summaries[v],
-        generator.BuildViewSummary(views[v], lp, integers.values));
-    result.views.push_back(report);
-  }
+    auto summary_or =
+        generator.BuildViewSummary(views[v], lp, integers.values);
+    if (!summary_or.ok()) {
+      statuses[v] = summary_or.status();
+      any_failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    summaries[v] = *std::move(summary_or);
+  });
+
+  // First recorded failure in view order wins.
+  for (const Status& s : statuses) HYDRA_RETURN_IF_ERROR(s);
+  result.views = std::move(reports);
 
   HYDRA_ASSIGN_OR_RETURN(
       result.summary,

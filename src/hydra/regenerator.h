@@ -30,6 +30,11 @@ struct HydraOptions {
   SimplexOptions simplex;
   // Extra repair passes for LP integerization.
   int integerize_passes = 8;
+  // Worker threads for the per-view formulate/solve/integerize stage.
+  // 0 = one per hardware thread (capped at the view count); 1 = sequential.
+  // The produced summary is byte-identical regardless of the setting — each
+  // view writes its own slot and reduction happens in view order.
+  int num_threads = 0;
 };
 
 // Diagnostics for one view's pipeline stage.

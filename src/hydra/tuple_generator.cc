@@ -1,5 +1,8 @@
 #include "hydra/tuple_generator.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/logging.h"
 #include "storage/disk_table.h"
 
@@ -7,10 +10,24 @@ namespace hydra {
 
 TupleGenerator::TupleGenerator(const DatabaseSummary& summary)
     : summary_(summary) {
-  for (const RelationSummary& rs : summary_.relations) {
+  const int num_relations = static_cast<int>(summary_.relations.size());
+  pk_attr_.resize(num_relations);
+  uncovered_attrs_.resize(num_relations);
+  for (int r = 0; r < num_relations; ++r) {
+    const RelationSummary& rs = summary_.relations[r];
     HYDRA_CHECK_MSG(!rs.rows.empty() == !rs.prefix_counts.empty() &&
                         rs.prefix_counts.size() == rs.rows.size(),
                     "relation summary not finalized");
+    const Relation& rel = summary_.schema.relation(r);
+    pk_attr_[r] = rel.PrimaryKeyIndex();
+    // Attributes neither produced by the summary nor the PK default to 0;
+    // they are zeroed once per output buffer instead of once per tuple.
+    std::vector<char> covered(rel.num_attributes(), 0);
+    for (int a : rs.attr_indices) covered[a] = 1;
+    if (pk_attr_[r] >= 0) covered[pk_attr_[r]] = 1;
+    for (int a = 0; a < rel.num_attributes(); ++a) {
+      if (!covered[a]) uncovered_attrs_[r].push_back(a);
+    }
   }
 }
 
@@ -21,12 +38,11 @@ uint64_t TupleGenerator::RowCount(int relation) const {
 void TupleGenerator::FillRow(int relation, int summary_row, int64_t pk,
                              Row* out) const {
   const RelationSummary& rs = summary_.relations[relation];
-  const Relation& rel = summary_.schema.relation(relation);
-  const int pk_attr = rel.PrimaryKeyIndex();
   const SolutionRow& srow = rs.rows[summary_row];
   for (size_t i = 0; i < rs.attr_indices.size(); ++i) {
     (*out)[rs.attr_indices[i]] = srow.values[i];
   }
+  const int pk_attr = pk_attr_[relation];
   if (pk_attr >= 0) (*out)[pk_attr] = pk;
 }
 
@@ -34,11 +50,13 @@ void TupleGenerator::Scan(int relation,
                           const std::function<void(const Row&)>& fn) const {
   const RelationSummary& rs = summary_.relations[relation];
   const Relation& rel = summary_.schema.relation(relation);
+  const int pk_attr = pk_attr_[relation];
   Row row(rel.num_attributes(), 0);
   int64_t pk = 0;
   for (size_t i = 0; i < rs.rows.size(); ++i) {
+    // All tuples of a summary row share its attribute values: fill once,
+    // then only rewrite the PK in the inner loop.
     FillRow(relation, static_cast<int>(i), pk, &row);
-    const int pk_attr = rel.PrimaryKeyIndex();
     for (int64_t k = 0; k < rs.rows[i].count; ++k) {
       if (pk_attr >= 0) row[pk_attr] = pk;
       fn(row);
@@ -47,14 +65,58 @@ void TupleGenerator::Scan(int relation,
   }
 }
 
+void TupleGenerator::ScanBlocks(
+    int relation, int64_t block_rows,
+    const std::function<void(const Value*, int64_t)>& fn) const {
+  HYDRA_CHECK_MSG(block_rows > 0, "block_rows must be positive");
+  const RelationSummary& rs = summary_.relations[relation];
+  const Relation& rel = summary_.schema.relation(relation);
+  const int width = rel.num_attributes();
+  const int pk_attr = pk_attr_[relation];
+  Row row(width, 0);
+  std::vector<Value> block(static_cast<size_t>(block_rows) * width);
+  int64_t filled = 0;
+  int64_t pk = 0;
+  for (size_t i = 0; i < rs.rows.size(); ++i) {
+    FillRow(relation, static_cast<int>(i), pk, &row);
+    for (int64_t k = 0; k < rs.rows[i].count; ++k) {
+      if (pk_attr >= 0) row[pk_attr] = pk;
+      std::memcpy(block.data() + filled * width, row.data(),
+                  sizeof(Value) * width);
+      ++pk;
+      if (++filled == block_rows) {
+        fn(block.data(), filled);
+        filled = 0;
+      }
+    }
+  }
+  if (filled > 0) fn(block.data(), filled);
+}
+
 void TupleGenerator::GetTuple(int relation, int64_t r, Row* out) const {
   const RelationSummary& rs = summary_.relations[relation];
   HYDRA_CHECK_MSG(r >= 0 && r < rs.TotalCount(),
                   "tuple index " << r << " out of range for relation "
                                  << summary_.schema.relation(relation).name());
-  out->assign(summary_.schema.relation(relation).num_attributes(), 0);
+  const int width = summary_.schema.relation(relation).num_attributes();
+  // FillRow covers every summary attribute and the PK; only attributes the
+  // summary never mentions need zeroing, so repeated calls reusing one
+  // buffer skip the full per-call reassignment.
+  if (static_cast<int>(out->size()) != width) {
+    out->assign(width, 0);
+  } else {
+    for (int a : uncovered_attrs_[relation]) (*out)[a] = 0;
+  }
   FillRow(relation, rs.RowIndexForTuple(r), r, out);
 }
+
+namespace {
+
+// Rows per materialization block: large enough to amortize per-call work,
+// small enough to stay cache-resident (64 KiB of Values at 16 columns).
+constexpr int64_t kMaterializeBlockRows = 512;
+
+}  // namespace
 
 StatusOr<Database> MaterializeDatabase(const DatabaseSummary& summary) {
   Database db(summary.schema);
@@ -62,7 +124,10 @@ StatusOr<Database> MaterializeDatabase(const DatabaseSummary& summary) {
   for (int r = 0; r < summary.schema.num_relations(); ++r) {
     Table& table = db.table(r);
     table.Reserve(gen.RowCount(r));
-    gen.Scan(r, [&](const Row& row) { table.AppendRow(row); });
+    gen.ScanBlocks(r, kMaterializeBlockRows,
+                   [&](const Value* rows, int64_t n) {
+                     table.AppendBlock(rows, n);
+                   });
   }
   return db;
 }
@@ -77,9 +142,12 @@ StatusOr<uint64_t> MaterializeToDisk(const DatabaseSummary& summary,
     DiskTableWriter writer(path, rel.num_attributes());
     HYDRA_RETURN_IF_ERROR(writer.Open());
     Status append_status = Status::OK();
-    gen.Scan(r, [&](const Row& row) {
-      if (append_status.ok()) append_status = writer.Append(row);
-    });
+    gen.ScanBlocks(r, kMaterializeBlockRows,
+                   [&](const Value* rows, int64_t n) {
+                     if (append_status.ok()) {
+                       append_status = writer.AppendBlock(rows, n);
+                     }
+                   });
     HYDRA_RETURN_IF_ERROR(append_status);
     HYDRA_RETURN_IF_ERROR(writer.Close());
     HYDRA_ASSIGN_OR_RETURN(const uint64_t bytes, DiskTableBytes(path));

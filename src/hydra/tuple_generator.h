@@ -28,6 +28,14 @@ class TupleGenerator : public TableSource {
             const std::function<void(const Row&)>& fn) const override;
   uint64_t RowCount(int relation) const override;
 
+  // Batched generation in PK order: invokes `fn` with contiguous row-major
+  // blocks of up to `block_rows` rows (width = the relation's attribute
+  // count). Block boundaries are an implementation detail; concatenating
+  // the blocks yields exactly the Scan() sequence. Used by the
+  // materialization paths to write in blocks instead of per row.
+  void ScanBlocks(int relation, int64_t block_rows,
+                  const std::function<void(const Value*, int64_t)>& fn) const;
+
   // Random access: fills `out` with the tuple whose PK is `r`.
   void GetTuple(int relation, int64_t r, Row* out) const;
 
@@ -37,6 +45,9 @@ class TupleGenerator : public TableSource {
   void FillRow(int relation, int summary_row, int64_t pk, Row* out) const;
 
   const DatabaseSummary& summary_;
+  // Per-relation invariants hoisted out of the per-tuple paths.
+  std::vector<int> pk_attr_;
+  std::vector<std::vector<int>> uncovered_attrs_;
 };
 
 // Materializes the summary into an in-memory database (the "static

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <vector>
 
 #include "common/logging.h"
@@ -10,69 +11,141 @@ namespace hydra {
 
 namespace {
 
-struct SparseEntry {
-  int row;
-  double coeff;
-};
-
-// Column-major copy of the constraint matrix (rows with b < 0 negated so that
-// b >= 0, as phase-I requires).
+// Compressed-sparse-column copy of the constraint matrix (rows with b < 0
+// negated so that b >= 0, as phase-I requires). Built in two passes —
+// count, prefix-sum, scatter — so the whole matrix lives in three flat
+// arrays instead of one heap allocation per column.
 struct ColumnMatrix {
   int m = 0;
   int n = 0;
-  std::vector<std::vector<SparseEntry>> cols;
+  std::vector<int> col_ptr;   // n + 1
+  std::vector<int> row_idx;   // nnz
+  std::vector<double> val;    // nnz
   std::vector<double> b;
+
+  int ColNnz(int j) const { return col_ptr[j + 1] - col_ptr[j]; }
 };
 
 ColumnMatrix BuildColumns(const LpProblem& p) {
   ColumnMatrix cm;
   cm.m = p.num_constraints();
   cm.n = p.num_vars();
-  cm.cols.resize(cm.n);
   cm.b.resize(cm.m);
+  cm.col_ptr.assign(cm.n + 1, 0);
+  for (const LpConstraint& c : p.constraints()) {
+    for (int v : c.vars) ++cm.col_ptr[v + 1];
+  }
+  for (int j = 0; j < cm.n; ++j) cm.col_ptr[j + 1] += cm.col_ptr[j];
+  cm.row_idx.resize(cm.col_ptr[cm.n]);
+  cm.val.resize(cm.col_ptr[cm.n]);
+  std::vector<int> fill(cm.col_ptr.begin(), cm.col_ptr.end() - 1);
   for (int r = 0; r < cm.m; ++r) {
     const LpConstraint& c = p.constraints()[r];
     const double sign = c.rhs < 0 ? -1.0 : 1.0;
     cm.b[r] = sign * c.rhs;
     for (size_t i = 0; i < c.vars.size(); ++i) {
-      cm.cols[c.vars[i]].push_back({r, sign * c.coeffs[i]});
+      const int slot = fill[c.vars[i]]++;
+      cm.row_idx[slot] = r;
+      cm.val[slot] = sign * c.coeffs[i];
     }
   }
-  // Merge duplicate (var, row) entries defensively.
-  for (auto& col : cm.cols) {
-    std::sort(col.begin(), col.end(),
-              [](const SparseEntry& a, const SparseEntry& b) {
-                return a.row < b.row;
-              });
-    size_t w = 0;
-    for (size_t i = 0; i < col.size(); ++i) {
-      if (w > 0 && col[w - 1].row == col[i].row) {
-        col[w - 1].coeff += col[i].coeff;
-      } else {
-        col[w++] = col[i];
-      }
-    }
-    col.resize(w);
-  }
+  // Duplicate (var, row) pairs are left as-is: every consumer accumulates
+  // with +=, so repeated terms sum exactly as the model intends.
   return cm;
 }
 
+// The product-form inverse: B^-1 = E_k^-1 ... E_1^-1, each eta a sparse
+// elementary column transform recorded at pivot (or refactorization) time.
+// Applying an eta to a vector v replaces v[pivot_row] with
+// pivot_mult * v[pivot_row] and adds entry.coeff * v_pivot_old to every
+// other listed row. Entries are pooled in one flat array.
+struct EtaFile {
+  struct Header {
+    int pivot_row;
+    double pivot_mult;  // 1 / w[pivot_row]
+    int begin;          // [begin, end) into rows/coeffs
+    int end;
+  };
+  std::vector<Header> etas;
+  std::vector<int> rows;
+  std::vector<double> coeffs;  // -w[i] / w[pivot_row]
+
+  size_t TotalNnz() const { return rows.size() + etas.size(); }
+
+  // Builds an eta from a dense FTRAN'd column `w` pivoting at `pivot_row`.
+  void Append(const std::vector<double>& w, int pivot_row) {
+    Header h;
+    h.pivot_row = pivot_row;
+    h.pivot_mult = 1.0 / w[pivot_row];
+    h.begin = static_cast<int>(rows.size());
+    const int m = static_cast<int>(w.size());
+    for (int i = 0; i < m; ++i) {
+      if (i != pivot_row && w[i] != 0.0) {
+        rows.push_back(i);
+        coeffs.push_back(-w[i] * h.pivot_mult);
+      }
+    }
+    h.end = static_cast<int>(rows.size());
+    etas.push_back(h);
+  }
+
+  // v = B^-1 v via a forward sweep. Etas whose pivot row is currently zero
+  // are skipped entirely — the sparsity win.
+  void Ftran(std::vector<double>& v) const {
+    for (const Header& h : etas) {
+      const double vr = v[h.pivot_row];
+      if (vr == 0.0) continue;
+      v[h.pivot_row] = h.pivot_mult * vr;
+      for (int t = h.begin; t < h.end; ++t) v[rows[t]] += coeffs[t] * vr;
+    }
+  }
+
+  // v^T = v^T B^-1 via a reverse sweep: each eta only changes v[pivot_row],
+  // replacing it with the dot product of v and the eta column.
+  void Btran(std::vector<double>& v) const {
+    for (auto it = etas.rbegin(); it != etas.rend(); ++it) {
+      double dot = it->pivot_mult * v[it->pivot_row];
+      for (int t = it->begin; t < it->end; ++t) {
+        dot += coeffs[t] * v[rows[t]];
+      }
+      v[it->pivot_row] = dot;
+    }
+  }
+};
+
+// Phase-I sparse revised simplex over the product-form-of-the-inverse.
+//
+// Instead of a dense m x m basis inverse, the basis is represented as an eta
+// file refactorized periodically from the basis columns. FTRAN/BTRAN sweep
+// the eta file; pricing maintains the dual vector y incrementally
+// (y' = y + d_e * rho, rho the pivot row of the new inverse) and scans
+// structural columns in rotating partial-pricing blocks rather than full
+// Dantzig over all n columns. See docs/solver.md.
 class PhaseOneSimplex {
  public:
   PhaseOneSimplex(ColumnMatrix cm, const SimplexOptions& options)
       : cm_(std::move(cm)), options_(options) {
     m_ = cm_.m;
     n_ = cm_.n;
-    binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) binv_[i * m_ + i] = 1.0;
     basis_.resize(m_);
     xb_ = cm_.b;
     in_basis_.assign(n_, false);
+    candidate_flag_.assign(n_, 0);
     for (int i = 0; i < m_; ++i) basis_[i] = n_ + i;  // artificials
     double bmax = 1.0;
     for (double v : cm_.b) bmax = std::max(bmax, std::fabs(v));
     tol_ = options_.tolerance * bmax;
     price_tol_ = options_.tolerance;
+    // Initial basis is the identity (all artificial): y = c_B = 1.
+    y_.assign(m_, 1.0);
+    work_.assign(m_, 0.0);
+    rho_.assign(m_, 0.0);
+    refactor_interval_ =
+        options_.refactor_interval > 0 ? options_.refactor_interval : 64;
+    // Eta-file growth bound: refactorize once the file costs more to sweep
+    // than a fresh factorization of the basis would.
+    base_max_eta_nnz_ = 16 * static_cast<size_t>(m_) + 1024;
+    max_eta_nnz_ = base_max_eta_nnz_;
   }
 
   StatusOr<LpSolution> Solve() {
@@ -81,6 +154,7 @@ class PhaseOneSimplex {
                               : 50 * m_ + 5000;
     int iter = 0;
     int degenerate_streak = 0;
+    bool was_bland = false;
     while (Objective() > tol_) {
       if (++iter > max_iters) {
         return Status::ResourceExhausted(
@@ -88,26 +162,57 @@ class PhaseOneSimplex {
             std::to_string(max_iters) + ")");
       }
       const bool bland = degenerate_streak > 2 * m_ + 20;
-      const int entering = PickEntering(bland);
+      if (bland && !was_bland) {
+        // Entering the anti-cycling regime: make the duals exact first so
+        // Bland's first-negative scan is not misled by incremental drift.
+        Refactorize();
+      }
+      was_bland = bland;
+      double d_entering = 0;
+      int entering = PickEntering(bland, &d_entering);
       if (entering < 0) {
-        // Optimal with positive artificial mass: infeasible system.
-        return Status::FailedPrecondition(
-            "LP infeasible (phase-I objective " +
-            std::to_string(Objective()) + ")");
+        // No improving column under the (incrementally maintained) duals.
+        // Re-derive y from a fresh factorization before declaring the
+        // positive artificial mass a genuine infeasibility.
+        if (!fresh_factorization_ && Refactorize()) {
+          entering = PickEntering(bland, &d_entering);
+        }
+        if (entering < 0) {
+          if (Objective() <= tol_) break;
+          return Status::FailedPrecondition(
+              "LP infeasible (phase-I objective " +
+              std::to_string(Objective()) + ")");
+        }
       }
-      std::vector<double> w = Ftran(entering);
-      const int leaving = RatioTest(w, bland);
+      Ftran(entering);  // work_ = B^-1 A_entering
+      int leaving = RatioTest(bland);
       if (leaving < 0) {
-        return Status::Internal("phase-I unbounded — numerical failure");
+        if (!fresh_factorization_ && Refactorize()) {
+          Ftran(entering);
+          leaving = RatioTest(bland);
+        }
+        if (leaving < 0) {
+          return Status::Internal("phase-I unbounded — numerical failure");
+        }
       }
-      const double theta = xb_[leaving] / w[leaving];
+      const double theta = xb_[leaving] / work_[leaving];
       if (theta <= tol_ * 1e-3) {
         ++degenerate_streak;
       } else {
         degenerate_streak = 0;
       }
-      Pivot(entering, leaving, w, theta);
-      if (iter % 512 == 0) Refactorize();
+      Pivot(entering, leaving, theta, d_entering);
+      if (pivots_since_refactor_ >= refactor_interval_ ||
+          etas_.TotalNnz() > max_eta_nnz_) {
+        if (!Refactorize()) {
+          // Singular right now — keep the working eta file and back off for
+          // another interval instead of re-attempting after every pivot.
+          // The nnz bound is re-based on the current file size so a growing
+          // file cannot re-trigger the attempt on the very next pivot.
+          pivots_since_refactor_ = 0;
+          max_eta_nnz_ = etas_.TotalNnz() + base_max_eta_nnz_;
+        }
+      }
     }
     LpSolution sol;
     sol.values.assign(n_, 0.0);
@@ -128,55 +233,112 @@ class PhaseOneSimplex {
     return obj;
   }
 
-  // y = c_B^T B^-1 where c_B is 1 on artificial rows.
-  std::vector<double> ComputeY() const {
-    std::vector<double> y(m_, 0.0);
-    for (int k = 0; k < m_; ++k) {
-      if (basis_[k] >= n_) {
-        const double* row = &binv_[static_cast<size_t>(k) * m_];
-        for (int i = 0; i < m_; ++i) y[i] += row[i];
-      }
+  // Reduced cost of structural column j under the current duals
+  // (c_j = 0 for structural columns, so d_j = -y . A_j).
+  double ReducedCost(int j) const {
+    double d = 0;
+    for (int t = cm_.col_ptr[j]; t < cm_.col_ptr[j + 1]; ++t) {
+      d -= y_[cm_.row_idx[t]] * cm_.val[t];
     }
-    return y;
+    return d;
   }
 
-  // Most-negative (or first-negative under Bland) reduced cost structural
-  // column; -1 if none.
-  int PickEntering(bool bland) {
-    const std::vector<double> y = ComputeY();
+  // Partial pricing over a rotating candidate list (multiple pricing):
+  // re-price the cached candidates first and enter the most negative; only
+  // when the list runs dry, scan structural columns in rotating blocks from
+  // the cursor, refilling the list with every negative column of the first
+  // block that has one. Under Bland's rule, scan everything in index order
+  // and take the first negative column. Returns -1 if no column prices out.
+  int PickEntering(bool bland, double* d_entering) {
+    if (bland) {
+      for (int j = 0; j < n_; ++j) {
+        if (in_basis_[j]) continue;
+        const double d = ReducedCost(j);
+        if (d < -price_tol_) {
+          *d_entering = d;
+          return j;
+        }
+      }
+      return -1;
+    }
+    // Re-price the surviving candidates (cheap: the list is small). If the
+    // best of them is still comparably attractive to the best the refilling
+    // scan saw, enter it without touching fresh blocks (suboptimization).
     int best = -1;
     double best_d = -price_tol_;
-    for (int j = 0; j < n_; ++j) {
-      if (in_basis_[j]) continue;
-      double d = 0;
-      for (const SparseEntry& e : cm_.cols[j]) d -= y[e.row] * e.coeff;
+    size_t w = 0;
+    for (size_t t = 0; t < candidates_.size(); ++t) {
+      const int j = candidates_[t];
+      if (in_basis_[j] ) {
+        candidate_flag_[j] = 0;
+        continue;
+      }
+      const double d = ReducedCost(j);
+      if (d >= -price_tol_) {  // stale candidate: drop
+        candidate_flag_[j] = 0;
+        continue;
+      }
+      candidates_[w++] = j;
       if (d < best_d) {
-        if (bland) return j;
         best_d = d;
         best = j;
       }
     }
-    return best;
-  }
-
-  // w = B^-1 A_j.
-  std::vector<double> Ftran(int j) const {
-    std::vector<double> w(m_, 0.0);
-    for (const SparseEntry& e : cm_.cols[j]) {
-      const double a = e.coeff;
-      for (int k = 0; k < m_; ++k) {
-        w[k] += a * binv_[static_cast<size_t>(k) * m_ + e.row];
+    candidates_.resize(w);
+    if (best >= 0 && best_d <= 0.5 * refill_best_) {
+      *d_entering = best_d;
+      return best;
+    }
+    // Otherwise rotate fresh blocks from the cursor until one prices a
+    // negative column (or the rotation completes), refilling the list with
+    // every negative column seen along the way.
+    const int block = std::max(256, (n_ + 31) / 32);
+    int scanned = 0;
+    while (scanned < n_) {
+      const int begin = cursor_;
+      const int len = std::min(block, n_ - scanned);
+      for (int t = 0; t < len; ++t) {
+        int j = begin + t;
+        if (j >= n_) j -= n_;
+        if (in_basis_[j]) continue;
+        const double d = ReducedCost(j);
+        if (d < -price_tol_) {
+          if (!candidate_flag_[j] && candidates_.size() < kMaxCandidates) {
+            candidate_flag_[j] = 1;
+            candidates_.push_back(j);
+          }
+          if (d < best_d) {
+            best_d = d;
+            best = j;
+          }
+        }
+      }
+      scanned += len;
+      cursor_ = (begin + len) % n_;
+      if (best >= 0) {
+        refill_best_ = best_d;
+        *d_entering = best_d;
+        return best;
       }
     }
-    return w;
+    return -1;
   }
 
-  int RatioTest(const std::vector<double>& w, bool bland) const {
+  // work_ = B^-1 A_j via the eta file.
+  void Ftran(int j) {
+    std::fill(work_.begin(), work_.end(), 0.0);
+    for (int t = cm_.col_ptr[j]; t < cm_.col_ptr[j + 1]; ++t) {
+      work_[cm_.row_idx[t]] += cm_.val[t];
+    }
+    etas_.Ftran(work_);
+  }
+
+  int RatioTest(bool bland) const {
     int leaving = -1;
     double best_theta = 0;
     for (int k = 0; k < m_; ++k) {
-      if (w[k] > price_tol_) {
-        const double theta = xb_[k] / w[k];
+      if (work_[k] > price_tol_) {
+        const double theta = xb_[k] / work_[k];
         if (leaving < 0 || theta < best_theta - 1e-12 ||
             (theta < best_theta + 1e-12 &&
              (bland ? basis_[k] < basis_[leaving]
@@ -190,96 +352,124 @@ class PhaseOneSimplex {
     return leaving;
   }
 
-  void Pivot(int entering, int leaving, const std::vector<double>& w,
-             double theta) {
-    double* lrow = &binv_[static_cast<size_t>(leaving) * m_];
-    const double pivot = w[leaving];
-    for (int i = 0; i < m_; ++i) lrow[i] /= pivot;
+  // Appends the eta for this pivot, updates x_B sparsely, and updates the
+  // duals incrementally: y' = y + d_e * rho where rho is the leaving row of
+  // the *new* basis inverse (a unit-vector BTRAN through the eta file).
+  void Pivot(int entering, int leaving, double theta, double d_entering) {
     for (int k = 0; k < m_; ++k) {
-      if (k == leaving) continue;
-      const double f = w[k];
-      if (f == 0.0) continue;
-      double* krow = &binv_[static_cast<size_t>(k) * m_];
-      for (int i = 0; i < m_; ++i) krow[i] -= f * lrow[i];
-      xb_[k] -= theta * f;
+      if (k == leaving || work_[k] == 0.0) continue;
+      xb_[k] -= theta * work_[k];
       if (xb_[k] < 0 && xb_[k] > -tol_) xb_[k] = 0;
     }
     xb_[leaving] = theta;
-    if (basis_[leaving] < n_) in_basis_[basis_[leaving]] = false;
+    etas_.Append(work_, leaving);
+    const bool leaving_artificial = basis_[leaving] >= n_;
+    if (!leaving_artificial) in_basis_[basis_[leaving]] = false;
     basis_[leaving] = entering;
     in_basis_[entering] = true;
+    ++pivots_since_refactor_;
+    fresh_factorization_ = false;
+
+    // rho^T = e_leaving^T B_new^-1.
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    rho_[leaving] = 1.0;
+    etas_.Btran(rho_);
+    for (int i = 0; i < m_; ++i) {
+      if (rho_[i] != 0.0) y_[i] += d_entering * rho_[i];
+    }
   }
 
-  // Rebuilds B^-1 from scratch by Gauss-Jordan elimination of the current
-  // basis matrix, then recomputes x_B = B^-1 b; bounds numerical drift.
-  void Refactorize() {
-    std::vector<double> bmat(static_cast<size_t>(m_) * m_, 0.0);
+  // Rebuilds the eta file from the current basis columns (Gauss-Jordan in
+  // product form): FTRAN each basis column through the fresh file and emit
+  // one eta per column, pivoting on the largest remaining row. Basis
+  // positions are permuted to match the chosen pivot rows, then x_B and y
+  // are recomputed exactly. Returns false (leaving the old file in place) if
+  // the basis is numerically singular.
+  bool Refactorize() {
+    EtaFile fresh;
+    std::vector<char> row_used(m_, 0);
+    std::vector<int> new_basis(m_, -1);
+
+    // Artificial columns are unit vectors: their eta is the identity, so
+    // they just claim their own row. Structural columns are processed in
+    // ascending-sparsity order, which keeps the fresh file close to an LU of
+    // the basis for the near-triangular systems the formulator emits.
+    std::vector<int> structural;
+    structural.reserve(m_);
     for (int k = 0; k < m_; ++k) {
       if (basis_[k] >= n_) {
-        bmat[static_cast<size_t>(basis_[k] - n_) * m_ + k] = 1.0;
+        const int row = basis_[k] - n_;
+        if (row_used[row]) return false;  // duplicate artificial: corrupt
+        row_used[row] = 1;
+        new_basis[row] = basis_[k];
       } else {
-        for (const SparseEntry& e : cm_.cols[basis_[k]]) {
-          bmat[static_cast<size_t>(e.row) * m_ + k] = e.coeff;
-        }
+        structural.push_back(k);
       }
     }
-    std::vector<double> inv(static_cast<size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) inv[static_cast<size_t>(i) * m_ + i] = 1.0;
-    for (int col = 0; col < m_; ++col) {
-      int piv = col;
-      for (int r = col + 1; r < m_; ++r) {
-        if (std::fabs(bmat[static_cast<size_t>(r) * m_ + col]) >
-            std::fabs(bmat[static_cast<size_t>(piv) * m_ + col])) {
-          piv = r;
-        }
+    std::sort(structural.begin(), structural.end(), [&](int a, int b) {
+      const int na = cm_.ColNnz(basis_[a]);
+      const int nb = cm_.ColNnz(basis_[b]);
+      return na != nb ? na < nb : a < b;
+    });
+
+    for (int k : structural) {
+      std::fill(work_.begin(), work_.end(), 0.0);
+      const int j = basis_[k];
+      for (int t = cm_.col_ptr[j]; t < cm_.col_ptr[j + 1]; ++t) {
+        work_[cm_.row_idx[t]] += cm_.val[t];
       }
-      const double pval = bmat[static_cast<size_t>(piv) * m_ + col];
-      if (std::fabs(pval) < 1e-12) return;  // keep the updated inverse
-      if (piv != col) {
-        for (int i = 0; i < m_; ++i) {
-          std::swap(bmat[static_cast<size_t>(piv) * m_ + i],
-                    bmat[static_cast<size_t>(col) * m_ + i]);
-          std::swap(inv[static_cast<size_t>(piv) * m_ + i],
-                    inv[static_cast<size_t>(col) * m_ + i]);
-        }
-      }
+      fresh.Ftran(work_);
+      int pivot_row = -1;
+      double pivot_abs = 1e-11;
       for (int i = 0; i < m_; ++i) {
-        bmat[static_cast<size_t>(col) * m_ + i] /= pval;
-        inv[static_cast<size_t>(col) * m_ + i] /= pval;
-      }
-      for (int r = 0; r < m_; ++r) {
-        if (r == col) continue;
-        const double f = bmat[static_cast<size_t>(r) * m_ + col];
-        if (f == 0.0) continue;
-        for (int i = 0; i < m_; ++i) {
-          bmat[static_cast<size_t>(r) * m_ + i] -=
-              f * bmat[static_cast<size_t>(col) * m_ + i];
-          inv[static_cast<size_t>(r) * m_ + i] -=
-              f * inv[static_cast<size_t>(col) * m_ + i];
+        if (!row_used[i] && std::fabs(work_[i]) > pivot_abs) {
+          pivot_abs = std::fabs(work_[i]);
+          pivot_row = i;
         }
       }
+      if (pivot_row < 0) return false;  // singular basis; keep the old file
+      row_used[pivot_row] = 1;
+      new_basis[pivot_row] = j;
+      fresh.Append(work_, pivot_row);
     }
-    // inv now holds rows of B^-1 in "column of basis" order: inv[k][*] is the
-    // row for basis position k because we eliminated B (rows=constraints,
-    // cols=basis positions) to identity.
-    binv_ = std::move(inv);
-    // Recompute x_B = B^-1 b.
-    for (int k = 0; k < m_; ++k) {
-      double v = 0;
-      const double* row = &binv_[static_cast<size_t>(k) * m_];
-      for (int i = 0; i < m_; ++i) v += row[i] * cm_.b[i];
-      xb_[k] = std::max(0.0, v);
-    }
+
+    etas_ = std::move(fresh);
+    max_eta_nnz_ = base_max_eta_nnz_;
+    basis_ = std::move(new_basis);
+    pivots_since_refactor_ = 0;
+    fresh_factorization_ = true;
+
+    // x_B = B^-1 b.
+    xb_ = cm_.b;
+    etas_.Ftran(xb_);
+    for (double& v : xb_) v = std::max(0.0, v);
+    // y^T = c_B^T B^-1 with c_B the artificial indicator.
+    for (int i = 0; i < m_; ++i) y_[i] = basis_[i] >= n_ ? 1.0 : 0.0;
+    etas_.Btran(y_);
+    return true;
   }
 
   ColumnMatrix cm_;
   SimplexOptions options_;
   int m_ = 0;
   int n_ = 0;
-  std::vector<double> binv_;  // row-major m x m: row k = basis position k
+  EtaFile etas_;              // product-form inverse, oldest first
+  size_t base_max_eta_nnz_ = 0;
+  size_t max_eta_nnz_ = 0;
+  int refactor_interval_ = 64;
+  int pivots_since_refactor_ = 0;
+  bool fresh_factorization_ = true;
   std::vector<double> xb_;
-  std::vector<int> basis_;  // basis_[k] < n_: structural; else artificial
+  std::vector<double> y_;     // dual vector, maintained incrementally
+  std::vector<double> work_;  // FTRAN result of the entering column
+  std::vector<double> rho_;   // unit-vector BTRAN scratch for dual updates
+  std::vector<int> basis_;    // basis_[k] < n_: structural; else artificial
   std::vector<bool> in_basis_;
+  int cursor_ = 0;            // rotating partial-pricing position
+  static constexpr size_t kMaxCandidates = 32;
+  std::vector<int> candidates_;  // negative-reduced-cost columns to re-price
+  std::vector<char> candidate_flag_;  // j is in candidates_ (dedup)
+  double refill_best_ = 0;  // best reduced cost at the last refilling scan
   double tol_ = 1e-7;
   double price_tol_ = 1e-7;
 };

@@ -2,10 +2,14 @@
 //
 // The paper delegates LP feasibility to the Z3 SMT solver; this repository
 // ships its own solver so the pipeline is self-contained. The implementation
-// is a revised simplex with a dense basis inverse (the LPs have few
-// constraints — tens to a few thousand — while the variable count ranges from
-// a handful for Hydra's region partitioning to millions for DataSynth's grid
-// partitioning, which sparse column pricing handles gracefully).
+// is a sparse revised simplex: the basis inverse is kept in product form (an
+// eta file of sparse elementary transforms, periodically refactorized from
+// the basis columns), FTRAN/BTRAN sweep the eta file, the dual vector is
+// maintained incrementally across pivots, and pricing scans structural
+// columns in rotating partial-pricing blocks. See docs/solver.md. The LPs
+// have few constraints — tens to a few thousand — while the variable count
+// ranges from a handful for Hydra's region partitioning to millions for
+// DataSynth's grid partitioning, which partial pricing absorbs gracefully.
 
 #ifndef HYDRA_LP_SIMPLEX_H_
 #define HYDRA_LP_SIMPLEX_H_
@@ -24,6 +28,9 @@ struct SimplexOptions {
   int max_iterations = 0;
   // Feasibility tolerance.
   double tolerance = 1e-7;
+  // Pivots between eta-file refactorizations (0 = automatic: 64). The file
+  // is also refactorized early if its nonzero count outgrows the basis.
+  int refactor_interval = 0;
 };
 
 // Returns a basic feasible solution of { Ax = b, x >= 0 }, or:

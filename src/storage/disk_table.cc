@@ -57,6 +57,19 @@ Status DiskTableWriter::AppendRaw(const Value* row) {
   return Status::OK();
 }
 
+Status DiskTableWriter::AppendBlock(const Value* rows, int64_t num_rows) {
+  // A block skips the per-row buffering: drain whatever is buffered, then
+  // hand the caller's contiguous rows straight to the (already buffered)
+  // stdio stream in one write.
+  HYDRA_RETURN_IF_ERROR(FlushBuffer());
+  const size_t count = static_cast<size_t>(num_rows) * num_columns_;
+  if (count > 0 && std::fwrite(rows, sizeof(Value), count, file_) != count) {
+    return Status::IoError("short write to " + path_);
+  }
+  rows_written_ += num_rows;
+  return Status::OK();
+}
+
 Status DiskTableWriter::FlushBuffer() {
   if (buffer_.empty()) return Status::OK();
   if (std::fwrite(buffer_.data(), sizeof(Value), buffer_.size(), file_) !=

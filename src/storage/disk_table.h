@@ -30,6 +30,9 @@ class DiskTableWriter {
   Status Open();
   Status Append(const Row& row);
   Status AppendRaw(const Value* row);
+  // Appends `num_rows` contiguous row-major rows in one write, bypassing the
+  // per-row buffer.
+  Status AppendBlock(const Value* rows, int64_t num_rows);
   // Finalizes the header and closes the file.
   Status Close();
 
