@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/text_table.h"
 #include "partition/grid_partition.h"
@@ -49,7 +50,8 @@ std::vector<DnfPredicate> WideProbes(int count, int dims, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hydra::bench::JsonReporter json("ablation_partitioning", argc, argv);
   std::printf(
       "==================================================================\n"
       "Ablation — partitioning design choices (Algorithm 2 variants)\n"
@@ -74,18 +76,23 @@ int main() {
     // the measurement there instead of OOM-ing the bench.
     std::string naive_count = "OOM (> grid/10 blocks)";
     std::string naive_time = "-";
+    const std::string tag =
+        "c" + std::to_string(count) + "_d" + std::to_string(dims);
     if (grid.NumCellsCapped(1ull << 62) < 10'000'000) {
       RegionPartitionOptions naive;
       naive.lazy_constraint_tracking = false;
       const auto t_naive = std::chrono::steady_clock::now();
       const auto naive_blocks = BuildValidBlocks(domains, conjuncts, naive);
+      const double naive_seconds = Seconds(t_naive);
       naive_count = FormatCount(naive_blocks.size());
-      naive_time = FormatDuration(Seconds(t_naive));
+      naive_time = FormatDuration(naive_seconds);
+      json.Record("naive_blocks_" + tag, naive_seconds);
     }
 
     const auto t_lazy = std::chrono::steady_clock::now();
     const auto lazy_blocks = BuildValidBlocks(domains, conjuncts);
     const double lazy_seconds = Seconds(t_lazy);
+    json.Record("lazy_blocks_" + tag, lazy_seconds);
 
     const RegionPartition regions =
         BuildRegionPartition(domains, constraints);

@@ -62,7 +62,7 @@ int main() {
   }
 
   // --- 3. Verify volumetric similarity -----------------------------------
-  auto db = MaterializeDatabase(result->summary);
+  auto db = hydra.Materialize(result->summary);
   if (!db.ok()) {
     std::printf("materialization failed: %s\n", db.status().ToString().c_str());
     return 1;

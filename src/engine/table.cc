@@ -48,9 +48,20 @@ uint64_t Database::RowCount(int relation) const {
 
 void Database::Scan(int relation,
                     const std::function<void(const Row&)>& fn) const {
+  ScanRange(relation, 0, static_cast<int64_t>(tables_[relation].num_rows()),
+            fn);
+}
+
+void Database::ScanRange(int relation, int64_t begin, int64_t end,
+                         const std::function<void(const Row&)>& fn) const {
   const Table& t = tables_[relation];
+  HYDRA_CHECK_MSG(begin >= 0 && begin <= end &&
+                      end <= static_cast<int64_t>(t.num_rows()),
+                  "scan range [" << begin << ", " << end
+                                 << ") out of bounds for relation "
+                                 << relation);
   Row row(t.num_columns());
-  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+  for (int64_t r = begin; r < end; ++r) {
     const Value* p = t.RowPtr(r);
     row.assign(p, p + t.num_columns());
     fn(row);

@@ -29,6 +29,10 @@ class Table {
   }
 
   void Reserve(uint64_t rows) { data_.reserve(rows * num_columns_); }
+  // Grows (or shrinks) the table to exactly `rows` rows, zero-filling new
+  // cells. Parallel materialization carves the resized storage into disjoint
+  // shard ranges and fills them through MutableRowPtr.
+  void ResizeRows(uint64_t rows) { data_.resize(rows * num_columns_); }
 
   void AppendRow(const Row& row);
   // Appends a row given as a raw pointer to num_columns() values.
@@ -41,6 +45,9 @@ class Table {
   }
   // Pointer to the first value of `row`.
   const Value* RowPtr(uint64_t row) const {
+    return data_.data() + row * num_columns_;
+  }
+  Value* MutableRowPtr(uint64_t row) {
     return data_.data() + row * num_columns_;
   }
 
@@ -68,6 +75,14 @@ class TableSource {
   // reference is only valid during the call.
   virtual void Scan(int relation,
                     const std::function<void(const Row&)>& fn) const = 0;
+  // Invokes `fn` once per row of the half-open rank range [begin, end), in
+  // primary-key order (requires 0 <= begin <= end <= RowCount(relation)).
+  // PK values are implicit ranks, so ranges partition every relation into
+  // independently scannable shards: concatenating ScanRange over any split
+  // of [0, RowCount) yields exactly the Scan() sequence, and disjoint ranges
+  // may be scanned concurrently.
+  virtual void ScanRange(int relation, int64_t begin, int64_t end,
+                         const std::function<void(const Row&)>& fn) const = 0;
 };
 
 // A fully-materialized database: one Table per schema relation.
@@ -87,6 +102,8 @@ class Database : public TableSource {
   uint64_t RowCount(int relation) const override;
   void Scan(int relation,
             const std::function<void(const Row&)>& fn) const override;
+  void ScanRange(int relation, int64_t begin, int64_t end,
+                 const std::function<void(const Row&)>& fn) const override;
 
   // Verifies that every FK value appears as a PK of the target relation.
   Status CheckReferentialIntegrity() const;

@@ -120,4 +120,14 @@ StatusOr<RegenerationResult> HydraRegenerator::Regenerate(
   return result;
 }
 
+StatusOr<Database> HydraRegenerator::Materialize(
+    const DatabaseSummary& summary) const {
+  return MaterializeDatabase(summary, options_.generation);
+}
+
+StatusOr<uint64_t> HydraRegenerator::MaterializeToDisk(
+    const DatabaseSummary& summary, const std::string& dir) const {
+  return hydra::MaterializeToDisk(summary, dir, options_.generation);
+}
+
 }  // namespace hydra

@@ -21,6 +21,7 @@
 #include "catalog/schema.h"
 #include "common/status.h"
 #include "hydra/summary.h"
+#include "hydra/tuple_generator.h"
 #include "lp/simplex.h"
 #include "query/constraint.h"
 
@@ -35,6 +36,10 @@ struct HydraOptions {
   // The produced summary is byte-identical regardless of the setting — each
   // view writes its own slot and reduction happens in view order.
   int num_threads = 0;
+  // Options for materializing the produced summary (MaterializeDatabase /
+  // MaterializeToDisk), carried here so one struct configures the whole
+  // regenerate→materialize pipeline.
+  GenerationOptions generation;
 };
 
 // Diagnostics for one view's pipeline stage.
@@ -67,6 +72,15 @@ class HydraRegenerator {
 
   StatusOr<RegenerationResult> Regenerate(
       const std::vector<CardinalityConstraint>& ccs) const;
+
+  // Convenience wrappers that materialize a produced summary with
+  // options().generation, so one HydraOptions really does configure the
+  // whole regenerate→materialize pipeline.
+  StatusOr<Database> Materialize(const DatabaseSummary& summary) const;
+  StatusOr<uint64_t> MaterializeToDisk(const DatabaseSummary& summary,
+                                       const std::string& dir) const;
+
+  const HydraOptions& options() const { return options_; }
 
  private:
   const Schema& schema_;

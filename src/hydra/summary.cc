@@ -22,6 +22,13 @@ void RelationSummary::Finalize() {
 }
 
 int64_t RelationSummary::TotalCount() const {
+  // O(1) once finalized — the range-scan entry points bounds-check against
+  // this on every call, including once per materialization shard. Mutating
+  // rows after Finalize() without re-finalizing would make this stale.
+  if (!prefix_counts.empty()) {
+    HYDRA_DCHECK(prefix_counts.size() == rows.size());
+    return prefix_counts.back() + rows.back().count;
+  }
   int64_t total = 0;
   for (const SolutionRow& r : rows) total += r.count;
   return total;

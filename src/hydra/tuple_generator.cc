@@ -1,9 +1,11 @@
 #include "hydra/tuple_generator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "storage/disk_table.h"
 
 namespace hydra {
@@ -48,49 +50,94 @@ void TupleGenerator::FillRow(int relation, int summary_row, int64_t pk,
 
 void TupleGenerator::Scan(int relation,
                           const std::function<void(const Row&)>& fn) const {
+  ScanRange(relation, 0, summary_.relations[relation].TotalCount(), fn);
+}
+
+void TupleGenerator::ForEachSummaryRun(
+    int relation, int64_t begin, int64_t end,
+    const std::function<void(int, int64_t, int64_t)>& fn) const {
   const RelationSummary& rs = summary_.relations[relation];
+  HYDRA_CHECK_MSG(begin >= 0 && begin <= end && end <= rs.TotalCount(),
+                  "scan range [" << begin << ", " << end
+                                 << ") out of bounds for relation "
+                                 << summary_.schema.relation(relation).name());
+  if (begin == end) return;
+  int64_t pk = begin;
+  for (int i = rs.RowIndexForTuple(begin); pk < end; ++i) {
+    const int64_t stop = std::min(end, rs.prefix_counts[i] + rs.rows[i].count);
+    if (stop > pk) {
+      fn(i, pk, stop);
+      pk = stop;
+    }
+  }
+}
+
+void TupleGenerator::ScanRange(
+    int relation, int64_t begin, int64_t end,
+    const std::function<void(const Row&)>& fn) const {
   const Relation& rel = summary_.schema.relation(relation);
   const int pk_attr = pk_attr_[relation];
   Row row(rel.num_attributes(), 0);
-  int64_t pk = 0;
-  for (size_t i = 0; i < rs.rows.size(); ++i) {
-    // All tuples of a summary row share its attribute values: fill once,
-    // then only rewrite the PK in the inner loop.
-    FillRow(relation, static_cast<int>(i), pk, &row);
-    for (int64_t k = 0; k < rs.rows[i].count; ++k) {
-      if (pk_attr >= 0) row[pk_attr] = pk;
-      fn(row);
-      ++pk;
-    }
-  }
+  ForEachSummaryRun(
+      relation, begin, end, [&](int i, int64_t pk, int64_t stop) {
+        // All tuples of a summary row share its attribute values: fill
+        // once, then only rewrite the PK in the inner loop.
+        FillRow(relation, i, pk, &row);
+        for (; pk < stop; ++pk) {
+          if (pk_attr >= 0) row[pk_attr] = pk;
+          fn(row);
+        }
+      });
 }
 
 void TupleGenerator::ScanBlocks(
     int relation, int64_t block_rows,
     const std::function<void(const Value*, int64_t)>& fn) const {
+  ScanBlocksRange(relation, 0, summary_.relations[relation].TotalCount(),
+                  block_rows, fn);
+}
+
+void TupleGenerator::ScanBlocksRange(
+    int relation, int64_t begin, int64_t end, int64_t block_rows,
+    const std::function<void(const Value*, int64_t)>& fn) const {
   HYDRA_CHECK_MSG(block_rows > 0, "block_rows must be positive");
-  const RelationSummary& rs = summary_.relations[relation];
   const Relation& rel = summary_.schema.relation(relation);
   const int width = rel.num_attributes();
   const int pk_attr = pk_attr_[relation];
   Row row(width, 0);
   std::vector<Value> block(static_cast<size_t>(block_rows) * width);
-  int64_t filled = 0;
-  int64_t pk = 0;
-  for (size_t i = 0; i < rs.rows.size(); ++i) {
-    FillRow(relation, static_cast<int>(i), pk, &row);
-    for (int64_t k = 0; k < rs.rows[i].count; ++k) {
-      if (pk_attr >= 0) row[pk_attr] = pk;
-      std::memcpy(block.data() + filled * width, row.data(),
-                  sizeof(Value) * width);
-      ++pk;
-      if (++filled == block_rows) {
-        fn(block.data(), filled);
-        filled = 0;
-      }
-    }
-  }
+  int64_t filled = 0;  // carries across summary runs
+  ForEachSummaryRun(
+      relation, begin, end, [&](int i, int64_t pk, int64_t stop) {
+        FillRow(relation, i, pk, &row);
+        for (; pk < stop; ++pk) {
+          if (pk_attr >= 0) row[pk_attr] = pk;
+          std::memcpy(block.data() + filled * width, row.data(),
+                      sizeof(Value) * width);
+          if (++filled == block_rows) {
+            fn(block.data(), filled);
+            filled = 0;
+          }
+        }
+      });
   if (filled > 0) fn(block.data(), filled);
+}
+
+void TupleGenerator::FillRange(int relation, int64_t begin, int64_t end,
+                               Value* dst) const {
+  const Relation& rel = summary_.schema.relation(relation);
+  const int width = rel.num_attributes();
+  const int pk_attr = pk_attr_[relation];
+  Row row(width, 0);
+  ForEachSummaryRun(
+      relation, begin, end, [&](int i, int64_t pk, int64_t stop) {
+        FillRow(relation, i, pk, &row);
+        for (; pk < stop; ++pk) {
+          if (pk_attr >= 0) row[pk_attr] = pk;
+          std::memcpy(dst, row.data(), sizeof(Value) * width);
+          dst += width;
+        }
+      });
 }
 
 void TupleGenerator::GetTuple(int relation, int64_t r, Row* out) const {
@@ -112,45 +159,110 @@ void TupleGenerator::GetTuple(int relation, int64_t r, Row* out) const {
 
 namespace {
 
-// Rows per materialization block: large enough to amortize per-call work,
-// small enough to stay cache-resident (64 KiB of Values at 16 columns).
-constexpr int64_t kMaterializeBlockRows = 512;
+// One unit of parallel materialization work: the rank range [begin, end) of
+// one relation.
+struct Shard {
+  int relation;
+  int64_t begin;
+  int64_t end;
+};
+
+// Splits every relation of `summary` into shards of at most
+// `options.shard_rows` rows, in (relation, rank) order.
+std::vector<Shard> PlanShards(const DatabaseSummary& summary,
+                              const GenerationOptions& options) {
+  HYDRA_CHECK_MSG(options.shard_rows > 0, "shard_rows must be positive");
+  std::vector<Shard> shards;
+  for (int r = 0; r < summary.schema.num_relations(); ++r) {
+    const int64_t rows = summary.relations[r].TotalCount();
+    for (int64_t b = 0; b < rows; b += options.shard_rows) {
+      shards.push_back({r, b, std::min(rows, b + options.shard_rows)});
+    }
+  }
+  return shards;
+}
+
+int ResolveThreads(const GenerationOptions& options, size_t num_shards) {
+  const int threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                               : options.num_threads;
+  return std::max(1, std::min<int>(threads, static_cast<int>(num_shards)));
+}
 
 }  // namespace
 
-StatusOr<Database> MaterializeDatabase(const DatabaseSummary& summary) {
+StatusOr<Database> MaterializeDatabase(const DatabaseSummary& summary,
+                                       const GenerationOptions& options) {
   Database db(summary.schema);
-  TupleGenerator gen(summary);
+  const TupleGenerator gen(summary);
   for (int r = 0; r < summary.schema.num_relations(); ++r) {
-    Table& table = db.table(r);
-    table.Reserve(gen.RowCount(r));
-    gen.ScanBlocks(r, kMaterializeBlockRows,
-                   [&](const Value* rows, int64_t n) {
-                     table.AppendBlock(rows, n);
-                   });
+    // The zero-fill is redundant (every cell is memcpy'd by a shard below)
+    // but keeps Table on a plain std::vector; at current scales the extra
+    // pass is noise next to generation cost. Revisit with a default-init
+    // allocator if multi-GB in-memory materialization becomes a target.
+    db.table(r).ResizeRows(gen.RowCount(r));
   }
+  const std::vector<Shard> shards = PlanShards(summary, options);
+  ThreadPool pool(ResolveThreads(options, shards.size()));
+  ParallelFor(pool, static_cast<int>(shards.size()), [&](int i) {
+    const Shard& s = shards[i];
+    gen.FillRange(s.relation, s.begin, s.end,
+                  db.table(s.relation).MutableRowPtr(s.begin));
+  });
   return db;
 }
 
 StatusOr<uint64_t> MaterializeToDisk(const DatabaseSummary& summary,
-                                     const std::string& dir) {
-  TupleGenerator gen(summary);
+                                     const std::string& dir,
+                                     const GenerationOptions& options) {
+  const TupleGenerator gen(summary);
+  const Schema& schema = summary.schema;
+  std::vector<std::string> paths(schema.num_relations());
+  for (int r = 0; r < schema.num_relations(); ++r) {
+    const Relation& rel = schema.relation(r);
+    paths[r] = dir + "/" + rel.name() + ".tbl";
+    HYDRA_RETURN_IF_ERROR(
+        PreallocateDiskTable(paths[r], rel.num_attributes()));
+  }
+  // One flat shard list across all relations keeps every worker busy even
+  // when a single relation dominates the row count.
+  const std::vector<Shard> shards = PlanShards(summary, options);
+  ThreadPool pool(ResolveThreads(options, shards.size()));
+  std::vector<Status> statuses(shards.size(), Status::OK());
+  // One failed shard (disk full, deleted file) aborts the fleet: shards not
+  // yet started bail before generating their ranges. An in-flight shard
+  // still finishes generating its (shard_rows-bounded) range — its callback
+  // just stops writing — which keeps ScanBlocksRange abort-free.
+  std::atomic<bool> failed{false};
+  ParallelFor(pool, static_cast<int>(shards.size()), [&](int i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const Shard& s = shards[i];
+    DiskTableWriter writer(paths[s.relation],
+                           schema.relation(s.relation).num_attributes());
+    Status status = writer.OpenShard(s.begin);
+    if (status.ok()) {
+      gen.ScanBlocksRange(s.relation, s.begin, s.end, options.block_rows,
+                          [&](const Value* rows, int64_t n) {
+                            if (status.ok()) {
+                              status = writer.AppendBlock(rows, n);
+                            }
+                          });
+      const Status close_status = writer.Close();
+      if (status.ok()) status = close_status;
+    }
+    if (!status.ok()) {
+      statuses[i] = status;
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+  for (const Status& s : statuses) HYDRA_RETURN_IF_ERROR(s);
+  // Every shard landed: only now stamp the real row counts, so a crashed or
+  // failed run leaves files that scan as empty instead of as tables whose
+  // unwritten holes read back as rows of zeros.
   uint64_t total_bytes = 0;
-  for (int r = 0; r < summary.schema.num_relations(); ++r) {
-    const Relation& rel = summary.schema.relation(r);
-    const std::string path = dir + "/" + rel.name() + ".tbl";
-    DiskTableWriter writer(path, rel.num_attributes());
-    HYDRA_RETURN_IF_ERROR(writer.Open());
-    Status append_status = Status::OK();
-    gen.ScanBlocks(r, kMaterializeBlockRows,
-                   [&](const Value* rows, int64_t n) {
-                     if (append_status.ok()) {
-                       append_status = writer.AppendBlock(rows, n);
-                     }
-                   });
-    HYDRA_RETURN_IF_ERROR(append_status);
-    HYDRA_RETURN_IF_ERROR(writer.Close());
-    HYDRA_ASSIGN_OR_RETURN(const uint64_t bytes, DiskTableBytes(path));
+  for (int r = 0; r < schema.num_relations(); ++r) {
+    HYDRA_RETURN_IF_ERROR(FinalizeDiskTable(
+        paths[r], schema.relation(r).num_attributes(), gen.RowCount(r)));
+    HYDRA_ASSIGN_OR_RETURN(const uint64_t bytes, DiskTableBytes(paths[r]));
     total_bytes += bytes;
   }
   return total_bytes;

@@ -5,7 +5,11 @@
 // The r-th tuple of relation R has PK value r; its remaining attributes come
 // from the summary row whose cumulative NumTuples range covers r. Sequential
 // scans walk the summary rows directly; random access binary-searches the
-// prefix sums.
+// prefix sums. Because PK values are implicit ranks, the PK space of every
+// relation shards trivially into independently generatable, offset-
+// addressable ranges — the Range entry points below start mid-stream via the
+// same binary search, and the materialization paths fan shards out across a
+// thread pool (docs/generation.md).
 
 #ifndef HYDRA_HYDRA_TUPLE_GENERATOR_H_
 #define HYDRA_HYDRA_TUPLE_GENERATOR_H_
@@ -18,14 +22,33 @@
 
 namespace hydra {
 
+// Options for the generation pipeline (MaterializeDatabase /
+// MaterializeToDisk and range-partitioned scans built on them).
+struct GenerationOptions {
+  // Worker threads for sharded materialization. 0 = one per hardware
+  // thread; 1 = sequential. The produced database / .tbl files are
+  // byte-identical regardless of the setting — every shard owns a disjoint
+  // rank range whose storage offset is fixed by the rank→offset map.
+  int num_threads = 0;
+  // Rows per generation block handed from ScanBlocksRange to the writer.
+  int64_t block_rows = 512;
+  // Rows per shard: the unit of parallel work. One relation is split into
+  // ceil(rows / shard_rows) independently generated shards.
+  int64_t shard_rows = 1 << 18;
+};
+
 class TupleGenerator : public TableSource {
  public:
   // `summary` must outlive the generator.
   explicit TupleGenerator(const DatabaseSummary& summary);
 
   // On-the-fly generation in PK order (no materialized storage touched).
+  // All scan entry points are const and share no mutable state, so disjoint
+  // ranges may be generated concurrently on one generator.
   void Scan(int relation,
             const std::function<void(const Row&)>& fn) const override;
+  void ScanRange(int relation, int64_t begin, int64_t end,
+                 const std::function<void(const Row&)>& fn) const override;
   uint64_t RowCount(int relation) const override;
 
   // Batched generation in PK order: invokes `fn` with contiguous row-major
@@ -35,6 +58,18 @@ class TupleGenerator : public TableSource {
   // materialization paths to write in blocks instead of per row.
   void ScanBlocks(int relation, int64_t block_rows,
                   const std::function<void(const Value*, int64_t)>& fn) const;
+  // Batched generation of the rank range [begin, end): starts block
+  // generation at an arbitrary rank via the prefix_counts binary search.
+  // Concatenating the blocks over any split of [0, RowCount) yields exactly
+  // the ScanBlocks() sequence of rows.
+  void ScanBlocksRange(
+      int relation, int64_t begin, int64_t end, int64_t block_rows,
+      const std::function<void(const Value*, int64_t)>& fn) const;
+  // Generates the rank range [begin, end) straight into `dst`, which must
+  // hold (end - begin) * num_attributes Values. Single pass, no callback or
+  // intermediate block: the fastest path when the destination storage is
+  // preallocated (in-memory materialization shards).
+  void FillRange(int relation, int64_t begin, int64_t end, Value* dst) const;
 
   // Random access: fills `out` with the tuple whose PK is `r`.
   void GetTuple(int relation, int64_t r, Row* out) const;
@@ -44,6 +79,14 @@ class TupleGenerator : public TableSource {
   // (which must already be sized) and sets the PK to `pk`.
   void FillRow(int relation, int summary_row, int64_t pk, Row* out) const;
 
+  // The one copy of the resume-at-rank arithmetic: walks the summary rows
+  // covering [begin, end) and invokes fn(summary_row, pk_begin, pk_end) for
+  // each non-empty stretch, in rank order. Zero-count summary rows are
+  // skipped. Both Scan*Range variants layer row/block emission on top.
+  void ForEachSummaryRun(
+      int relation, int64_t begin, int64_t end,
+      const std::function<void(int, int64_t, int64_t)>& fn) const;
+
   const DatabaseSummary& summary_;
   // Per-relation invariants hoisted out of the per-tuple paths.
   std::vector<int> pk_attr_;
@@ -51,13 +94,18 @@ class TupleGenerator : public TableSource {
 };
 
 // Materializes the summary into an in-memory database (the "static
-// generation" option of Section 5).
-StatusOr<Database> MaterializeDatabase(const DatabaseSummary& summary);
+// generation" option of Section 5). With options.num_threads != 1 the
+// relations' rank ranges are filled concurrently into preallocated storage.
+StatusOr<Database> MaterializeDatabase(const DatabaseSummary& summary,
+                                       const GenerationOptions& options = {});
 
 // Streams every relation to disk as `<dir>/<relation>.tbl` in the binary
-// format of storage/disk_table.h. Returns total bytes written.
+// format of storage/disk_table.h. Returns total bytes written. With
+// options.num_threads != 1 each relation's shards are generated and written
+// concurrently at their fixed byte offsets into a single .tbl file.
 StatusOr<uint64_t> MaterializeToDisk(const DatabaseSummary& summary,
-                                     const std::string& dir);
+                                     const std::string& dir,
+                                     const GenerationOptions& options = {});
 
 }  // namespace hydra
 

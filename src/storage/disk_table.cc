@@ -18,12 +18,17 @@ struct Header {
   uint64_t num_rows;
 };
 
+#ifndef _WIN32
+// OpenShard seeks with fseeko; an ILP32 build without 64-bit file offsets
+// would wrap multi-GiB shard offsets.
+static_assert(sizeof(off_t) == sizeof(int64_t),
+              "need 64-bit file offsets; build with -D_FILE_OFFSET_BITS=64");
+#endif
+
 }  // namespace
 
 DiskTableWriter::DiskTableWriter(std::string path, int num_columns)
-    : path_(std::move(path)), num_columns_(num_columns) {
-  buffer_.reserve(kBufferRows * num_columns_);
-}
+    : path_(std::move(path)), num_columns_(num_columns) {}
 
 DiskTableWriter::~DiskTableWriter() {
   if (file_ != nullptr) {
@@ -43,12 +48,53 @@ Status DiskTableWriter::Open() {
   return Status::OK();
 }
 
+Status DiskTableWriter::OpenShard(int64_t begin_row) {
+  HYDRA_CHECK_MSG(begin_row >= 0, "negative shard start " << begin_row);
+  // "r+b": the file (and its header) must already exist, and writes land at
+  // the seek position instead of truncating. Writing past the current end is
+  // fine — shards may finish out of order and the gap is filled when the
+  // preceding shards land.
+  file_ = std::fopen(path_.c_str(), "r+b");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open " + path_ + " for shard writing");
+  }
+  // Guard against stale/foreign files at the reused <relation>.tbl path: a
+  // width mismatch would put every computed row offset at the wrong byte.
+  Header h;
+  if (std::fread(&h, sizeof(h), 1, file_) != 1 || h.magic != kMagic ||
+      h.num_columns != static_cast<uint64_t>(num_columns_)) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::IoError("bad header in " + path_ + " for shard writing");
+  }
+  const int64_t offset =
+      static_cast<int64_t>(sizeof(Header)) +
+      begin_row * num_columns_ * static_cast<int64_t>(sizeof(Value));
+  // Plain fseek takes a long, which is 32-bit on LLP64/ILP32 platforms —
+  // shard offsets of multi-GiB relations would wrap.
+#ifdef _WIN32
+  const int seek_rc = ::_fseeki64(file_, offset, SEEK_SET);
+#else
+  const int seek_rc = ::fseeko(file_, static_cast<off_t>(offset), SEEK_SET);
+#endif
+  if (seek_rc != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::IoError("seek to shard offset failed on " + path_);
+  }
+  shard_mode_ = true;
+  return Status::OK();
+}
+
 Status DiskTableWriter::Append(const Row& row) {
   HYDRA_DCHECK(static_cast<int>(row.size()) == num_columns_);
   return AppendRaw(row.data());
 }
 
 Status DiskTableWriter::AppendRaw(const Value* row) {
+  // Reserved on first buffered append: shard writers fed by AppendBlock
+  // never touch the buffer, and one writer is built per shard.
+  if (buffer_.capacity() == 0) buffer_.reserve(kBufferRows * num_columns_);
   buffer_.insert(buffer_.end(), row, row + num_columns_);
   ++rows_written_;
   if (buffer_.size() >= kBufferRows * static_cast<size_t>(num_columns_)) {
@@ -81,20 +127,65 @@ Status DiskTableWriter::FlushBuffer() {
 }
 
 Status DiskTableWriter::Close() {
-  HYDRA_RETURN_IF_ERROR(FlushBuffer());
-  // Patch the row count into the header.
-  if (std::fseek(file_, 0, SEEK_SET) != 0) {
-    return Status::IoError("seek failed on " + path_);
+  if (file_ == nullptr) {
+    return Status::IoError(path_ + " is not open");
   }
-  Header h{kMagic, static_cast<uint64_t>(num_columns_), rows_written_};
-  if (std::fwrite(&h, sizeof(h), 1, file_) != 1) {
-    return Status::IoError("cannot rewrite header of " + path_);
+  Status status = FlushBuffer();
+  // Patch the row count into the header — unless this is a shard, whose
+  // file already carries the finalized header from PreallocateDiskTable.
+  if (status.ok() && !shard_mode_) {
+    if (std::fseek(file_, 0, SEEK_SET) != 0) {
+      status = Status::IoError("seek failed on " + path_);
+    } else {
+      Header h{kMagic, static_cast<uint64_t>(num_columns_), rows_written_};
+      if (std::fwrite(&h, sizeof(h), 1, file_) != 1) {
+        status = Status::IoError("cannot rewrite header of " + path_);
+      }
+    }
   }
-  if (std::fclose(file_) != 0) {
-    file_ = nullptr;
-    return Status::IoError("close failed on " + path_);
+  // Close unconditionally: an early return on a failed header rewrite would
+  // leave file_ set and lean on the destructor for the fclose.
+  if (std::fclose(file_) != 0 && status.ok()) {
+    status = Status::IoError("close failed on " + path_);
   }
   file_ = nullptr;
+  return status;
+}
+
+Status PreallocateDiskTable(const std::string& path, int num_columns) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  Header h{kMagic, static_cast<uint64_t>(num_columns), 0};
+  const bool wrote = std::fwrite(&h, sizeof(h), 1, f) == 1;
+  if (std::fclose(f) != 0 || !wrote) {
+    return Status::IoError("cannot write header to " + path);
+  }
+  return Status::OK();
+}
+
+Status FinalizeDiskTable(const std::string& path, int num_columns,
+                         uint64_t num_rows) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for finalizing");
+  }
+  // Same stale/foreign-file guard as OpenShard: never stamp a valid header
+  // onto bytes that are not a matching in-progress table.
+  Header existing;
+  if (std::fread(&existing, sizeof(existing), 1, f) != 1 ||
+      existing.magic != kMagic ||
+      existing.num_columns != static_cast<uint64_t>(num_columns)) {
+    std::fclose(f);
+    return Status::IoError("bad header in " + path + " for finalizing");
+  }
+  Header h{kMagic, static_cast<uint64_t>(num_columns), num_rows};
+  const bool wrote = std::fseek(f, 0, SEEK_SET) == 0 &&
+                     std::fwrite(&h, sizeof(h), 1, f) == 1;
+  if (std::fclose(f) != 0 || !wrote) {
+    return Status::IoError("cannot rewrite header of " + path);
+  }
   return Status::OK();
 }
 
@@ -169,7 +260,13 @@ StatusOr<uint64_t> DiskTableBytes(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
+  // ftell returns a long (32-bit on LLP64) — multi-GiB tables need the
+  // 64-bit variants, same as OpenShard's seek.
+#ifdef _WIN32
+  const int64_t size = ::_ftelli64(f);
+#else
+  const int64_t size = static_cast<int64_t>(::ftello(f));
+#endif
   std::fclose(f);
   if (size < 0) return Status::IoError("ftell failed on " + path);
   return static_cast<uint64_t>(size);

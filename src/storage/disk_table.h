@@ -19,6 +19,17 @@
 namespace hydra {
 
 // Streaming writer. Rows are buffered and flushed in large chunks.
+//
+// Two modes:
+//  * Open() creates the file and appends from row 0; Close() patches the
+//    final row count into the header.
+//  * OpenShard(begin_row) opens an existing file whose header was already
+//    finalized by PreallocateDiskTable() and appends starting at the fixed
+//    byte offset of `begin_row` (rows are fixed-width, so the offset is
+//    header + begin_row * num_columns * sizeof(Value)). Multiple shard
+//    writers on the same file may run concurrently as long as their row
+//    ranges are disjoint — each holds its own stream/descriptor; Close()
+//    then leaves the header untouched.
 class DiskTableWriter {
  public:
   DiskTableWriter(std::string path, int num_columns);
@@ -28,12 +39,16 @@ class DiskTableWriter {
   DiskTableWriter& operator=(const DiskTableWriter&) = delete;
 
   Status Open();
+  // Shard mode: position an existing preallocated table for writing rows
+  // [begin_row, ...). See the class comment.
+  Status OpenShard(int64_t begin_row);
   Status Append(const Row& row);
   Status AppendRaw(const Value* row);
   // Appends `num_rows` contiguous row-major rows in one write, bypassing the
   // per-row buffer.
   Status AppendBlock(const Value* rows, int64_t num_rows);
-  // Finalizes the header and closes the file.
+  // Finalizes the header (whole-file mode only) and closes the file. The
+  // file is closed even when finalization fails.
   Status Close();
 
   uint64_t rows_written() const { return rows_written_; }
@@ -44,9 +59,24 @@ class DiskTableWriter {
   std::string path_;
   int num_columns_;
   std::FILE* file_ = nullptr;
+  bool shard_mode_ = false;
   std::vector<Value> buffer_;
   uint64_t rows_written_ = 0;
 };
+
+// Creates `path` holding only the header of a `num_columns`-wide table with
+// a zero row count (the same in-progress marker a sequential Open() leaves
+// until Close() patches it); the data bytes are filled in afterwards by
+// shard writers (DiskTableWriter::OpenShard) at their computed offsets.
+// Once every row range has been written, FinalizeDiskTable stamps the real
+// row count, making the file byte-identical to one produced by a single
+// sequential Open()/Append/Close() pass — a crashed or failed parallel run
+// therefore still scans as empty, never as a table with zero-filled holes.
+Status PreallocateDiskTable(const std::string& path, int num_columns);
+
+// Patches the header of a preallocated table with its final row count.
+Status FinalizeDiskTable(const std::string& path, int num_columns,
+                         uint64_t num_rows);
 
 // Scans a disk table, invoking `fn` for each row. Returns the row count.
 StatusOr<uint64_t> ScanDiskTable(const std::string& path,

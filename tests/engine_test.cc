@@ -31,6 +31,15 @@ TEST(TableTest, AppendRaw) {
   EXPECT_EQ(t.At(0, 1), 8);
 }
 
+TEST(TableTest, AppendBlock) {
+  Table t(2);
+  const Value rows[] = {1, 2, 3, 4, 5, 6};
+  t.AppendBlock(rows, 3);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.At(0, 0), 1);
+  EXPECT_EQ(t.At(2, 1), 6);
+}
+
 TEST(DatabaseTest, ScanVisitsAllRowsInOrder) {
   ToyEnvironment env = MakeToyEnvironment();
   Database db(env.schema);
@@ -43,6 +52,37 @@ TEST(DatabaseTest, ScanVisitsAllRowsInOrder) {
   EXPECT_EQ(seen[0], (Row{0, 10, 20}));
   EXPECT_EQ(seen[1], (Row{1, 11, 21}));
   EXPECT_EQ(db.RowCount(s), 2u);
+}
+
+TEST(DatabaseTest, ScanRangeMatchesScanSlices) {
+  ToyEnvironment env = MakeToyEnvironment();
+  Database db(env.schema);
+  const int s = env.schema.RelationIndex("S");
+  for (int64_t i = 0; i < 10; ++i) db.table(s).AppendRow({i, 10 * i, -i});
+  std::vector<Row> full;
+  db.Scan(s, [&](const Row& r) { full.push_back(r); });
+  for (int64_t begin = 0; begin <= 10; ++begin) {
+    for (int64_t end = begin; end <= 10; ++end) {
+      std::vector<Row> part;
+      db.ScanRange(s, begin, end, [&](const Row& r) { part.push_back(r); });
+      ASSERT_EQ(part.size(), static_cast<size_t>(end - begin));
+      for (int64_t i = begin; i < end; ++i) {
+        EXPECT_EQ(part[i - begin], full[i]);
+      }
+    }
+  }
+}
+
+TEST(TableTest, ResizeRowsAndMutableRowPtr) {
+  Table t(2);
+  t.ResizeRows(3);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.At(2, 1), 0);  // zero-filled
+  Value* p = t.MutableRowPtr(1);
+  p[0] = 7;
+  p[1] = 8;
+  EXPECT_EQ(t.At(1, 0), 7);
+  EXPECT_EQ(t.At(1, 1), 8);
 }
 
 TEST(DatabaseTest, ReferentialIntegrityDetectsDangling) {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -98,6 +99,89 @@ TEST_F(DiskTableTest, CorruptHeaderRejected) {
   std::fclose(f);
   EXPECT_FALSE(ScanDiskTable(path, [](const Row&) {}).ok());
   EXPECT_FALSE(ReadDiskTable(path).ok());
+}
+
+TEST_F(DiskTableTest, ShardWritersProduceSequentialBytes) {
+  // Write [0, 1000) sequentially, then the same rows as three out-of-order
+  // shards into a preallocated file; the bytes must match exactly.
+  const std::string seq_path = Path("seq.tbl");
+  DiskTableWriter seq(seq_path, 2);
+  ASSERT_TRUE(seq.Open().ok());
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(seq.Append({i, i * 3}).ok());
+  }
+  ASSERT_TRUE(seq.Close().ok());
+
+  const std::string shard_path = Path("shard.tbl");
+  ASSERT_TRUE(PreallocateDiskTable(shard_path, 2).ok());
+  for (const auto& [begin, end] : std::vector<std::pair<int64_t, int64_t>>{
+           {700, 1000}, {0, 333}, {333, 700}}) {
+    DiskTableWriter writer(shard_path, 2);
+    ASSERT_TRUE(writer.OpenShard(begin).ok());
+    for (int64_t i = begin; i < end; ++i) {
+      ASSERT_TRUE(writer.Append({i, i * 3}).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+    EXPECT_EQ(writer.rows_written(), static_cast<uint64_t>(end - begin));
+  }
+  // Before finalization the file must scan as empty (in-progress marker).
+  auto in_progress = ScanDiskTable(shard_path, [](const Row&) { FAIL(); });
+  ASSERT_TRUE(in_progress.ok());
+  EXPECT_EQ(*in_progress, 0u);
+  ASSERT_TRUE(FinalizeDiskTable(shard_path, 2, 1000).ok());
+
+  std::ifstream a(seq_path, std::ios::binary), b(shard_path, std::ios::binary);
+  const std::vector<char> seq_bytes((std::istreambuf_iterator<char>(a)),
+                                    std::istreambuf_iterator<char>());
+  const std::vector<char> shard_bytes((std::istreambuf_iterator<char>(b)),
+                                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(shard_bytes, seq_bytes);
+}
+
+TEST_F(DiskTableTest, ShardBlocksScanBack) {
+  const std::string path = Path("shard_blocks.tbl");
+  ASSERT_TRUE(PreallocateDiskTable(path, 1).ok());
+  const Value lo[] = {0, 1, 2, 3};
+  const Value hi[] = {4, 5, 6, 7, 8, 9};
+  {
+    DiskTableWriter writer(path, 1);
+    ASSERT_TRUE(writer.OpenShard(4).ok());
+    ASSERT_TRUE(writer.AppendBlock(hi, 6).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  {
+    DiskTableWriter writer(path, 1);
+    ASSERT_TRUE(writer.OpenShard(0).ok());
+    ASSERT_TRUE(writer.AppendBlock(lo, 4).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  ASSERT_TRUE(FinalizeDiskTable(path, 1, 10).ok());
+  int64_t next = 0;
+  auto rows = ScanDiskTable(path, [&](const Row& r) {
+    EXPECT_EQ(r[0], next);
+    ++next;
+  });
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 10u);
+}
+
+TEST_F(DiskTableTest, OpenShardRequiresExistingFile) {
+  DiskTableWriter writer(Path("absent.tbl"), 2);
+  EXPECT_EQ(writer.OpenShard(0).code(), StatusCode::kIoError);
+}
+
+TEST_F(DiskTableTest, OpenShardRejectsMismatchedHeader) {
+  // A stale file with a different column count at the same path must be an
+  // error, not silently misaligned row offsets.
+  const std::string path = Path("stale.tbl");
+  ASSERT_TRUE(PreallocateDiskTable(path, 3).ok());
+  DiskTableWriter writer(path, 2);
+  EXPECT_EQ(writer.OpenShard(0).code(), StatusCode::kIoError);
+
+  const std::string garbage = Path("garbage_shard.tbl");
+  std::ofstream(garbage, std::ios::binary) << "not a hydra table at all....";
+  DiskTableWriter writer2(garbage, 2);
+  EXPECT_EQ(writer2.OpenShard(0).code(), StatusCode::kIoError);
 }
 
 TEST_F(DiskTableTest, BytesReflectsContent) {
