@@ -45,13 +45,14 @@ inline void PrintHeader(const std::string& title, const std::string& paper) {
 // The canonical WLc / WLs client sites used across the figure benches.
 // Deterministic: seed fixed per workload kind.
 inline ClientSite BuildTpcdsSite(double scale_factor, TpcdsWorkloadKind kind,
-                                 int num_queries) {
+                                 int num_queries,
+                                 const ExecOptions& exec = {}) {
   Schema schema = TpcdsSchema(scale_factor);
   auto queries = TpcdsWorkload(
       schema, kind, num_queries,
       kind == TpcdsWorkloadKind::kComplex ? 424242 : 515151);
   auto site = BuildClientSite(schema, DataGenOptions{.seed = 99},
-                              std::move(queries));
+                              std::move(queries), exec);
   HYDRA_CHECK_MSG(site.ok(), site.status().ToString());
   return std::move(*site);
 }

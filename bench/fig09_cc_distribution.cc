@@ -8,15 +8,18 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
   using namespace hydra::bench;
 
+  JsonReporter json("fig09_cc_distribution", argc, argv);
   PrintHeader("Figure 9 — Distribution of Cardinality in CCs (WLc)",
               "131 queries -> 351 CCs spanning ~0..1e9 rows (log-scale histogram)");
 
+  Timer site_timer;
   const ClientSite site =
       BuildTpcdsSite(/*scale_factor=*/4.0, TpcdsWorkloadKind::kComplex, 131);
+  json.Record("build_site_wlc", site_timer.Seconds(), site.ccs.size());
 
   std::printf("queries: %zu   cardinality constraints: %zu\n\n",
               site.queries.size(), site.ccs.size());

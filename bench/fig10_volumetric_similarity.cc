@@ -13,10 +13,11 @@
 #include "hydra/regenerator.h"
 #include "hydra/tuple_generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
   using namespace hydra::bench;
 
+  JsonReporter json("fig10_volumetric_similarity", argc, argv);
   PrintHeader(
       "Figure 10 — Quality of Volumetric Similarity (WLs)",
       "Hydra: ~90% exact, tail <= 10%, positive-only; DataSynth: ~80% exact, "
@@ -32,8 +33,11 @@ int main() {
   HYDRA_CHECK_MSG(hydra_result.ok(), hydra_result.status().ToString());
   auto hydra_db = MaterializeDatabase(hydra_result->summary);
   HYDRA_CHECK_OK(hydra_db.status());
+  Timer similarity_timer;
   auto hydra_report = MeasureVolumetricSimilarity(site, *hydra_db);
   HYDRA_CHECK_OK(hydra_report.status());
+  json.Record("hydra_similarity_wls", similarity_timer.Seconds(),
+              hydra_report->entries.size());
 
   // --- DataSynth -----------------------------------------------------
   DataSynthRegenerator datasynth(site.schema);

@@ -9,10 +9,11 @@
 #include "datasynth/datasynth.h"
 #include "hydra/regenerator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
   using namespace hydra::bench;
 
+  JsonReporter json("fig11_referential_integrity", argc, argv);
   PrintHeader(
       "Figure 11 — Extra tuples for Referential Integrity",
       "Hydra typically ~10x fewer insertions than DataSynth per table");
@@ -21,8 +22,11 @@ int main() {
       BuildTpcdsSite(/*scale_factor=*/2.0, TpcdsWorkloadKind::kSimple, 80);
 
   HydraRegenerator hydra(site.schema);
+  Timer regen_timer;
   auto hydra_result = hydra.Regenerate(site.ccs);
   HYDRA_CHECK_MSG(hydra_result.ok(), hydra_result.status().ToString());
+  json.Record("hydra_regenerate_wls", regen_timer.Seconds(),
+              hydra_result->summary.TotalExtraTuples());
 
   DataSynthRegenerator datasynth(site.schema);
   auto ds_result = datasynth.Regenerate(site.ccs);

@@ -11,10 +11,11 @@
 #include "datasynth/datasynth.h"
 #include "hydra/regenerator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
   using namespace hydra::bench;
 
+  JsonReporter json("fig12_lp_variables", argc, argv);
   PrintHeader(
       "Figure 12 — Number of variables in the LP (WLc)",
       "region-partitioning is orders of magnitude below grid-partitioning "
@@ -25,8 +26,11 @@ int main() {
   std::printf("CCs: %zu\n\n", site.ccs.size());
 
   HydraRegenerator hydra(site.schema);
+  Timer regen_timer;
   auto hydra_result = hydra.Regenerate(site.ccs);
   HYDRA_CHECK_MSG(hydra_result.ok(), hydra_result.status().ToString());
+  json.Record("hydra_regenerate_wlc", regen_timer.Seconds(),
+              hydra_result->TotalLpVariables());
 
   DataSynthRegenerator datasynth(site.schema);
   constexpr uint64_t kCap = 1ull << 62;

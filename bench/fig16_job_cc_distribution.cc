@@ -6,18 +6,21 @@
 #include "bench_util.h"
 #include "workload/job.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
   using namespace hydra::bench;
 
+  JsonReporter json("fig16_job_cc_distribution", argc, argv);
   PrintHeader("Figure 16 — Cardinality distribution of CCs in JOB",
               "260 queries -> 523 CCs, wide multi-decade spread");
 
   Schema schema = JobSchema(/*scale_factor=*/2.0);
   auto queries = JobWorkload(schema, 260, 616161);
+  Timer site_timer;
   auto site = BuildClientSite(schema, DataGenOptions{.seed = 99},
                               std::move(queries));
   HYDRA_CHECK_MSG(site.ok(), site.status().ToString());
+  json.Record("build_site_job", site_timer.Seconds(), site->ccs.size());
 
   std::printf("queries: %zu   cardinality constraints: %zu\n\n",
               site->queries.size(), site->ccs.size());

@@ -9,10 +9,11 @@
 #include "hydra/tuple_generator.h"
 #include "workload/job.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
   using namespace hydra::bench;
 
+  JsonReporter json("fig17_job_lp_variables", argc, argv);
   PrintHeader("Figure 17 — Number of Variables for JOB",
               "few thousand per view, never exceeding 1e5; summary in ~20 s; "
               "all CCs within 2%");
@@ -29,6 +30,8 @@ int main() {
   auto result = hydra.Regenerate(site->ccs);
   HYDRA_CHECK_MSG(result.ok(), result.status().ToString());
   const double summary_seconds = timer.Seconds();
+  json.Record("hydra_summary_job", summary_seconds,
+              result->TotalLpVariables());
 
   TextTable table({"view (relation)", "sub-views", "LP variables",
                    "LP constraints"});

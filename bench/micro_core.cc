@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "engine/executor.h"
 #include "hydra/regenerator.h"
 #include "hydra/tuple_generator.h"
 #include "lp/simplex.h"
@@ -132,6 +134,25 @@ void BM_TupleGenerationThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_TupleGenerationThroughput);
 
+void BM_ExecutorAqp(benchmark::State& state) {
+  // Full AQP collection over the toy query: morsel-parallel scan+filter
+  // through the operator pipeline, then the join cardinality annotations.
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto result = hydra.Regenerate(env.ccs);
+  HYDRA_CHECK_MSG(result.ok(), result.status().ToString());
+  auto db = MaterializeDatabase(result->summary);
+  HYDRA_CHECK_OK(db.status());
+  Executor ex(env.schema,
+              ExecOptions{static_cast<int>(state.range(0)), 4096});
+  for (auto _ : state) {
+    auto aqp = ex.Execute(env.query, *db);
+    HYDRA_CHECK_OK(aqp.status());
+    benchmark::DoNotOptimize(aqp->steps);
+  }
+}
+BENCHMARK(BM_ExecutorAqp)->Arg(1)->Arg(4);
+
 void BM_RandomAccessTuple(benchmark::State& state) {
   ToyEnvironment env = MakeToyEnvironment();
   HydraRegenerator hydra(env.schema);
@@ -149,7 +170,42 @@ void BM_RandomAccessTuple(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomAccessTuple);
 
+// Bridges google-benchmark runs into the JsonReporter trajectory records:
+// one {name, seconds-per-iteration, iterations} record per run.
+class JsonRunReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRunReporter(bench::JsonReporter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      json_->Record(run.benchmark_name(),
+                    run.real_accumulated_time / run.iterations,
+                    run.iterations);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonReporter* json_;
+};
+
 }  // namespace
 }  // namespace hydra
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hydra::bench::JsonReporter json("micro_core", argc, argv);
+  // Strip the --json flag(s) before gbenchmark sees (and rejects) them.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) != 0) args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  hydra::JsonRunReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

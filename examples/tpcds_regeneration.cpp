@@ -8,6 +8,7 @@
 //   vendor: Hydra (region-partitioned LPs) -> database summary
 //   check : materialize + re-run workload -> per-CC relative error
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/text_table.h"
@@ -61,10 +62,27 @@ int main() {
   std::printf("%s\n", views.Render().c_str());
 
   // --- Fidelity check -------------------------------------------------------
+  // The similarity evaluation re-runs the whole workload on the vendor
+  // side; ExecOptions fans the scans out over morsels, and the report is
+  // identical at any thread count.
   auto db = MaterializeDatabase(result->summary);
   if (!db.ok()) return 1;
-  auto report = MeasureVolumetricSimilarity(*site, *db);
-  if (!report.ok()) return 1;
+  const auto measure = [&](ExecOptions exec, double* seconds) {
+    const auto start = std::chrono::steady_clock::now();
+    auto r = MeasureVolumetricSimilarity(*site, *db, exec);
+    *seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    return r;
+  };
+  double t1_seconds = 0, tn_seconds = 0;
+  auto report_t1 = measure(ExecOptions{/*num_threads=*/1}, &t1_seconds);
+  auto report = measure(ExecOptions{/*num_threads=*/0}, &tn_seconds);
+  if (!report.ok() || !report_t1.ok()) return 1;
+  std::printf("workload re-execution: %s single-thread, %s with all cores "
+              "(%.2fx)\n",
+              FormatDuration(t1_seconds).c_str(),
+              FormatDuration(tn_seconds).c_str(), t1_seconds / tn_seconds);
   std::printf("volumetric similarity on %zu CCs:\n", report->entries.size());
   for (double err : {0.0, 0.01, 0.1}) {
     std::printf("  within %4.0f%% error: %5.1f%% of CCs\n", err * 100,

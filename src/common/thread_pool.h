@@ -62,6 +62,39 @@ class ThreadPool {
 void ParallelFor(ThreadPool& pool, int count,
                  const std::function<void(int)>& fn);
 
+// Tracks a caller's own in-flight tasks: Add() before submitting, Done() at
+// task end, Wait() blocks until the count returns to zero. Unlike
+// ThreadPool::Wait — which is global to the pool — a WaitGroup scopes
+// completion to one caller's submissions, so nested parallel operators can
+// share a pool without waiting on each other's work.
+class WaitGroup {
+ public:
+  void Add(int n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += n;
+  }
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    cv_.notify_all();
+  }
+  // Blocks until every Add()ed task has Done()d.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  // Blocks until fewer than `limit` tasks are in flight (bounded dispatch).
+  void WaitUntilBelow(int limit) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, limit] { return pending_ < limit; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int pending_ = 0;
+};
+
 }  // namespace hydra
 
 #endif  // HYDRA_COMMON_THREAD_POOL_H_

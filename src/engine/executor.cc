@@ -1,7 +1,6 @@
 #include "engine/executor.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -62,16 +61,26 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
 
   const int num_tables = static_cast<int>(query.tables.size());
 
-  // Scan + filter each participating relation once.
+  // Scan + filter each participating relation once, through the morsel-
+  // driven operator pipeline: the leaf fans out over ScanRange partitions
+  // and evaluates the pushed-down filter inside the morsel workers, and the
+  // blocks arrive in rank order, so the filtered table is identical to a
+  // sequential scan at any thread count.
   std::vector<Table> filtered;
   filtered.reserve(num_tables);
   for (int t = 0; t < num_tables; ++t) {
     const QueryTable& qt = query.tables[t];
     const Relation& rel = schema_.relation(qt.relation);
     Table ft(rel.num_attributes());
-    source.Scan(qt.relation, [&](const Row& row) {
-      if (qt.filter.Eval(row)) ft.AppendRow(row);
-    });
+    {
+      SourceScanOp scan(&source, qt.relation, rel.num_attributes(),
+                        qt.filter, ctx_.get());
+      scan.Open();
+      RowBlock block;
+      while (scan.NextBatch(&block)) {
+        ft.AppendBlock(block.RowPtr(0), block.num_rows());
+      }
+    }
     if (!qt.filter.IsTrue()) {
       AqpStep step;
       step.label = query.name + "/filter(" + rel.name() + ")";
@@ -83,82 +92,164 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
     filtered.push_back(std::move(ft));
   }
 
-  // Accumulated join result: flat array of row-id tuples, one uint32 row id
-  // per already-joined table (PK-FK joins keep these narrow).
-  std::vector<uint32_t> acc;
-  std::vector<int> joined_tables = {0};  // indices into query.tables
-  acc.reserve(filtered[0].num_rows());
-  for (uint64_t r = 0; r < filtered[0].num_rows(); ++r) {
-    acc.push_back(static_cast<uint32_t>(r));
-  }
-
-  for (size_t j = 0; j < query.joins.size(); ++j) {
-    const JoinEdge& edge = query.joins[j];
-    const int new_t = static_cast<int>(j) + 1;
-    const int stride = static_cast<int>(joined_tables.size());
-    std::vector<uint32_t> next;
-
-    auto slot_of = [&](int table_id) {
-      for (int s = 0; s < stride; ++s) {
-        if (joined_tables[s] == table_id) return s;
-      }
-      HYDRA_CHECK_MSG(false, "join references un-joined table " << table_id);
-      return -1;
-    };
-
+  // Left-deep join phase, entirely in the operator layer: every step is one
+  // HashJoinOp — the accumulated result probes, the new relation builds —
+  // so the parallel partitioned build + shared read-only probe is the
+  // production join path. For a PK-side new table the acc row's FK value
+  // probes the (unique) PK build keys; for an FK-side new table the acc
+  // row's PK value probes the FK build keys, expanding per duplicate.
+  //
+  // Intermediates stay narrow: both the build side and the join output are
+  // projected down to the probe-key columns later steps still need (AQP
+  // annotation only wants cardinalities), so an accumulated row carries a
+  // handful of key values, not every joined attribute.
+  struct AttrCol {
+    int table;  // index into query.tables
+    int attr;
+    bool operator==(const AttrCol& o) const {
+      return table == o.table && attr == o.attr;
+    }
+  };
+  const int num_joins = static_cast<int>(query.joins.size());
+  std::vector<AttrCol> acc_key(num_joins);   // join key column within acc
+  std::vector<int> new_key(num_joins);       // join key attr on the new table
+  std::vector<bool> new_is_fk(num_joins);
+  for (int k = 0; k < num_joins; ++k) {
+    const JoinEdge& edge = query.joins[k];
+    const int new_t = k + 1;
+    new_is_fk[k] = edge.fk_table == new_t;
     if (edge.pk_table == new_t) {
       // New table is the PK side: each accumulated row matches <= 1 new row.
-      const Relation& pk_rel =
-          schema_.relation(query.tables[new_t].relation);
-      const int pk_attr = pk_rel.PrimaryKeyIndex();
+      const int pk_attr =
+          schema_.relation(query.tables[new_t].relation).PrimaryKeyIndex();
       HYDRA_CHECK(pk_attr >= 0);
-      std::unordered_map<Value, uint32_t> build;
-      build.reserve(filtered[new_t].num_rows() * 2);
-      for (uint64_t r = 0; r < filtered[new_t].num_rows(); ++r) {
-        build.emplace(filtered[new_t].At(r, pk_attr),
-                      static_cast<uint32_t>(r));
-      }
-      const int fk_slot = slot_of(edge.fk_table);
-      const uint64_t acc_rows = acc.size() / stride;
-      for (uint64_t r = 0; r < acc_rows; ++r) {
-        const uint32_t fk_row = acc[r * stride + fk_slot];
-        const Value fk_value = filtered[edge.fk_table].At(fk_row, edge.fk_attr);
-        auto it = build.find(fk_value);
-        if (it == build.end()) continue;
-        next.insert(next.end(), acc.begin() + r * stride,
-                    acc.begin() + (r + 1) * stride);
-        next.push_back(it->second);
-      }
+      HYDRA_CHECK_MSG(edge.fk_table <= k, "join references un-joined table "
+                                              << edge.fk_table);
+      acc_key[k] = {edge.fk_table, edge.fk_attr};
+      new_key[k] = pk_attr;
     } else {
-      // New table is the FK side: probe accumulated PK values (may expand).
+      // New table is the FK side: accumulated PK values match any number of
+      // new FK rows (may expand).
       HYDRA_CHECK(edge.fk_table == new_t);
-      const Relation& pk_rel =
-          schema_.relation(query.tables[edge.pk_table].relation);
-      const int pk_attr = pk_rel.PrimaryKeyIndex();
+      HYDRA_CHECK_MSG(edge.pk_table <= k, "join references un-joined table "
+                                              << edge.pk_table);
+      const int pk_attr =
+          schema_.relation(query.tables[edge.pk_table].relation)
+              .PrimaryKeyIndex();
       HYDRA_CHECK(pk_attr >= 0);
-      const int pk_slot = slot_of(edge.pk_table);
-      std::unordered_map<Value, std::vector<uint32_t>> build;
-      const uint64_t acc_rows = acc.size() / stride;
-      build.reserve(acc_rows * 2);
-      for (uint64_t r = 0; r < acc_rows; ++r) {
-        const uint32_t pk_row = acc[r * stride + pk_slot];
-        build[filtered[edge.pk_table].At(pk_row, pk_attr)].push_back(
-            static_cast<uint32_t>(r));
-      }
-      for (uint64_t r = 0; r < filtered[new_t].num_rows(); ++r) {
-        const Value fk_value = filtered[new_t].At(r, edge.fk_attr);
-        auto it = build.find(fk_value);
-        if (it == build.end()) continue;
-        for (uint32_t acc_r : it->second) {
-          next.insert(next.end(), acc.begin() + acc_r * stride,
-                      acc.begin() + (acc_r + 1) * stride);
-          next.push_back(static_cast<uint32_t>(r));
-        }
+      acc_key[k] = {edge.pk_table, pk_attr};
+      new_key[k] = edge.fk_attr;
+    }
+  }
+  // The acc-side key columns still needed by steps > j, deduped in step
+  // order.
+  const auto needed_after = [&](int j) {
+    std::vector<AttrCol> out;
+    for (int k = j + 1; k < num_joins; ++k) {
+      if (std::find(out.begin(), out.end(), acc_key[k]) == out.end()) {
+        out.push_back(acc_key[k]);
       }
     }
+    return out;
+  };
+  const auto col_index = [](const std::vector<AttrCol>& cols,
+                            const AttrCol& c) {
+    const auto it = std::find(cols.begin(), cols.end(), c);
+    HYDRA_CHECK(it != cols.end());
+    return static_cast<int>(it - cols.begin());
+  };
 
+  // acc holds exactly the still-needed key columns of the joined tables,
+  // laid out as described by acc_cols; seed it with the root's key columns.
+  std::vector<AttrCol> acc_cols;
+  for (const AttrCol& c : needed_after(-1)) {
+    if (c.table == 0) acc_cols.push_back(c);
+  }
+  Table acc(static_cast<int>(acc_cols.size()));
+  if (num_joins > 0) {
+    std::vector<int> root_attrs;
+    root_attrs.reserve(acc_cols.size());
+    for (const AttrCol& c : acc_cols) root_attrs.push_back(c.attr);
+    ProjectOp project(std::make_unique<TableScanOp>(&filtered[0], ctx_.get()),
+                      std::move(root_attrs));
+    project.Open();
+    RowBlock block;
+    while (project.NextBatch(&block)) {
+      acc.AppendBlock(block.RowPtr(0), block.num_rows());
+    }
+  }
+
+  std::vector<int> joined_tables = {0};  // indices into query.tables
+
+  for (int j = 0; j < num_joins; ++j) {
+    const int new_t = j + 1;
+
+    // The new relation projected to its key column (first) plus any of its
+    // attributes later steps probe with.
+    std::vector<int> new_attrs = {new_key[j]};
+    const std::vector<AttrCol> needed = needed_after(j);
+    for (const AttrCol& c : needed) {
+      if (c.table == new_t && c.attr != new_key[j]) {
+        new_attrs.push_back(c.attr);
+      }
+    }
+    auto new_scan = std::make_unique<ProjectOp>(
+        std::make_unique<TableScanOp>(&filtered[new_t], ctx_.get()),
+        new_attrs);
+    const int acc_key_col = col_index(acc_cols, acc_key[j]);
+
+    // Orientation: always hash-build over the smaller, join-result-bounded
+    // side. A PK-side new table is a dimension (unique keys) — build on it,
+    // probe with acc. An FK-side new table is fact-sized — build on acc and
+    // let the fact scan be the morsel-parallel probe.
+    std::unique_ptr<HashJoinOp> join;
+    std::vector<AttrCol> out_cols;
+    if (new_is_fk[j]) {
+      for (int a : new_attrs) out_cols.push_back({new_t, a});
+      out_cols.insert(out_cols.end(), acc_cols.begin(), acc_cols.end());
+      join = std::make_unique<HashJoinOp>(std::move(new_scan),
+                                          /*probe_col=*/0, &acc, acc_key_col,
+                                          ctx_.get());
+    } else {
+      out_cols = acc_cols;
+      for (int a : new_attrs) out_cols.push_back({new_t, a});
+      join = std::make_unique<HashJoinOp>(
+          std::make_unique<TableScanOp>(&acc, ctx_.get()), acc_key_col,
+          std::move(new_scan), /*build_col=*/0, ctx_.get());
+    }
+
+    // Keys of not-yet-joined tables enter acc only once their table joins
+    // (via build_attrs above); until then they are carried by `needed` but
+    // cannot be projected.
+    std::vector<AttrCol> keep_cols;
+    for (const AttrCol& c : needed) {
+      if (c.table <= new_t) keep_cols.push_back(c);
+    }
+
+    uint64_t cardinality = 0;
+    if (keep_cols.empty()) {
+      // Final step: only the cardinality is wanted.
+      cardinality = CountRows(join.get());
+      acc = Table(0);
+      acc_cols.clear();
+    } else {
+      std::vector<int> keep;
+      keep.reserve(keep_cols.size());
+      for (const AttrCol& c : keep_cols) {
+        keep.push_back(col_index(out_cols, c));
+      }
+      Table next(static_cast<int>(keep_cols.size()));
+      ProjectOp project(std::move(join), std::move(keep));
+      project.Open();
+      RowBlock block;
+      while (project.NextBatch(&block)) {
+        next.AppendBlock(block.RowPtr(0), block.num_rows());
+      }
+      cardinality = next.num_rows();
+      acc = std::move(next);
+      acc_cols = std::move(keep_cols);
+    }
     joined_tables.push_back(new_t);
-    acc = std::move(next);
 
     AqpStep step;
     step.label = query.name + "/join" + std::to_string(j);
@@ -167,7 +258,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
     for (int t : sorted_tables) {
       step.relations.push_back(query.tables[t].relation);
     }
-    for (size_t k = 0; k <= j; ++k) {
+    for (int k = 0; k <= j; ++k) {
       const JoinEdge& e = query.joins[k];
       CcJoin cj;
       cj.fk_relation = query.tables[e.fk_table].relation;
@@ -177,7 +268,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
     }
     BuildCcPredicate(schema_, query, sorted_tables, &step.columns,
                      &step.predicate);
-    step.cardinality = acc.size() / joined_tables.size();
+    step.cardinality = cardinality;
     aqp.steps.push_back(std::move(step));
   }
 

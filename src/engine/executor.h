@@ -9,11 +9,13 @@
 #define HYDRA_ENGINE_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "engine/operators.h"
 #include "engine/table.h"
 #include "query/constraint.h"
 #include "query/query.h"
@@ -40,15 +42,23 @@ struct AnnotatedQueryPlan {
 
 class Executor {
  public:
-  explicit Executor(const Schema& schema) : schema_(schema) {}
+  // The executor owns one ExecContext (thread pool + morsel knobs) reused
+  // across every Execute call; per-relation scan+filter runs through the
+  // morsel-parallel operator pipeline. Results are byte-identical at any
+  // num_threads (docs/engine.md).
+  explicit Executor(const Schema& schema, ExecOptions options = {})
+      : schema_(schema), ctx_(std::make_unique<ExecContext>(options)) {}
 
   // Executes `query` against `source` and returns the annotated plan.
   // Requires the query's relations to be distinct (no self-joins).
   StatusOr<AnnotatedQueryPlan> Execute(const Query& query,
                                        const TableSource& source) const;
 
+  const ExecOptions& options() const { return ctx_->options(); }
+
  private:
   const Schema& schema_;
+  std::unique_ptr<ExecContext> ctx_;
 };
 
 // The client-site Parser: converts an AQP into cardinality constraints

@@ -1,85 +1,544 @@
 #include "engine/operators.h"
 
 #include <algorithm>
-#include <map>
+#include <condition_variable>
+#include <mutex>
 
 #include "common/logging.h"
 
 namespace hydra {
 
-bool TableScanOp::Next(Row* out) {
-  if (next_row_ >= table_->num_rows()) return false;
-  table_->GetRow(next_row_++, out);
-  return true;
+namespace {
+
+// Runs fn(i) for i in [0, count) on the context's pool and blocks until all
+// complete. Completion is tracked by a private WaitGroup (not via
+// ThreadPool::Wait) so unrelated work in flight on the shared pool is never
+// waited on.
+void RunTasks(ExecContext* ctx, int count,
+              const std::function<void(int)>& fn) {
+  ThreadPool* pool = ctx == nullptr ? nullptr : ctx->pool();
+  if (pool == nullptr) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  WaitGroup wg;
+  wg.Add(count);
+  for (int i = 0; i < count; ++i) {
+    pool->Submit([&, i] {
+      fn(i);
+      wg.Done();
+    });
+  }
+  wg.Wait();
 }
 
-bool GeneratorScanOp::Next(Row* out) {
-  if (next_pk_ >=
-      static_cast<int64_t>(generator_->RowCount(relation_))) {
+// Fixed (platform-independent) integer mix for hash-partitioning join keys.
+// Only the distribution depends on it — results never do — but keeping it
+// deterministic keeps partition sizes reproducible for debugging.
+inline uint64_t MixKey(Value v) {
+  uint64_t x = static_cast<uint64_t>(v);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+namespace internal {
+
+// Plans [0, total_rows) into morsel_rows-sized rank ranges and emits one
+// filled RowBlock per non-empty morsel, in rank order. With a parallel
+// context up to 2*parallelism morsels are filled concurrently ahead of the
+// consumer; emission order is fixed by morsel index, never by completion
+// order, so the concatenated row stream is identical at any thread count.
+class MorselPipeline {
+ public:
+  // fill(begin, end, out) produces rank range [begin, end) into `out`
+  // (already Reset to the right width). It runs on pool workers and must
+  // only read state that is immutable while the pipeline is live.
+  using Fill = std::function<void(int64_t, int64_t, RowBlock*)>;
+
+  MorselPipeline(ExecContext* ctx, int64_t total_rows, int num_columns,
+                 Fill fill)
+      : ctx_(ctx),
+        total_rows_(total_rows),
+        num_columns_(num_columns),
+        fill_(std::move(fill)) {
+    morsel_rows_ = std::max<int64_t>(
+        1, ctx_ == nullptr ? ExecOptions{}.morsel_rows : ctx_->morsel_rows());
+    num_morsels_ = (total_rows_ + morsel_rows_ - 1) / morsel_rows_;
+    if (ctx_ != nullptr && ctx_->parallelism() > 1 && num_morsels_ > 1) {
+      slots_.resize(static_cast<size_t>(
+          std::min<int64_t>(num_morsels_, 2 * ctx_->parallelism())));
+      for (size_t i = 0; i < slots_.size(); ++i) SubmitNext();
+    }
+  }
+
+  // Waits out in-flight morsels: tasks capture `this` and the fill state,
+  // so an early-terminated scan (e.g. under a LimitOp) must drain.
+  ~MorselPipeline() { wg_.Wait(); }
+
+  bool Next(RowBlock* out) {
+    if (slots_.empty()) {  // sequential: fill straight into the caller
+      while (next_emit_ < num_morsels_) {
+        const int64_t begin = next_emit_ * morsel_rows_;
+        const int64_t end = std::min(total_rows_, begin + morsel_rows_);
+        ++next_emit_;
+        out->Reset(num_columns_);
+        fill_(begin, end, out);
+        if (!out->empty()) return true;
+      }
+      return false;
+    }
+    while (next_emit_ < num_morsels_) {
+      Slot& slot = slots_[next_emit_ % slots_.size()];
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&slot] { return slot.done; });
+        out->Reset(num_columns_);
+        std::swap(*out, slot.block);
+        slot.done = false;
+      }
+      ++next_emit_;
+      SubmitNext();  // refill the just-freed slot
+      if (!out->empty()) return true;
+    }
     return false;
   }
-  generator_->GetTuple(relation_, next_pk_++, out);
+
+ private:
+  struct Slot {
+    RowBlock block;
+    bool done = false;
+  };
+
+  void SubmitNext() {
+    if (next_submit_ >= num_morsels_) return;
+    const int64_t m = next_submit_++;
+    Slot* slot = &slots_[m % slots_.size()];
+    wg_.Add();
+    ctx_->pool()->Submit([this, m, slot] {
+      const int64_t begin = m * morsel_rows_;
+      const int64_t end = std::min(total_rows_, begin + morsel_rows_);
+      slot->block.Reset(num_columns_);
+      fill_(begin, end, &slot->block);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        slot->done = true;
+        cv_.notify_all();
+      }
+      wg_.Done();
+    });
+  }
+
+  ExecContext* ctx_;
+  int64_t total_rows_;
+  int num_columns_;
+  Fill fill_;
+  int64_t morsel_rows_ = 1;
+  int64_t num_morsels_ = 0;
+  int64_t next_emit_ = 0;
+  int64_t next_submit_ = 0;
+  std::vector<Slot> slots_;  // empty = sequential mode
+  std::mutex mu_;            // guards the slots' done flags
+  std::condition_variable cv_;
+  WaitGroup wg_;
+};
+
+// Pulls batches from `child` on the consumer thread, maps up to 2*threads of
+// them concurrently through `fn` on the pool, and yields the mapped outputs
+// in input order — the parallel probe machinery of HashJoinOp.
+class OrderedBatchMapper {
+ public:
+  using MapFn = std::function<void(const RowBlock&, RowBlock*)>;
+
+  OrderedBatchMapper(ExecContext* ctx, Operator* child, MapFn fn)
+      : ctx_(ctx),
+        child_(child),
+        fn_(std::move(fn)),
+        slots_(2 * ctx->parallelism()) {}
+
+  ~OrderedBatchMapper() { wg_.Wait(); }
+
+  bool Next(RowBlock* out) {
+    for (;;) {
+      // Keep the window full: pull child batches into free slots and hand
+      // them to the pool. Pulling happens only on this (consumer) thread.
+      while (!child_eof_ &&
+             next_fill_ - next_emit_ < static_cast<int64_t>(slots_.size())) {
+        Slot* slot = &slots_[next_fill_ % slots_.size()];
+        if (!child_->NextBatch(&slot->in)) {
+          child_eof_ = true;
+          break;
+        }
+        ++next_fill_;
+        wg_.Add();
+        ctx_->pool()->Submit([this, slot] {
+          fn_(slot->in, &slot->out);
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            slot->done = true;
+            cv_.notify_all();
+          }
+          wg_.Done();
+        });
+      }
+      if (next_emit_ == next_fill_) return false;  // drained at child EOF
+      Slot& slot = slots_[next_emit_ % slots_.size()];
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&slot] { return slot.done; });
+        std::swap(*out, slot.out);
+        slot.done = false;
+      }
+      ++next_emit_;
+      if (!out->empty()) return true;
+    }
+  }
+
+ private:
+  struct Slot {
+    RowBlock in;
+    RowBlock out;
+    bool done = false;
+  };
+
+  ExecContext* ctx_;
+  Operator* child_;
+  MapFn fn_;
+  std::vector<Slot> slots_;
+  bool child_eof_ = false;
+  int64_t next_fill_ = 0;
+  int64_t next_emit_ = 0;
+  std::mutex mu_;  // guards the slots' done flags
+  std::condition_variable cv_;
+  WaitGroup wg_;
+};
+
+}  // namespace internal
+
+// --- ExecContext ---------------------------------------------------------
+
+ExecContext::ExecContext(ExecOptions options) : options_(options) {
+  if (options_.morsel_rows < 1) options_.morsel_rows = 1;
+  const int threads = options_.ResolvedThreads();
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+// --- Operator base -------------------------------------------------------
+
+Operator::~Operator() = default;
+
+void Operator::Open() {
+  shim_.Reset(0);
+  shim_pos_ = 0;
+  shim_eof_ = false;
+  OpenImpl();
+}
+
+bool Operator::Next(Row* out) {
+  while (shim_pos_ >= shim_.num_rows()) {
+    if (shim_eof_ || !NextBatch(&shim_)) {
+      shim_eof_ = true;
+      return false;
+    }
+    shim_pos_ = 0;
+  }
+  const Value* p = shim_.RowPtr(shim_pos_++);
+  out->assign(p, p + shim_.num_columns());
   return true;
 }
 
-bool FilterOp::Next(Row* out) {
-  while (child_->Next(out)) {
-    if (predicate_.Eval(*out)) return true;
+// --- Leaves --------------------------------------------------------------
+
+SourceScanOp::SourceScanOp(const TableSource* source, int relation,
+                           int num_columns, DnfPredicate filter,
+                           ExecContext* ctx)
+    : source_(source),
+      relation_(relation),
+      num_columns_(num_columns),
+      filter_(std::move(filter)),
+      filter_is_true_(filter_.IsTrue()),
+      ctx_(ctx) {}
+
+SourceScanOp::~SourceScanOp() = default;
+
+void SourceScanOp::OpenImpl() {
+  morsels_ = std::make_unique<internal::MorselPipeline>(
+      ctx_, static_cast<int64_t>(source_->RowCount(relation_)), num_columns_,
+      [this](int64_t begin, int64_t end, RowBlock* out) {
+        out->Reserve(end - begin);
+        if (filter_is_true_) {
+          source_->ScanRange(relation_, begin, end, [out](const Row& row) {
+            out->AppendRow(row.data());
+          });
+        } else {
+          source_->ScanRange(relation_, begin, end, [this, out](const Row& row) {
+            if (filter_.Eval(row.data())) out->AppendRow(row.data());
+          });
+        }
+      });
+}
+
+bool SourceScanOp::NextBatch(RowBlock* out) { return morsels_->Next(out); }
+
+TableScanOp::TableScanOp(const Table* table, ExecContext* ctx)
+    : table_(table), ctx_(ctx) {}
+
+TableScanOp::~TableScanOp() = default;
+
+void TableScanOp::OpenImpl() {
+  morsels_ = std::make_unique<internal::MorselPipeline>(
+      ctx_, static_cast<int64_t>(table_->num_rows()), table_->num_columns(),
+      [this](int64_t begin, int64_t end, RowBlock* out) {
+        out->AppendRows(table_->RowPtr(begin), end - begin);
+      });
+}
+
+bool TableScanOp::NextBatch(RowBlock* out) { return morsels_->Next(out); }
+
+GeneratorScanOp::GeneratorScanOp(const TupleGenerator* generator, int relation,
+                                 int num_columns, ExecContext* ctx)
+    : generator_(generator),
+      relation_(relation),
+      num_columns_(num_columns),
+      ctx_(ctx) {}
+
+GeneratorScanOp::~GeneratorScanOp() = default;
+
+void GeneratorScanOp::OpenImpl() {
+  morsels_ = std::make_unique<internal::MorselPipeline>(
+      ctx_, static_cast<int64_t>(generator_->RowCount(relation_)),
+      num_columns_, [this](int64_t begin, int64_t end, RowBlock* out) {
+        generator_->FillRange(relation_, begin, end,
+                              out->AppendUninitialized(end - begin));
+      });
+}
+
+bool GeneratorScanOp::NextBatch(RowBlock* out) { return morsels_->Next(out); }
+
+// --- Filter / Project / Limit --------------------------------------------
+
+bool FilterOp::NextBatch(RowBlock* out) {
+  out->Reset(child_->num_columns());
+  while (child_->NextBatch(&in_)) {
+    for (int64_t r = 0; r < in_.num_rows(); ++r) {
+      const Value* row = in_.RowPtr(r);
+      if (predicate_.Eval(row)) out->AppendRow(row);
+    }
+    if (!out->empty()) return true;
   }
   return false;
 }
 
-bool ProjectOp::Next(Row* out) {
-  if (!child_->Next(&buffer_)) return false;
-  out->resize(columns_.size());
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    (*out)[i] = buffer_[columns_[i]];
+bool ProjectOp::NextBatch(RowBlock* out) {
+  const int num_cols = static_cast<int>(columns_.size());
+  out->Reset(num_cols);
+  if (!child_->NextBatch(&in_)) return false;
+  const int64_t rows = in_.num_rows();
+  Value* dst = out->AppendUninitialized(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const Value* row = in_.RowPtr(r);
+    for (int c = 0; c < num_cols; ++c) dst[c] = row[columns_[c]];
+    dst += num_cols;
   }
   return true;
 }
 
-void HashJoinOp::Open() {
-  build_->Open();
-  hash_.clear();
-  Row row;
-  while (build_->Next(&row)) {
-    hash_[row[build_col_]].push_back(row);
+bool LimitOp::NextBatch(RowBlock* out) {
+  if (emitted_ >= limit_) return false;
+  if (!child_->NextBatch(out)) return false;
+  const uint64_t remaining = limit_ - emitted_;
+  if (static_cast<uint64_t>(out->num_rows()) > remaining) {
+    out->Truncate(static_cast<int64_t>(remaining));
   }
-  probe_->Open();
-  matches_ = nullptr;
-  match_index_ = 0;
+  emitted_ += out->num_rows();
+  return true;
 }
 
-bool HashJoinOp::Next(Row* out) {
-  while (true) {
-    if (matches_ != nullptr && match_index_ < matches_->size()) {
-      const Row& build_row = (*matches_)[match_index_++];
-      out->resize(probe_row_.size() + build_row.size());
-      std::copy(probe_row_.begin(), probe_row_.end(), out->begin());
-      std::copy(build_row.begin(), build_row.end(),
-                out->begin() + probe_row_.size());
-      return true;
+// --- HashJoinOp ----------------------------------------------------------
+
+namespace {
+
+inline int PartitionOf(Value key, int num_partitions) {
+  return static_cast<int>(MixKey(key) % static_cast<uint64_t>(num_partitions));
+}
+
+}  // namespace
+
+HashJoinOp::HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
+                       std::unique_ptr<Operator> build, int build_col,
+                       ExecContext* ctx)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_col_(probe_col),
+      build_col_(build_col),
+      ctx_(ctx) {}
+
+HashJoinOp::HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
+                       const Table* build_table, int build_col,
+                       ExecContext* ctx)
+    : probe_(std::move(probe)),
+      build_table_(build_table),
+      probe_col_(probe_col),
+      build_col_(build_col),
+      ctx_(ctx) {}
+
+HashJoinOp::~HashJoinOp() = default;
+
+void HashJoinOp::OpenImpl() {
+  probe_mapper_.reset();
+  if (build_ != nullptr) {
+    build_->Open();
+    build_rows_.Reset(build_->num_columns());
+    RowBlock b;
+    while (build_->NextBatch(&b)) {
+      build_rows_.AppendRows(b.RowPtr(0), b.num_rows());
     }
-    if (!probe_->Next(&probe_row_)) return false;
-    const auto it = hash_.find(probe_row_[probe_col_]);
-    matches_ = it == hash_.end() ? nullptr : &it->second;
-    match_index_ = 0;
+    build_data_ = build_rows_.data().data();
+    build_num_rows_ = build_rows_.num_rows();
+  } else {
+    build_data_ = build_table_->num_rows() == 0 ? nullptr
+                                                : build_table_->RowPtr(0);
+    build_num_rows_ = static_cast<int64_t>(build_table_->num_rows());
+  }
+  const int64_t n = build_num_rows_;
+  HYDRA_CHECK_MSG(n < INT64_C(0xffffffff),
+                  "build side too large for uint32 row ids");
+
+  // Hash-partitioned CSR build. Each partition runs a count pass (span
+  // lengths per key), assigns flat offsets, then a fill pass that places
+  // row ids in build-stream order — after which every span's `len` has
+  // regrown to its count. Two passes cost less than the heap allocation a
+  // per-key vector would need, and the flat layout probes cache-friendly.
+  const bool parallel =
+      ctx_ != nullptr && ctx_->parallelism() > 1 && n >= 1024;
+  const int num_parts =
+      parallel ? std::min(ctx_->parallelism(), 64) : 1;
+  partitions_.assign(num_parts, {});
+  partition_rows_.assign(num_parts, {});
+  // Builds partition `p` from any row-id sequence in build-stream order.
+  const auto build_partition = [this](
+                                   int p,
+                                   const std::function<void(
+                                       const std::function<void(uint32_t)>&)>&
+                                       for_each_row) {
+    auto& part = partitions_[p];
+    for_each_row([&](uint32_t r) { ++part[BuildRowPtr(r)[build_col_]].len; });
+    uint32_t offset = 0;
+    for (auto& [key, span] : part) {
+      span.begin = offset;
+      offset += span.len;
+      span.len = 0;  // reused as the fill cursor
+    }
+    auto& rows = partition_rows_[p];
+    rows.resize(offset);
+    for_each_row([&](uint32_t r) {
+      KeySpan& span = part[BuildRowPtr(r)[build_col_]];
+      rows[span.begin + span.len++] = r;
+    });
+  };
+  if (num_parts == 1) {
+    partitions_[0].reserve(static_cast<size_t>(n) * 2);
+    build_partition(0, [n](const std::function<void(uint32_t)>& fn) {
+      for (int64_t r = 0; r < n; ++r) fn(static_cast<uint32_t>(r));
+    });
+  } else {
+    // buckets[chunk][partition] -> row ids, so total work stays O(n):
+    // pass 1 has each chunk bucket its own rows by partition; pass 2 has
+    // each partition consume its buckets in chunk order, which is exactly
+    // build-stream order.
+    const int num_chunks = num_parts;
+    std::vector<std::vector<std::vector<uint32_t>>> buckets(
+        num_chunks, std::vector<std::vector<uint32_t>>(num_parts));
+    const int64_t chunk_rows = (n + num_chunks - 1) / num_chunks;
+    RunTasks(ctx_, num_chunks, [&](int c) {
+      auto& mine = buckets[c];
+      const int64_t begin = c * chunk_rows;
+      const int64_t end = std::min(n, begin + chunk_rows);
+      for (int64_t r = begin; r < end; ++r) {
+        mine[PartitionOf(BuildRowPtr(r)[build_col_], num_parts)]
+            .push_back(static_cast<uint32_t>(r));
+      }
+    });
+    RunTasks(ctx_, num_parts, [&](int p) {
+      build_partition(
+          p, [&buckets, num_chunks, p](
+                 const std::function<void(uint32_t)>& fn) {
+            for (int c = 0; c < num_chunks; ++c) {
+              for (const uint32_t r : buckets[c][p]) fn(r);
+            }
+          });
+    });
+  }
+
+  probe_->Open();
+  if (ctx_ != nullptr && ctx_->parallelism() > 1) {
+    // The partitions are read-only from here on: probe batches may be
+    // joined concurrently and are emitted in probe order.
+    probe_mapper_ = std::make_unique<internal::OrderedBatchMapper>(
+        ctx_, probe_.get(),
+        [this](const RowBlock& in, RowBlock* out) { JoinBatch(in, out); });
   }
 }
 
-void HashAggregateOp::Open() {
-  child_->Open();
-  results_.clear();
-  next_result_ = 0;
+void HashJoinOp::JoinBatch(const RowBlock& in, RowBlock* out) const {
+  out->Reset(num_columns());
+  const int probe_cols = in.num_columns();
+  const int build_cols = build_width_();
+  const int num_parts = static_cast<int>(partitions_.size());
+  // Pass 1: resolve each probe row's span so the output can be sized in
+  // one allocation (per-output-row growth dominated the join otherwise).
+  struct Match {
+    int64_t probe_row;
+    const uint32_t* row_ids;
+    uint32_t len;
+  };
+  std::vector<Match> matches;
+  matches.reserve(in.num_rows());
+  int64_t total_rows = 0;
+  for (int64_t r = 0; r < in.num_rows(); ++r) {
+    const Value key = in.RowPtr(r)[probe_col_];
+    const int p = num_parts == 1 ? 0 : PartitionOf(key, num_parts);
+    const auto it = partitions_[p].find(key);
+    if (it == partitions_[p].end()) continue;
+    const KeySpan span = it->second;
+    matches.push_back({r, partition_rows_[p].data() + span.begin, span.len});
+    total_rows += span.len;
+  }
+  // Pass 2: fill.
+  Value* dst = out->AppendUninitialized(total_rows);
+  for (const Match& m : matches) {
+    const Value* probe_row = in.RowPtr(m.probe_row);
+    for (uint32_t i = 0; i < m.len; ++i) {
+      std::copy(probe_row, probe_row + probe_cols, dst);
+      const Value* build_row = BuildRowPtr(m.row_ids[i]);
+      std::copy(build_row, build_row + build_cols, dst + probe_cols);
+      dst += probe_cols + build_cols;
+    }
+  }
+}
 
-  // Group state: per aggregate, the running value.
-  std::map<Row, std::vector<int64_t>> groups;
-  Row row;
-  while (child_->Next(&row)) {
-    Row key;
-    key.reserve(group_by_.size());
+bool HashJoinOp::NextBatch(RowBlock* out) {
+  if (probe_mapper_ != nullptr) return probe_mapper_->Next(out);
+  while (probe_->NextBatch(&probe_in_)) {
+    JoinBatch(probe_in_, out);
+    if (!out->empty()) return true;
+  }
+  return false;
+}
+
+// --- HashAggregateOp -----------------------------------------------------
+
+void HashAggregateOp::AccumulateBatch(const RowBlock& in,
+                                      GroupMap* groups) const {
+  Row key;
+  for (int64_t r = 0; r < in.num_rows(); ++r) {
+    const Value* row = in.RowPtr(r);
+    key.clear();
     for (int c : group_by_) key.push_back(row[c]);
-    auto [it, inserted] = groups.try_emplace(std::move(key));
+    auto [it, inserted] = groups->try_emplace(key);
     if (inserted) {
       it->second.reserve(aggregates_.size());
       for (const Aggregate& agg : aggregates_) {
@@ -116,32 +575,99 @@ void HashAggregateOp::Open() {
       }
     }
   }
-  results_.reserve(groups.size());
-  for (auto& [key, values] : groups) {
-    Row result = key;
-    result.insert(result.end(), values.begin(), values.end());
-    results_.push_back(std::move(result));
+}
+
+void HashAggregateOp::OpenImpl() {
+  child_->Open();
+  next_result_ = 0;
+
+  GroupMap merged;
+  const int num_workers = ctx_ == nullptr ? 1 : ctx_->parallelism();
+  if (num_workers <= 1) {
+    RowBlock in;
+    while (child_->NextBatch(&in)) AccumulateBatch(in, &merged);
+  } else {
+    // Child batches fold into per-worker partial states; dispatch is
+    // bounded to 2 batches per worker. count/sum/min/max over int64 are
+    // commutative and associative, so neither the batch-to-slot assignment
+    // nor execution order can change the merged result.
+    struct Partial {
+      std::mutex mu;
+      GroupMap groups;
+    };
+    std::vector<std::unique_ptr<Partial>> partials;
+    partials.reserve(num_workers);
+    for (int k = 0; k < num_workers; ++k) {
+      partials.push_back(std::make_unique<Partial>());
+    }
+    WaitGroup wg;
+    const int window = 2 * num_workers;
+    int64_t batch_index = 0;
+    RowBlock in;
+    while (child_->NextBatch(&in)) {
+      auto block = std::make_shared<RowBlock>(std::move(in));
+      Partial* slot = partials[batch_index++ % num_workers].get();
+      wg.WaitUntilBelow(window);
+      wg.Add();
+      ctx_->pool()->Submit([this, block, slot, &wg] {
+        {
+          std::lock_guard<std::mutex> part_lock(slot->mu);
+          AccumulateBatch(*block, &slot->groups);
+        }
+        wg.Done();
+      });
+    }
+    wg.Wait();
+    for (auto& partial : partials) {
+      for (auto& [key, values] : partial->groups) {
+        auto [it, inserted] = merged.try_emplace(key, std::move(values));
+        if (inserted) continue;
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          switch (aggregates_[a].kind) {
+            case AggregateKind::kCount:
+            case AggregateKind::kSum:
+              it->second[a] += values[a];
+              break;
+            case AggregateKind::kMin:
+              it->second[a] = std::min(it->second[a], values[a]);
+              break;
+            case AggregateKind::kMax:
+              it->second[a] = std::max(it->second[a], values[a]);
+              break;
+          }
+        }
+      }
+    }
+  }
+
+  results_.Reset(num_columns());
+  results_.Reserve(static_cast<int64_t>(merged.size()));
+  for (const auto& [key, values] : merged) {
+    Value* dst = results_.AppendRow();
+    std::copy(key.begin(), key.end(), dst);
+    std::copy(values.begin(), values.end(), dst + key.size());
   }
 }
 
-bool HashAggregateOp::Next(Row* out) {
-  if (next_result_ >= results_.size()) return false;
-  *out = results_[next_result_++];
+bool HashAggregateOp::NextBatch(RowBlock* out) {
+  const int64_t total = results_.num_rows();
+  if (next_result_ >= total) return false;
+  const int64_t batch_rows = std::max<int64_t>(
+      1, ctx_ == nullptr ? ExecOptions{}.morsel_rows : ctx_->morsel_rows());
+  const int64_t chunk = std::min(total - next_result_, batch_rows);
+  out->Reset(num_columns());
+  out->AppendRows(results_.RowPtr(next_result_), chunk);
+  next_result_ += chunk;
   return true;
 }
 
-bool LimitOp::Next(Row* out) {
-  if (emitted_ >= limit_) return false;
-  if (!child_->Next(out)) return false;
-  ++emitted_;
-  return true;
-}
+// --- CountRows -----------------------------------------------------------
 
 uint64_t CountRows(Operator* op) {
   op->Open();
-  Row row;
+  RowBlock block;
   uint64_t count = 0;
-  while (op->Next(&row)) ++count;
+  while (op->NextBatch(&block)) count += block.num_rows();
   return count;
 }
 

@@ -1,65 +1,260 @@
-// Volcano-style pull operators: the execution layer of the engine under
-// test. Section 6's `datagen` feature is realized by swapping the leaf:
-// TableScanOp reads materialized storage, GeneratorScanOp pulls tuples
-// straight out of the database summary — every operator above is oblivious
-// to where the rows come from.
+// Batch-vectorized, morsel-driven execution engine. Section 6's `datagen`
+// feature is realized by swapping the leaf: TableScanOp reads materialized
+// storage, GeneratorScanOp pulls tuples straight out of the database summary,
+// SourceScanOp scans any TableSource — every operator above is oblivious to
+// where the rows come from.
+//
+// Operators exchange RowBlock batches (NextBatch); the row-at-a-time Next()
+// shim on the base class exists only for root consumers and tests. Leaves
+// fan morsels (fixed-size rank ranges of ScanRange/ScanBlocksRange) out over
+// an ExecContext's thread pool and emit the filled blocks in rank order, so
+// the concatenated row stream — and therefore every cardinality, aggregate
+// value, and root row order — is byte-identical at any thread count
+// (docs/engine.md).
 
 #ifndef HYDRA_ENGINE_OPERATORS_H_
 #define HYDRA_ENGINE_OPERATORS_H_
 
+#include <map>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/table.h"
 #include "hydra/tuple_generator.h"
 #include "query/predicate.h"
 
 namespace hydra {
 
-// Pull iterator: Open() once, then Next() until it returns false.
-class Operator {
- public:
-  virtual ~Operator() = default;
+namespace internal {
 
-  virtual void Open() = 0;
-  // Fills `out` (resized as needed) and returns true, or returns false at
-  // end of stream.
-  virtual bool Next(Row* out) = 0;
-  virtual int num_columns() const = 0;
+// Allocator whose default-construct leaves trivial types uninitialized, so
+// RowBlock::AppendUninitialized's resize() doesn't spend a memory pass
+// zeroing bytes the caller immediately overwrites (the dominant write on
+// the generator-fill and join-output paths).
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  using std::allocator<T>::allocator;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible<U>::value) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<std::allocator<T>>::construct(
+        static_cast<std::allocator<T>&>(*this), ptr,
+        std::forward<Args>(args)...);
+  }
 };
 
-// Leaf: scans an in-memory table in row order.
+}  // namespace internal
+
+// Flat row-major value storage with uninitialized growth.
+using ValueBuffer = std::vector<Value, internal::DefaultInitAllocator<Value>>;
+
+// A batch of rows in flat row-major storage: the unit of data flow between
+// operators and of morsel-parallel work in the leaves.
+class RowBlock {
+ public:
+  RowBlock() = default;
+  explicit RowBlock(int num_columns) : num_columns_(num_columns) {}
+
+  // Re-types the block and drops its rows.
+  void Reset(int num_columns) {
+    num_columns_ = num_columns;
+    data_.clear();
+  }
+  void Clear() { data_.clear(); }
+
+  int num_columns() const { return num_columns_; }
+  int64_t num_rows() const {
+    return num_columns_ == 0
+               ? 0
+               : static_cast<int64_t>(data_.size()) / num_columns_;
+  }
+  bool empty() const { return data_.empty(); }
+
+  void Reserve(int64_t rows) { data_.reserve(rows * num_columns_); }
+  // Appends an uninitialized row; the caller writes its num_columns() values
+  // through the returned pointer.
+  Value* AppendRow() {
+    data_.resize(data_.size() + num_columns_);
+    return data_.data() + data_.size() - num_columns_;
+  }
+  void AppendRow(const Value* row) {
+    data_.insert(data_.end(), row, row + num_columns_);
+  }
+  // Appends `n` contiguous row-major rows in one insertion.
+  void AppendRows(const Value* rows, int64_t n) {
+    data_.insert(data_.end(), rows, rows + n * num_columns_);
+  }
+  // Appends `rows` uninitialized rows; the caller fills the returned
+  // pointer's rows * num_columns() values (e.g. TupleGenerator::FillRange).
+  Value* AppendUninitialized(int64_t rows) {
+    const size_t old_size = data_.size();
+    data_.resize(old_size + rows * num_columns_);
+    return data_.data() + old_size;
+  }
+  // Drops all rows past the first `rows`.
+  void Truncate(int64_t rows) { data_.resize(rows * num_columns_); }
+
+  const Value* RowPtr(int64_t row) const {
+    return data_.data() + row * num_columns_;
+  }
+  Value At(int64_t row, int col) const {
+    return data_[row * num_columns_ + col];
+  }
+
+  const ValueBuffer& data() const { return data_; }
+
+ private:
+  int num_columns_ = 0;
+  ValueBuffer data_;
+};
+
+// Knobs of the parallel engine, threaded from the workload drivers down to
+// the morsel sources.
+struct ExecOptions {
+  // Worker threads for morsel fan-out. 0 = one per hardware thread;
+  // 1 = fully sequential (no pool, no handoff machinery).
+  int num_threads = 1;
+  // Rows per morsel: the unit of leaf parallel work and the target batch
+  // size flowing between operators.
+  int64_t morsel_rows = 4096;
+
+  int ResolvedThreads() const {
+    return num_threads == 0 ? ThreadPool::DefaultThreads()
+                            : (num_threads < 1 ? 1 : num_threads);
+  }
+};
+
+// Shared execution state for one operator tree (reused across the queries of
+// a workload): the options plus the pool morsel work fans out on. Operators
+// given no context — or a 1-thread context — run fully sequentially.
+class ExecContext {
+ public:
+  explicit ExecContext(ExecOptions options);
+
+  const ExecOptions& options() const { return options_; }
+  int64_t morsel_rows() const { return options_.morsel_rows; }
+  // Workers available for fan-out; 1 means sequential.
+  int parallelism() const { return pool_ ? pool_->num_threads() : 1; }
+  // Null when sequential.
+  ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+namespace internal {
+class MorselPipeline;
+class OrderedBatchMapper;
+}  // namespace internal
+
+// Batch iterator: Open() once, then NextBatch() until it returns false.
+class Operator {
+ public:
+  virtual ~Operator();
+
+  // Prepares for a (re-)scan and resets the row shim.
+  void Open();
+
+  // Fills `out` with the next non-empty batch and returns true, or returns
+  // false at end of stream. The callee Resets `out`; batch boundaries are an
+  // implementation detail — only the concatenated row stream is contractual,
+  // and it is identical at any thread count.
+  virtual bool NextBatch(RowBlock* out) = 0;
+
+  virtual int num_columns() const = 0;
+
+  // Row-at-a-time shim over NextBatch, kept for root consumers and tests.
+  bool Next(Row* out);
+
+ protected:
+  virtual void OpenImpl() = 0;
+
+ private:
+  RowBlock shim_;
+  int64_t shim_pos_ = 0;
+  bool shim_eof_ = false;
+};
+
+// Leaf: morsel-driven scan over any TableSource (a materialized Database or
+// a TupleGenerator), with an optional pushed-down filter evaluated inside
+// the morsel workers — the executor's scan+filter unit of parallelism.
+class SourceScanOp : public Operator {
+ public:
+  SourceScanOp(const TableSource* source, int relation, int num_columns,
+               DnfPredicate filter = DnfPredicate::True(),
+               ExecContext* ctx = nullptr);
+  ~SourceScanOp() override;
+
+  bool NextBatch(RowBlock* out) override;
+  int num_columns() const override { return num_columns_; }
+
+ protected:
+  void OpenImpl() override;
+
+ private:
+  const TableSource* source_;
+  int relation_;
+  int num_columns_;
+  DnfPredicate filter_;
+  bool filter_is_true_;
+  ExecContext* ctx_;
+  std::unique_ptr<internal::MorselPipeline> morsels_;
+};
+
+// Leaf: scans an in-memory table in row order (morsel workers memcpy their
+// rank range).
 class TableScanOp : public Operator {
  public:
-  explicit TableScanOp(const Table* table) : table_(table) {}
+  explicit TableScanOp(const Table* table, ExecContext* ctx = nullptr);
+  ~TableScanOp() override;
 
-  void Open() override { next_row_ = 0; }
-  bool Next(Row* out) override;
+  bool NextBatch(RowBlock* out) override;
   int num_columns() const override { return table_->num_columns(); }
+
+ protected:
+  void OpenImpl() override;
 
  private:
   const Table* table_;
-  uint64_t next_row_ = 0;
+  ExecContext* ctx_;
+  std::unique_ptr<internal::MorselPipeline> morsels_;
 };
 
 // Leaf: generates tuples on demand from a database summary (dynamic
-// regeneration; no storage touched).
+// regeneration; no storage touched). Morsel workers generate disjoint rank
+// ranges concurrently via ScanBlocksRange.
 class GeneratorScanOp : public Operator {
  public:
   GeneratorScanOp(const TupleGenerator* generator, int relation,
-                  int num_columns)
-      : generator_(generator), relation_(relation), num_columns_(num_columns) {}
+                  int num_columns, ExecContext* ctx = nullptr);
+  ~GeneratorScanOp() override;
 
-  void Open() override { next_pk_ = 0; }
-  bool Next(Row* out) override;
+  bool NextBatch(RowBlock* out) override;
   int num_columns() const override { return num_columns_; }
+
+ protected:
+  void OpenImpl() override;
 
  private:
   const TupleGenerator* generator_;
   int relation_;
   int num_columns_;
-  int64_t next_pk_ = 0;
+  ExecContext* ctx_;
+  std::unique_ptr<internal::MorselPipeline> morsels_;
 };
 
 // σ: keeps rows satisfying a DNF predicate.
@@ -68,13 +263,16 @@ class FilterOp : public Operator {
   FilterOp(std::unique_ptr<Operator> child, DnfPredicate predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-  void Open() override { child_->Open(); }
-  bool Next(Row* out) override;
+  bool NextBatch(RowBlock* out) override;
   int num_columns() const override { return child_->num_columns(); }
+
+ protected:
+  void OpenImpl() override { child_->Open(); }
 
  private:
   std::unique_ptr<Operator> child_;
   DnfPredicate predicate_;
+  RowBlock in_;
 };
 
 // π: emits a subset/permutation of the child's columns.
@@ -83,52 +281,92 @@ class ProjectOp : public Operator {
   ProjectOp(std::unique_ptr<Operator> child, std::vector<int> columns)
       : child_(std::move(child)), columns_(std::move(columns)) {}
 
-  void Open() override { child_->Open(); }
-  bool Next(Row* out) override;
+  bool NextBatch(RowBlock* out) override;
   int num_columns() const override {
     return static_cast<int>(columns_.size());
   }
 
+ protected:
+  void OpenImpl() override { child_->Open(); }
+
  private:
   std::unique_ptr<Operator> child_;
   std::vector<int> columns_;
-  Row buffer_;
+  RowBlock in_;
 };
 
 // ⋈: hash join; the build side is materialized at Open(). Output rows are
 // probe columns followed by build columns. Handles duplicate keys on both
-// sides.
+// sides. With a parallel context the build is hash-partitioned across the
+// pool and probe batches are joined concurrently against the then-read-only
+// table, emitted in probe order.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
-             std::unique_ptr<Operator> build, int build_col)
-      : probe_(std::move(probe)),
-        build_(std::move(build)),
-        probe_col_(probe_col),
-        build_col_(build_col) {}
+             std::unique_ptr<Operator> build, int build_col,
+             ExecContext* ctx = nullptr);
+  // Build side given as an already-materialized table (the engine's
+  // row-major layout): hashes it in place instead of streaming and copying
+  // it through an operator. `build_table` must outlive the op.
+  HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
+             const Table* build_table, int build_col,
+             ExecContext* ctx = nullptr);
+  ~HashJoinOp() override;
 
-  void Open() override;
-  bool Next(Row* out) override;
+  bool NextBatch(RowBlock* out) override;
   int num_columns() const override {
-    return probe_->num_columns() + build_->num_columns();
+    return probe_->num_columns() + build_width_();
   }
 
+ protected:
+  void OpenImpl() override;
+
  private:
+  // Joins one probe batch against the (read-only) build table. Safe to call
+  // concurrently from morsel workers.
+  void JoinBatch(const RowBlock& in, RowBlock* out) const;
+
+  int build_width_() const {
+    return build_ != nullptr ? build_->num_columns()
+                             : build_table_->num_columns();
+  }
+  // First value of build row `r` (drained block or in-place table).
+  const Value* BuildRowPtr(int64_t r) const {
+    return build_data_ + r * build_width_();
+  }
+
   std::unique_ptr<Operator> probe_;
-  std::unique_ptr<Operator> build_;
+  std::unique_ptr<Operator> build_;          // null in table-build mode
+  const Table* build_table_ = nullptr;       // null in operator-build mode
   int probe_col_;
   int build_col_;
-  // key -> rows of the build side.
-  std::unordered_map<Value, std::vector<Row>> hash_;
-  Row probe_row_;
-  const std::vector<Row>* matches_ = nullptr;
-  size_t match_index_ = 0;
+  ExecContext* ctx_;
+  // All build rows, row-major, in build-stream order (operator-build mode
+  // drains the child here; table-build mode points straight at the table).
+  RowBlock build_rows_;
+  const Value* build_data_ = nullptr;
+  int64_t build_num_rows_ = 0;
+  // CSR hash table: partition p maps key -> a span of partition_rows_[p]
+  // holding that key's build row indices in build-stream order. A key's
+  // rows live in exactly one partition; the flat per-partition row array
+  // avoids a heap allocation per distinct key.
+  struct KeySpan {
+    uint32_t begin = 0;
+    uint32_t len = 0;
+  };
+  std::vector<std::unordered_map<Value, KeySpan>> partitions_;
+  std::vector<std::vector<uint32_t>> partition_rows_;
+  std::unique_ptr<internal::OrderedBatchMapper> probe_mapper_;
+  RowBlock probe_in_;
 };
 
 enum class AggregateKind { kCount, kSum, kMin, kMax };
 
 // γ: grouped aggregation; fully materializes at Open(). Output row layout:
-// group columns then one value per aggregate.
+// group columns then one value per aggregate, in group-key order. With a
+// parallel context, child batches are folded into per-worker partial states
+// whose merge is commutative, so the (sorted) result is thread-count
+// independent.
 class HashAggregateOp : public Operator {
  public:
   struct Aggregate {
@@ -137,23 +375,32 @@ class HashAggregateOp : public Operator {
   };
 
   HashAggregateOp(std::unique_ptr<Operator> child, std::vector<int> group_by,
-                  std::vector<Aggregate> aggregates)
+                  std::vector<Aggregate> aggregates,
+                  ExecContext* ctx = nullptr)
       : child_(std::move(child)),
         group_by_(std::move(group_by)),
-        aggregates_(std::move(aggregates)) {}
+        aggregates_(std::move(aggregates)),
+        ctx_(ctx) {}
 
-  void Open() override;
-  bool Next(Row* out) override;
+  bool NextBatch(RowBlock* out) override;
   int num_columns() const override {
     return static_cast<int>(group_by_.size() + aggregates_.size());
   }
 
+ protected:
+  void OpenImpl() override;
+
  private:
+  // One group's running aggregate values, ordered like aggregates_.
+  using GroupMap = std::map<Row, std::vector<int64_t>>;
+  void AccumulateBatch(const RowBlock& in, GroupMap* groups) const;
+
   std::unique_ptr<Operator> child_;
   std::vector<int> group_by_;
   std::vector<Aggregate> aggregates_;
-  std::vector<Row> results_;
-  size_t next_result_ = 0;
+  ExecContext* ctx_;
+  RowBlock results_;
+  int64_t next_result_ = 0;
 };
 
 // Stops after `limit` rows.
@@ -162,12 +409,14 @@ class LimitOp : public Operator {
   LimitOp(std::unique_ptr<Operator> child, uint64_t limit)
       : child_(std::move(child)), limit_(limit) {}
 
-  void Open() override {
+  bool NextBatch(RowBlock* out) override;
+  int num_columns() const override { return child_->num_columns(); }
+
+ protected:
+  void OpenImpl() override {
     child_->Open();
     emitted_ = 0;
   }
-  bool Next(Row* out) override;
-  int num_columns() const override { return child_->num_columns(); }
 
  private:
   std::unique_ptr<Operator> child_;

@@ -13,6 +13,12 @@ std::string Atom::ToString() const {
 bool Conjunct::Eval(const Row& row) const {
   for (const Atom& a : atoms) {
     HYDRA_DCHECK(a.column >= 0 && a.column < static_cast<int>(row.size()));
+  }
+  return Eval(row.data());
+}
+
+bool Conjunct::Eval(const Value* row) const {
+  for (const Atom& a : atoms) {
     if (!a.Eval(row[a.column])) return false;
   }
   return true;
@@ -67,7 +73,9 @@ bool DnfPredicate::IsTrue() const {
 
 bool DnfPredicate::IsFalse() const { return conjuncts_.empty(); }
 
-bool DnfPredicate::Eval(const Row& row) const {
+bool DnfPredicate::Eval(const Row& row) const { return Eval(row.data()); }
+
+bool DnfPredicate::Eval(const Value* row) const {
   for (const Conjunct& c : conjuncts_) {
     if (c.Eval(row)) return true;
   }

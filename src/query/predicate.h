@@ -43,6 +43,9 @@ struct Conjunct {
   std::vector<Atom> atoms;
 
   bool Eval(const Row& row) const;
+  // Raw-pointer variant for flat row-major batches; the caller guarantees
+  // the row covers every atom's column index.
+  bool Eval(const Value* row) const;
 
   // The restriction of this conjunct to `column` (Definition 4.5): the set of
   // values the conjunct permits on that column, intersected with `domain`.
@@ -72,6 +75,8 @@ class DnfPredicate {
   bool IsFalse() const;  // no conjuncts
 
   bool Eval(const Row& row) const;
+  // Raw-pointer variant for flat row-major batches.
+  bool Eval(const Value* row) const;
 
   void AddConjunct(Conjunct c) { conjuncts_.push_back(std::move(c)); }
   const std::vector<Conjunct>& conjuncts() const { return conjuncts_; }

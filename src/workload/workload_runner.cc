@@ -9,7 +9,8 @@ namespace hydra {
 
 StatusOr<ClientSite> BuildClientSite(const Schema& schema,
                                      const DataGenOptions& datagen_options,
-                                     std::vector<Query> queries) {
+                                     std::vector<Query> queries,
+                                     const ExecOptions& exec) {
   ClientSite site{schema, Database(schema), std::move(queries), {}, {}};
   HYDRA_ASSIGN_OR_RETURN(site.database,
                          GenerateClientDatabase(schema, datagen_options));
@@ -21,7 +22,7 @@ StatusOr<ClientSite> BuildClientSite(const Schema& schema,
         "|" + schema.relation(r).name() + "|"));
   }
 
-  Executor executor(site.schema);
+  Executor executor(site.schema, exec);
   site.aqps.reserve(site.queries.size());
   for (const Query& q : site.queries) {
     HYDRA_ASSIGN_OR_RETURN(AnnotatedQueryPlan aqp,
@@ -59,7 +60,8 @@ int SimilarityReport::CountNegative() const {
 }
 
 StatusOr<SimilarityReport> MeasureVolumetricSimilarity(
-    const ClientSite& client, const TableSource& vendor) {
+    const ClientSite& client, const TableSource& vendor,
+    const ExecOptions& exec) {
   SimilarityReport report;
 
   auto add_entry = [&](const std::string& label, uint64_t want,
@@ -79,7 +81,7 @@ StatusOr<SimilarityReport> MeasureVolumetricSimilarity(
               client.database.RowCount(r), vendor.RowCount(r));
   }
 
-  Executor executor(client.schema);
+  Executor executor(client.schema, exec);
   for (size_t qi = 0; qi < client.queries.size(); ++qi) {
     HYDRA_ASSIGN_OR_RETURN(
         AnnotatedQueryPlan vendor_aqp,

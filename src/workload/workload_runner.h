@@ -32,9 +32,13 @@ struct ClientSite {
   std::vector<CardinalityConstraint> ccs;
 };
 
+// `exec` configures the morsel-parallel query engine used to collect the
+// AQPs; the site (AQPs, CCs and their ordering) is identical at any
+// num_threads.
 StatusOr<ClientSite> BuildClientSite(const Schema& schema,
                                      const DataGenOptions& datagen_options,
-                                     std::vector<Query> queries);
+                                     std::vector<Query> queries,
+                                     const ExecOptions& exec = {});
 
 struct SimilarityEntry {
   std::string label;
@@ -56,9 +60,11 @@ struct SimilarityReport {
 
 // Re-executes the client's queries against `vendor` (a materialized database
 // or a Hydra TupleGenerator) and compares every annotated edge, plus the
-// per-relation size CCs.
+// per-relation size CCs. `exec` parallelizes the vendor-side re-execution;
+// the report is identical at any num_threads.
 StatusOr<SimilarityReport> MeasureVolumetricSimilarity(
-    const ClientSite& client, const TableSource& vendor);
+    const ClientSite& client, const TableSource& vendor,
+    const ExecOptions& exec = {});
 
 }  // namespace hydra
 

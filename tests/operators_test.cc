@@ -1,5 +1,6 @@
-// Tests for engine/operators: Volcano pull operators over materialized and
-// dynamically generated sources.
+// Tests for engine/operators: batch-vectorized operators over materialized
+// and dynamically generated sources, including the row-at-a-time Next()
+// shim kept at the root.
 
 #include <gtest/gtest.h>
 
@@ -150,6 +151,56 @@ TEST(OperatorPipelineTest, FilterAggregateOverGeneratedTuples) {
   ASSERT_TRUE(agg.Next(&row));
   // |σ_{A∈[20,60)}(S)| = 400 (the Figure 1d constraint).
   EXPECT_EQ(row[0], 400);
+}
+
+TEST(BatchContractTest, NextShimMatchesNextBatchConcatenation) {
+  Table t = MakeTable({{1, 2}, {3, 4}, {5, 6}, {7, 8}}, 2);
+  TableScanOp scan(&t);
+
+  scan.Open();
+  std::vector<Value> batched;
+  RowBlock block;
+  while (scan.NextBatch(&block)) {
+    EXPECT_GT(block.num_rows(), 0) << "NextBatch must not emit empty batches";
+    batched.insert(batched.end(), block.data().begin(), block.data().end());
+  }
+
+  scan.Open();
+  std::vector<Value> rowwise;
+  Row row;
+  while (scan.Next(&row)) rowwise.insert(rowwise.end(), row.begin(), row.end());
+
+  EXPECT_EQ(batched, rowwise);
+  EXPECT_EQ(batched, t.data());
+}
+
+TEST(SourceScanOpTest, PushedFilterMatchesFilterOpOverScan) {
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto result = hydra.Regenerate(env.ccs);
+  ASSERT_TRUE(result.ok());
+  auto db = MaterializeDatabase(result->summary);
+  ASSERT_TRUE(db.ok());
+  const int s = env.schema.RelationIndex("S");
+  const int cols = env.schema.relation(s).num_attributes();
+  const int a = env.schema.relation(s).AttrIndex("A");
+  const DnfPredicate pred = PredicateOf(AtomRange(a, 20, 60));
+
+  SourceScanOp pushed(&*db, s, cols, pred);
+  FilterOp unpushed(std::make_unique<SourceScanOp>(&*db, s, cols), pred);
+  EXPECT_EQ(CountRows(&pushed), CountRows(&unpushed));
+  EXPECT_EQ(CountRows(&pushed), 400u);
+}
+
+TEST(SourceScanOpTest, ScansGeneratorSource) {
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto result = hydra.Regenerate(env.ccs);
+  ASSERT_TRUE(result.ok());
+  TupleGenerator gen(result->summary);
+  const int s = env.schema.RelationIndex("S");
+  SourceScanOp scan(&gen, s, env.schema.relation(s).num_attributes());
+  EXPECT_EQ(CountRows(&scan), gen.RowCount(s));
 }
 
 TEST(OperatorPipelineTest, JoinPipelineReproducesCardinality) {

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json trajectory records against a committed baseline.
+
+Every bench binary run with --json leaves a BENCH_<name>.json array of
+{name, seconds, iterations} records in its working directory. This tool
+compares the current records with the baseline copies committed under
+bench/baselines/ and fails (exit 1) when any record's wall clock regressed
+by more than --tolerance (default 25%).
+
+Rules:
+  * Only benches present in BOTH directories are compared, so adding a new
+    bench never fails the gate until its baseline is committed.
+  * A record present in the baseline but missing from the current run is a
+    failure (lost measurement coverage).
+  * New records in the current run are reported as informational.
+  * --update copies the current records over the baseline (run it on the
+    reference machine when hardware or expected performance changes).
+  * --normalize FILE:RECORD divides every measurement by that record's
+    seconds *within its own run* before comparing. Use this when the
+    comparing machine differs from the one the baseline was recorded on
+    (e.g. CI runners): it gates on relative shifts between workloads
+    instead of absolute seconds. Tradeoff: a uniform slowdown that scales
+    every bench — including the normalization record — equally is
+    invisible in this mode, and the normalization record itself always
+    compares as 1.0.
+
+Typical usage:
+  python3 tools/compare_bench.py --baseline bench/baselines --current build
+  python3 tools/compare_bench.py --baseline bench/baselines --current build --update
+  python3 tools/compare_bench.py --baseline bench/baselines --current build \
+      --normalize BENCH_fig14_materialization.json:datasynth_sf32
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+
+def load_records(path):
+    """Returns {record name: seconds} for one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        records = json.load(f)
+    out = {}
+    for rec in records:
+        out[rec["name"]] = float(rec["seconds"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding committed BENCH_*.json files")
+    parser.add_argument("--current", required=True,
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "HYDRA_BENCH_TOLERANCE", "0.25")),
+                        help="allowed relative slowdown before failing "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.01,
+                        help="records faster than this in the baseline are "
+                             "reported but never fail (timer noise)")
+    parser.add_argument("--normalize", metavar="FILE:RECORD", default=None,
+                        help="divide all seconds by this record's seconds "
+                             "within the same run (cross-machine comparison)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current records over the baseline instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    current_files = sorted(glob.glob(os.path.join(args.current,
+                                                  "BENCH_*.json")))
+    if args.update:
+        os.makedirs(args.baseline, exist_ok=True)
+        if not current_files:
+            print(f"no BENCH_*.json files found in {args.current}")
+            return 1
+        for path in current_files:
+            dst = os.path.join(args.baseline, os.path.basename(path))
+            shutil.copyfile(path, dst)
+            print(f"baseline updated: {dst}")
+        return 0
+
+    baseline_files = sorted(glob.glob(os.path.join(args.baseline,
+                                                   "BENCH_*.json")))
+    if not baseline_files:
+        print(f"no baseline BENCH_*.json files in {args.baseline}; "
+              "run with --update to create them")
+        return 1
+
+    def normalizer(directory):
+        """Returns the per-run divisor from --normalize, or 1.0."""
+        if args.normalize is None:
+            return 1.0
+        fname, _, record = args.normalize.partition(":")
+        path = os.path.join(directory, fname)
+        if not os.path.exists(path):
+            return None
+        return load_records(path).get(record)
+
+    norm_base = normalizer(args.baseline)
+    norm_cur = normalizer(args.current)
+    if args.normalize is not None and (not norm_base or not norm_cur):
+        print(f"normalization record {args.normalize} missing or zero in "
+              "baseline or current run")
+        return 1
+
+    current_names = {os.path.basename(p) for p in current_files}
+    regressions = []
+    rows = []
+    for base_path in baseline_files:
+        fname = os.path.basename(base_path)
+        if fname not in current_names:
+            print(f"SKIP {fname}: not produced by this run")
+            continue
+        baseline_raw = load_records(base_path)
+        current_raw = load_records(os.path.join(args.current, fname))
+        for name, base_raw_secs in sorted(baseline_raw.items()):
+            if name not in current_raw:
+                regressions.append(f"{fname}:{name} missing from current run")
+                continue
+            base_secs = base_raw_secs / norm_base
+            cur_secs = current_raw[name] / norm_cur
+            ratio = cur_secs / base_secs if base_secs > 0 else float("inf")
+            status = "ok"
+            if cur_secs > base_secs * (1.0 + args.tolerance):
+                # The noise floor applies to the raw wall clock, not the
+                # normalized value.
+                if base_raw_secs < args.min_seconds:
+                    status = "noise"  # too fast to gate on
+                else:
+                    status = "REGRESSION"
+                    regressions.append(
+                        f"{fname}:{name} {base_secs:.4f} -> {cur_secs:.4f} "
+                        f"({(ratio - 1) * 100:+.1f}%)")
+            rows.append((fname, name, base_secs, cur_secs, ratio, status))
+        for name in sorted(set(current_raw) - set(baseline_raw)):
+            rows.append((fname, name, None, current_raw[name] / norm_cur,
+                         None, "new"))
+
+    if not rows:
+        print("nothing compared: no bench produced records present in the "
+              "baseline")
+        return 1
+
+    unit = "" if args.normalize else "s"
+    name_width = max(len(f"{f}:{n}") for f, n, *_ in rows)
+    print(f"{'record'.ljust(name_width)}  {'baseline':>10}  {'current':>10}"
+          f"  {'ratio':>7}  status")
+    for fname, name, base_secs, cur_secs, ratio, status in rows:
+        base_str = f"{base_secs:.4f}{unit}" if base_secs is not None else "-"
+        ratio_str = f"{ratio:7.2f}" if ratio is not None else "      -"
+        print(f"{(fname + ':' + name).ljust(name_width)}  {base_str:>10}  "
+              f"{cur_secs:.4f}{unit}  {ratio_str}  {status}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance * 100:.0f}%:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print(f"\nall records within {args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
