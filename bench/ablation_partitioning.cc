@@ -9,6 +9,9 @@
 // (b) Label-merging (Algorithm 1 step 4): number of blocks of the valid
 //     partition versus the final region (LP variable) count.
 // (c) Both compared against the grid cell count (DataSynth).
+// (d) Solver pricing axis: Devex reference-framework pricing vs rotating
+//     partial pricing, with and without canonicalization, on the full WLc
+//     regeneration — the A/B behind SimplexOptions::pricing.
 
 #include <chrono>
 #include <cstdio>
@@ -16,6 +19,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/text_table.h"
+#include "hydra/regenerator.h"
 #include "partition/grid_partition.h"
 #include "partition/region_partition.h"
 
@@ -51,6 +55,8 @@ std::vector<DnfPredicate> WideProbes(int count, int dims, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace hydra;
+  using namespace hydra::bench;
   hydra::bench::JsonReporter json("ablation_partitioning", argc, argv);
   std::printf(
       "==================================================================\n"
@@ -108,6 +114,46 @@ int main(int argc, char** argv) {
       "Reading: lazy tracking keeps the valid partition orders of magnitude\n"
       "below the naive variant (which tracks the grid); label-merging then\n"
       "collapses blocks into the optimal region count — the LP only ever\n"
-      "sees the last column.\n");
+      "sees the last column.\n\n");
+
+  // ---- (d) solver pricing axis -------------------------------------------
+  std::printf(
+      "==================================================================\n"
+      "Ablation — simplex pricing (Devex vs rotating partial) on WLc\n"
+      "==================================================================\n\n");
+  const ClientSite wlc =
+      BuildTpcdsSite(/*scale_factor=*/4.0, TpcdsWorkloadKind::kComplex, 131);
+  TextTable lp_table({"pricing", "canonicalize", "LP time", "iterations"});
+  for (const bool canonicalize : {false, true}) {
+    for (const auto& [pricing, name] :
+         std::vector<std::pair<SimplexPricing, std::string>>{
+             {SimplexPricing::kDevex, "devex"},
+             {SimplexPricing::kPartial, "partial"}}) {
+      HydraOptions options;
+      options.num_threads = 1;  // summed per-view durations, no contention
+      options.simplex.pricing = pricing;
+      options.simplex.canonicalize = canonicalize;
+      HydraRegenerator hydra(wlc.schema, options);
+      auto result = hydra.Regenerate(wlc.ccs);
+      HYDRA_CHECK_MSG(result.ok(), result.status().ToString());
+      double lp_seconds = 0;
+      uint64_t iters = 0;
+      for (const ViewReport& v : result->views) {
+        lp_seconds += v.formulate_seconds + v.solve_seconds;
+        iters += v.lp_iterations;
+      }
+      json.Record(
+          "lp_" + name + (canonicalize ? "_canonical" : ""), lp_seconds,
+          iters);
+      lp_table.AddRow({name, canonicalize ? "yes" : "no",
+                       FormatDuration(lp_seconds), FormatCount(iters)});
+    }
+  }
+  std::printf("%s\n", lp_table.Render().c_str());
+  std::printf(
+      "Reading: Devex tracks ~m phase-I pivots where rotating partial pays\n"
+      "slightly more but cheaper iterations; canonicalization costs roughly\n"
+      "one extra solve and buys solutions that are byte-identical across\n"
+      "every pricing/warm-start configuration.\n");
   return 0;
 }

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   HYDRA_CHECK_OK(grid_counts.status());
 
   TextTable table({"relation", "Hydra (region)", "DataSynth (grid)",
-                   "ratio (log10)"});
+                   "ratio (log10)", "LP iters"});
   for (const ViewReport& v : hydra_result->views) {
     const uint64_t region = v.lp_variables;
     const uint64_t grid = (*grid_counts)[v.relation];
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     table.AddRow({site.schema.relation(v.relation).name(),
                   FormatCount(region),
                   grid >= kCap ? ">1e18 (saturated)" : FormatCount(grid),
-                  TextTable::Cell(ratio, 1)});
+                  TextTable::Cell(ratio, 1), FormatCount(v.lp_iterations)});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf(

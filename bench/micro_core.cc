@@ -73,6 +73,7 @@ void BM_GridCellCount(benchmark::State& state) {
 }
 BENCHMARK(BM_GridCellCount)->Args({16, 4})->Args({24, 6});
 
+// Args: {vars, rows, pricing (0 = Devex, 1 = partial)}.
 void BM_SimplexFeasibility(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int m = static_cast<int>(state.range(1));
@@ -93,18 +94,66 @@ void BM_SimplexFeasibility(benchmark::State& state) {
     c.rhs = static_cast<double>(rhs);
     p.AddConstraint(std::move(c));
   }
+  SimplexOptions options;
+  options.pricing = state.range(2) == 0 ? SimplexPricing::kDevex
+                                        : SimplexPricing::kPartial;
   for (auto _ : state) {
-    auto sol = SolveFeasibility(p);
+    auto sol = SolveFeasibility(p, options);
     benchmark::DoNotOptimize(sol);
   }
   state.counters["vars"] = n;
   state.counters["rows"] = m;
 }
 BENCHMARK(BM_SimplexFeasibility)
-    ->Args({100, 20})
-    ->Args({1000, 50})
-    ->Args({10000, 100})
-    ->Args({100000, 50});
+    ->Args({100, 20, 0})
+    ->Args({1000, 50, 0})
+    ->Args({10000, 100, 0})
+    ->Args({10000, 100, 1})
+    ->Args({100000, 50, 0})
+    ->Args({100000, 50, 1});
+
+// Re-solving an LP seeded with its own exported basis vs solving it cold
+// — the warm-start chain case in src/hydra/regenerator.cc, where
+// consecutive views formulate near-identical LPs.
+void BM_SimplexWarmStart(benchmark::State& state) {
+  const int n = 4000;
+  const int m = 120;
+  const bool warm = state.range(0) != 0;
+  auto build = [&](uint64_t value_seed) {
+    Rng pattern(17);
+    Rng values(value_seed);
+    std::vector<int64_t> witness(n);
+    for (int j = 0; j < n; ++j) witness[j] = values.NextInt(0, 100000);
+    LpProblem p;
+    p.AddVariables(n);
+    for (int i = 0; i < m; ++i) {
+      LpConstraint c;
+      int64_t rhs = 0;
+      for (int j = 0; j < n; ++j) {
+        if (pattern.NextBool(0.2)) {
+          c.AddTerm(j, 1.0);
+          rhs += witness[j];
+        }
+      }
+      c.rhs = static_cast<double>(rhs);
+      p.AddConstraint(std::move(c));
+    }
+    return p;
+  };
+  const LpProblem first = build(1);
+  SimplexBasis exported;
+  SimplexOptions export_options;
+  export_options.export_basis = &exported;
+  HYDRA_CHECK_OK(SolveFeasibility(first, export_options).status());
+  SimplexOptions options;
+  if (warm) options.warm_start = &exported;
+  for (auto _ : state) {
+    auto sol = SolveFeasibility(first, options);
+    HYDRA_CHECK(sol.ok() && sol->warm_started == warm);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_SimplexWarmStart)->Arg(0)->Arg(1);
 
 void BM_ToyRegeneration(benchmark::State& state) {
   ToyEnvironment env = MakeToyEnvironment();

@@ -10,56 +10,103 @@ namespace hydra {
 
 namespace {
 
-// Splits every region of `partition` into one region per elementary-cell key
-// along `cut_dims` (local dim -> sorted cuts). Precondition: the partition
-// has already been refined so no block crosses a cut.
-void SplitRegionsByCellKeys(
-    RegionPartition* partition,
-    const std::vector<std::pair<int, std::vector<int64_t>>>& cut_dims) {
-  if (cut_dims.empty()) return;
-  // Group blocks by (label, elementary-cell key): splitting a region across
-  // cells is required for consistency, but two regions that end up with the
-  // same label in the same cell can be re-merged into one variable.
-  std::map<std::pair<std::vector<int>, std::vector<int64_t>>,
-           std::vector<Block>>
-      groups;
-  for (Region& region : partition->regions) {
-    for (Block& b : region.blocks) {
-      std::vector<int64_t> key;
-      key.reserve(cut_dims.size());
-      for (const auto& [dim, cuts] : cut_dims) {
-        const int64_t min_val = b.dims[dim].Min();
-        const auto it =
-            std::upper_bound(cuts.begin(), cuts.end(), min_val);
-        key.push_back(static_cast<int64_t>(it - cuts.begin()));
-      }
-      groups[{region.label, std::move(key)}].push_back(std::move(b));
-    }
+// Per-dimension strides packing an elementary-cell key into one uint64
+// (cell index along dim d is < cuts_d + 1). Returns false when the cell
+// space is too large to pack; callers surface that as a Status error —
+// a formulation with more than 2^62 elementary cells is far beyond
+// anything the LP layer could solve anyway.
+bool CellKeyStrides(
+    const std::vector<std::pair<int, std::vector<int64_t>>>& cut_dims,
+    std::vector<uint64_t>* strides) {
+  // The first listed dimension gets the largest stride so that comparing
+  // packed keys orders cells exactly like comparing the per-dimension
+  // index vectors lexicographically.
+  strides->assign(cut_dims.size(), 0);
+  uint64_t stride = 1;
+  for (size_t d = cut_dims.size(); d-- > 0;) {
+    (*strides)[d] = stride;
+    const uint64_t cells =
+        static_cast<uint64_t>(cut_dims[d].second.size()) + 1;
+    if (stride > (uint64_t{1} << 62) / cells) return false;
+    stride *= cells;
   }
-  std::vector<Region> out;
-  out.reserve(groups.size());
-  for (auto& [label_key, blocks] : groups) {
-    Region r;
-    r.label = label_key.first;
-    r.blocks = std::move(blocks);
-    out.push_back(std::move(r));
-  }
-  partition->regions = std::move(out);
+  return true;
 }
 
-// Elementary-cell key of a region along the given local dims.
-std::vector<int64_t> RegionCellKey(
-    const Region& region,
-    const std::vector<std::pair<int, std::vector<int64_t>>>& cut_dims) {
-  std::vector<int64_t> key;
-  key.reserve(cut_dims.size());
-  const Block& b = region.blocks.front();
-  for (const auto& [dim, cuts] : cut_dims) {
-    const int64_t min_val = b.dims[dim].Min();
+// Packed elementary-cell key of a block along the given local dims.
+uint64_t BlockFlatKey(
+    const Block& b,
+    const std::vector<std::pair<int, std::vector<int64_t>>>& cut_dims,
+    const std::vector<uint64_t>& strides) {
+  uint64_t key = 0;
+  for (size_t d = 0; d < cut_dims.size(); ++d) {
+    const auto& cuts = cut_dims[d].second;
+    const int64_t min_val = b.dims[cut_dims[d].first].Min();
     const auto it = std::upper_bound(cuts.begin(), cuts.end(), min_val);
-    key.push_back(static_cast<int64_t>(it - cuts.begin()));
+    key += strides[d] * static_cast<uint64_t>(it - cuts.begin());
   }
   return key;
+}
+
+// Splits every region of `partition` into one region per elementary-cell key
+// along `cut_dims` (local dim -> sorted cuts). Precondition: the partition
+// has already been refined so no block crosses a cut. Fails (without
+// touching the partition) when the cell space cannot be keyed.
+Status SplitRegionsByCellKeys(
+    RegionPartition* partition,
+    const std::vector<std::pair<int, std::vector<int64_t>>>& cut_dims) {
+  if (cut_dims.empty()) return Status::OK();
+  // Split every region into one region per elementary-cell key: the split
+  // is required for consistency, while blocks of the same region landing
+  // in the same cell stay merged as one variable. Labels are unique per
+  // region (BuildRegionPartition merges by label), so grouping is local to
+  // each region — sort its blocks by cell key instead of feeding a global
+  // map of heap-allocated (label, key) pairs.
+  std::vector<uint64_t> strides;
+  if (!CellKeyStrides(cut_dims, &strides)) {
+    return Status::ResourceExhausted(
+        "view's elementary-cell space exceeds 2^62 cells");
+  }
+  std::vector<Region> out;
+  std::vector<uint64_t> out_key;
+  out.reserve(partition->regions.size());
+  out_key.reserve(partition->regions.size());
+  std::vector<std::pair<uint64_t, int>> keyed;
+  for (Region& region : partition->regions) {
+    keyed.clear();
+    keyed.reserve(region.blocks.size());
+    for (size_t i = 0; i < region.blocks.size(); ++i) {
+      keyed.emplace_back(BlockFlatKey(region.blocks[i], cut_dims, strides),
+                         static_cast<int>(i));
+    }
+    std::sort(keyed.begin(), keyed.end());
+    size_t begin = 0;
+    for (size_t i = 1; i <= keyed.size(); ++i) {
+      if (i < keyed.size() && keyed[i].first == keyed[begin].first) continue;
+      Region r;
+      r.label = region.label;
+      r.blocks.reserve(i - begin);
+      for (size_t k = begin; k < i; ++k) {
+        r.blocks.push_back(std::move(region.blocks[keyed[k].second]));
+      }
+      out.push_back(std::move(r));
+      out_key.push_back(keyed[begin].first);
+      begin = i;
+    }
+  }
+  // Order regions (LP variables) by (label, cell key) — the ordering the
+  // pricing heuristics were tuned against.
+  std::vector<int> order(out.size());
+  for (size_t i = 0; i < out.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (out[a].label != out[b].label) return out[a].label < out[b].label;
+    return out_key[a] < out_key[b];
+  });
+  std::vector<Region> sorted;
+  sorted.reserve(out.size());
+  for (int i : order) sorted.push_back(std::move(out[i]));
+  partition->regions = std::move(sorted);
+  return Status::OK();
 }
 
 }  // namespace
@@ -171,7 +218,7 @@ StatusOr<ViewLp> FormulateViewLp(const View& view,
     }
     if (cut_dims.empty()) continue;
     RefineRegionsAtCuts(&sv.partition, cut_dims);
-    SplitRegionsByCellKeys(&sv.partition, cut_dims);
+    HYDRA_RETURN_IF_ERROR(SplitRegionsByCellKeys(&sv.partition, cut_dims));
   }
 
   // Allocate LP variables.
@@ -233,19 +280,44 @@ StatusOr<ViewLp> FormulateViewLp(const View& view,
     const auto child_dims = cell_dims_for(child);
     const auto parent_dims = cell_dims_for(parent);
 
-    std::map<std::vector<int64_t>, LpConstraint> rows;
+    // One row per elementary cell over the separator: gather every
+    // region's (packed cell key, signed term) and group by sorting — the
+    // same rows a map would build, without a tree node (or heap key) per
+    // cell. Child and parent pack with the same strides because both
+    // cell_dims_for lists follow the separator's column order.
+    std::vector<uint64_t> child_strides, parent_strides;
+    if (!CellKeyStrides(child_dims, &child_strides) ||
+        !CellKeyStrides(parent_dims, &parent_strides)) {
+      return Status::ResourceExhausted(
+          "separator's elementary-cell space exceeds 2^62 cells");
+    }
+    std::vector<std::pair<uint64_t, std::pair<int, double>>> terms;
+    terms.reserve(child.partition.num_regions() +
+                  parent.partition.num_regions());
     for (int r = 0; r < child.partition.num_regions(); ++r) {
-      const auto key = RegionCellKey(child.partition.regions[r], child_dims);
-      rows[key].AddTerm(child.first_var + r, 1.0);
+      terms.emplace_back(
+          BlockFlatKey(child.partition.regions[r].blocks.front(), child_dims,
+                       child_strides),
+          std::make_pair(child.first_var + r, 1.0));
     }
     for (int r = 0; r < parent.partition.num_regions(); ++r) {
-      const auto key = RegionCellKey(parent.partition.regions[r], parent_dims);
-      rows[key].AddTerm(parent.first_var + r, -1.0);
+      terms.emplace_back(
+          BlockFlatKey(parent.partition.regions[r].blocks.front(),
+                       parent_dims, parent_strides),
+          std::make_pair(parent.first_var + r, -1.0));
     }
-    for (auto& [key, c] : rows) {
+    std::sort(terms.begin(), terms.end());
+    size_t begin = 0;
+    for (size_t i = 1; i <= terms.size(); ++i) {
+      if (i < terms.size() && terms[i].first == terms[begin].first) continue;
+      LpConstraint c;
       c.rhs = 0;
       c.label = "consistency sv" + std::to_string(s);
+      for (size_t k = begin; k < i; ++k) {
+        c.AddTerm(terms[k].second.first, terms[k].second.second);
+      }
       out.problem.AddConstraint(std::move(c));
+      begin = i;
     }
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <tuple>
 
 #include "common/thread_pool.h"
 #include "hydra/formulator.h"
@@ -50,12 +52,8 @@ StatusOr<RegenerationResult> HydraRegenerator::Regenerate(
   std::vector<ViewSummary> summaries(num_views);
   std::vector<ViewReport> reports(num_views);
   std::vector<Status> statuses(num_views, Status::OK());
+  std::vector<ViewLp> lps(num_views);
 
-  // The per-view stages — formulate, solve, integerize, build the view
-  // summary — touch no state shared between views, so they run as one task
-  // per view. Every task writes only its own slot; reduction below is in
-  // view order, so the output is identical to the sequential path no matter
-  // how the tasks interleave.
   const int pool_threads = std::min(
       num_views == 0 ? 1 : num_views,
       options_.num_threads > 0 ? options_.num_threads
@@ -67,6 +65,9 @@ StatusOr<RegenerationResult> HydraRegenerator::Regenerate(
   // ran and failed); the success path is unaffected and stays deterministic.
   std::atomic<bool> any_failed{false};
   ThreadPool pool(pool_threads);
+
+  // Stage 1 — formulate every view, one task per view. Each task writes
+  // only its own slot, so the stage is deterministic at any thread count.
   ParallelFor(pool, num_views, [&](int v) {
     if (any_failed.load(std::memory_order_relaxed)) return;
     ViewReport& report = reports[v];
@@ -79,34 +80,78 @@ StatusOr<RegenerationResult> HydraRegenerator::Regenerate(
       any_failed.store(true, std::memory_order_relaxed);
       return;
     }
-    ViewLp& lp = *lp_or;
+    lps[v] = *std::move(lp_or);
     report.formulate_seconds = SecondsSince(tf);
-    report.num_subviews = static_cast<int>(lp.subviews.size());
-    report.lp_variables = lp.problem.num_vars();
-    report.lp_constraints = lp.problem.num_constraints();
+    report.num_subviews = static_cast<int>(lps[v].subviews.size());
+    report.lp_variables = lps[v].problem.num_vars();
+    report.lp_constraints = lps[v].problem.num_constraints();
+  });
+  for (const Status& s : statuses) HYDRA_RETURN_IF_ERROR(s);
 
-    const auto ts = std::chrono::steady_clock::now();
-    auto lp_solution = SolveFeasibility(lp.problem, options_.simplex);
-    if (!lp_solution.ok()) {
-      statuses[v] = lp_solution.status();
-      any_failed.store(true, std::memory_order_relaxed);
-      return;
+  // Stage 2 — group views into warm-start chains by LP signature (the
+  // constraint-overlap heuristic: identical row/variable/nonzero counts
+  // mean the views were formulated from near-identical constraint
+  // structure). Each chain solves sequentially in view order, seeding
+  // every phase I from the previous member's exported basis; distinct
+  // chains run in parallel. Chain membership is a pure function of the
+  // formulated LPs, and each view writes only its own slot, so the output
+  // is byte-identical at any num_threads. With warm starts disabled every
+  // view is its own chain (the PR 1 behaviour).
+  std::vector<std::vector<int>> chains;
+  if (options_.warm_start) {
+    std::map<std::tuple<int, int, uint64_t>, int> chain_of;
+    for (int v = 0; v < num_views; ++v) {
+      const auto key = std::make_tuple(lps[v].problem.num_constraints(),
+                                       lps[v].problem.num_vars(),
+                                       lps[v].problem.NumNonZeros());
+      const auto [it, inserted] =
+          chain_of.emplace(key, static_cast<int>(chains.size()));
+      if (inserted) chains.emplace_back();
+      chains[it->second].push_back(v);
     }
-    report.lp_iterations = lp_solution->iterations;
-    IntegerizeResult integers = IntegerizeSolution(
-        lp.problem, lp_solution->values, options_.integerize_passes);
-    report.solve_seconds = SecondsSince(ts);
-    report.max_abs_violation = integers.max_absolute_violation;
-    report.max_rel_violation = integers.max_relative_violation;
+  } else {
+    chains.resize(num_views);
+    for (int v = 0; v < num_views; ++v) chains[v] = {v};
+  }
 
-    auto summary_or =
-        generator.BuildViewSummary(views[v], lp, integers.values);
-    if (!summary_or.ok()) {
-      statuses[v] = summary_or.status();
-      any_failed.store(true, std::memory_order_relaxed);
-      return;
+  ParallelFor(pool, static_cast<int>(chains.size()), [&](int c) {
+    SimplexBasis prev;
+    for (int v : chains[c]) {
+      if (any_failed.load(std::memory_order_relaxed)) return;
+      ViewReport& report = reports[v];
+      ViewLp& lp = lps[v];
+
+      const auto ts = std::chrono::steady_clock::now();
+      SimplexOptions simplex = options_.simplex;
+      SimplexBasis exported;
+      if (options_.warm_start) {
+        simplex.warm_start = prev.empty() ? nullptr : &prev;
+        simplex.export_basis = &exported;
+      }
+      auto lp_solution = SolveFeasibility(lp.problem, simplex);
+      if (!lp_solution.ok()) {
+        statuses[v] = lp_solution.status();
+        any_failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      report.lp_iterations = lp_solution->iterations;
+      report.warm_started = lp_solution->warm_started;
+      IntegerizeResult integers = IntegerizeSolution(
+          lp.problem, lp_solution->values, options_.integerize_passes);
+      report.solve_seconds = SecondsSince(ts);
+      report.max_abs_violation = integers.max_absolute_violation;
+      report.max_rel_violation = integers.max_relative_violation;
+
+      auto summary_or =
+          generator.BuildViewSummary(views[v], lp, integers.values);
+      if (!summary_or.ok()) {
+        statuses[v] = summary_or.status();
+        any_failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      summaries[v] = *std::move(summary_or);
+      prev = std::move(exported);
     }
-    summaries[v] = *std::move(summary_or);
   });
 
   // First recorded failure in view order wins.

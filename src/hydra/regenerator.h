@@ -29,6 +29,16 @@ namespace hydra {
 
 struct HydraOptions {
   SimplexOptions simplex;
+  // Seed each view's phase I from the final basis of the previous view
+  // with the same LP signature (rows, variables, nonzeros) — consecutive
+  // views share most constraint structure, so the imported basis usually
+  // survives validation and skips most of phase I. Views with distinct
+  // signatures solve cold, and an incompatible basis falls back to the
+  // cold start inside the solver. Summaries are byte-identical at any
+  // num_threads either way (chains are static and solved in view order);
+  // set simplex.canonicalize for summaries that are also identical across
+  // warm/cold and pricing configurations.
+  bool warm_start = true;
   // Extra repair passes for LP integerization.
   int integerize_passes = 8;
   // Worker threads for the per-view formulate/solve/integerize stage.
@@ -49,6 +59,8 @@ struct ViewReport {
   uint64_t lp_variables = 0;
   uint64_t lp_constraints = 0;
   int lp_iterations = 0;
+  // The solver accepted a warm-start basis from a previous view.
+  bool warm_started = false;
   double formulate_seconds = 0;
   double solve_seconds = 0;
   // Residual integerization error (paper Section 7.1 error tail).

@@ -1,0 +1,824 @@
+#include "lp/basis_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+namespace hydra {
+
+namespace {
+
+// Entries whose magnitude falls below the column's largest entry times this
+// factor are not acceptable pivots (threshold partial pivoting).
+constexpr double kPivotThreshold = 0.05;
+// Absolute floor below which a value never pivots.
+constexpr double kAbsPivotTol = 1e-11;
+// A Forrest-Tomlin update is refused when the new diagonal is this small
+// relative to the spike.
+constexpr double kUpdateStabilityTol = 1e-9;
+
+}  // namespace
+
+void BasisLu::UPool::Clear(int m) {
+  range.assign(m, Span{});
+  row.clear();
+  val.clear();
+}
+
+void BasisLu::UPool::Erase(int s, int entry_row) {
+  Span& r = range[s];
+  for (int t = r.begin; t < r.begin + r.len; ++t) {
+    if (row[t] == entry_row) {
+      row[t] = row[r.begin + r.len - 1];
+      val[t] = val[r.begin + r.len - 1];
+      --r.len;
+      return;
+    }
+  }
+}
+
+void BasisLu::UPool::Append(int s, int entry_row, double v) {
+  Span& r = range[s];
+  if (r.len == r.cap) {
+    // Relocate to the pool tail with headroom; the old span becomes
+    // garbage until the next refactorization rebuilds the pool.
+    const int nb = static_cast<int>(row.size());
+    const int ncap = std::max(4, 2 * r.len);
+    row.resize(nb + ncap);
+    val.resize(nb + ncap);
+    std::copy(row.begin() + r.begin, row.begin() + r.begin + r.len,
+              row.begin() + nb);
+    std::copy(val.begin() + r.begin, val.begin() + r.begin + r.len,
+              val.begin() + nb);
+    r.begin = nb;
+    r.cap = ncap;
+  }
+  row[r.begin + r.len] = entry_row;
+  val[r.begin + r.len] = v;
+  ++r.len;
+}
+
+void BasisLu::Reset() {
+  l_cols_.clear();
+  l_rows_.clear();
+  l_vals_.clear();
+  row_etas_.clear();
+  eta_rows_.clear();
+  eta_vals_.clear();
+  num_updates_ = 0;
+  u_nnz_ = 0;
+}
+
+bool BasisLu::Factorize(int m, const std::vector<Column>& cols) {
+  // --- build the working copy (duplicates summed, exact zeros dropped) ---
+  auto& work_cols = fac_cols_;
+  auto& row_cols = fac_row_cols_;
+  work_cols.resize(m);
+  row_cols.resize(m);
+  for (int i = 0; i < m; ++i) {
+    work_cols[i].clear();
+    row_cols[i].clear();
+  }
+  fac_row_nnz_.assign(m, 0);
+  fac_col_nnz_.assign(m, 0);
+  fac_row_active_.assign(m, 1);
+  fac_col_active_.assign(m, 1);
+  fac_acc_.assign(m, 0.0);
+  {
+    std::vector<int> touched;
+    for (int j = 0; j < m; ++j) {
+      touched.clear();
+      const Column& c = cols[j];
+      for (int t = 0; t < c.nnz; ++t) {
+        if (fac_acc_[c.rows[t]] == 0.0) touched.push_back(c.rows[t]);
+        fac_acc_[c.rows[t]] += c.vals[t];
+      }
+      std::sort(touched.begin(), touched.end());
+      for (int r : touched) {
+        if (fac_acc_[r] != 0.0) {
+          work_cols[j].push_back({r, fac_acc_[r]});
+          row_cols[r].push_back(j);
+          ++fac_row_nnz_[r];
+        }
+        fac_acc_[r] = 0.0;
+      }
+      fac_col_nnz_[j] = static_cast<int>(work_cols[j].size());
+      if (fac_col_nnz_[j] == 0) return false;  // structurally singular
+    }
+  }
+
+  // Columns bucketed by active nonzero count for restricted Markowitz;
+  // entries revalidate lazily on pop.
+  auto& buckets = fac_buckets_;
+  buckets.resize(m + 1);
+  for (int i = 0; i <= m; ++i) buckets[i].clear();
+  int max_level = 0;
+  for (int j = 0; j < m; ++j) {
+    buckets[fac_col_nnz_[j]].push_back(j);
+    max_level = std::max(max_level, fac_col_nnz_[j]);
+  }
+
+  // Fresh factors, built into temporaries and committed only on success.
+  std::vector<LColumn> l_cols;
+  std::vector<int> l_rows;
+  std::vector<double> l_vals;
+  std::vector<double> diag(m, 0.0);
+  // U rows recorded with *input column* ids; remapped to slots at the end.
+  auto& u_rows = fac_urows_;
+  u_rows.resize(m);
+  for (int i = 0; i < m; ++i) u_rows[i].clear();
+  fac_row_of_slot_.assign(m, -1);
+  fac_slot_of_input_.assign(m, -1);
+
+  fac_col_pos_.assign(m, 0);  // 1 + entry index of a row in a column
+  fac_lmult_.assign(m, 0.0);
+  fac_lcol_of_row_.assign(m, -1);
+  fac_seen_.assign(m, -1);  // per-step stamp deduplicating bucket entries
+  auto& lrows_step = fac_lrows_;
+
+  for (int step = 0; step < m; ++step) {
+    // --- restricted Markowitz pivot selection ----------------------------
+    int best_col = -1, best_row = -1, best_entry = -1;
+    int64_t best_score = -1;
+    int candidates = 0;
+    // Scanning stops once every still-active column has been examined —
+    // without this, steps with fewer than 8 eligible candidates would walk
+    // every (mostly empty) bucket level.
+    const int active_cols = m - step;
+    int seen_active = 0;
+    for (int level = 1;
+         level <= max_level && candidates < 8 && seen_active < active_cols &&
+         best_score != 0;
+         ++level) {
+      auto& bucket = buckets[level];
+      // Retired and stale entries are swap-erased in O(1) — compacting in
+      // place here would copy the whole bucket tail once per step, which
+      // on singleton-heavy bases turns factorization quadratic.
+      size_t t = 0;
+      while (t < bucket.size() && candidates < 8) {
+        const int j = bucket[t];
+        if (!fac_col_active_[j]) {  // retired; drop from bucket
+          bucket[t] = bucket.back();
+          bucket.pop_back();
+          continue;
+        }
+        if (fac_col_nnz_[j] != level) {
+          const int lvl = fac_col_nnz_[j];
+          buckets[lvl].push_back(j);  // stale; migrate
+          max_level = std::max(max_level, lvl);
+          bucket[t] = bucket.back();
+          bucket.pop_back();
+          continue;
+        }
+        if (fac_seen_[j] == step) {
+          // Reseating pushes duplicates; drop them here so they cannot
+          // inflate seen_active/candidates and end the search before every
+          // active column was really examined.
+          bucket[t] = bucket.back();
+          bucket.pop_back();
+          continue;
+        }
+        fac_seen_[j] = step;
+        ++t;
+        ++seen_active;
+        double colmax = 0.0;
+        for (const Entry& e : work_cols[j]) {
+          if (fac_row_active_[e.row]) {
+            colmax = std::max(colmax, std::fabs(e.val));
+          }
+        }
+        if (colmax < kAbsPivotTol) continue;
+        int row = -1, entry = -1, rn = 0;
+        for (size_t k = 0; k < work_cols[j].size(); ++k) {
+          const Entry& e = work_cols[j][k];
+          if (!fac_row_active_[e.row]) continue;
+          if (std::fabs(e.val) < kPivotThreshold * colmax ||
+              std::fabs(e.val) < kAbsPivotTol) {
+            continue;
+          }
+          if (row < 0 || fac_row_nnz_[e.row] < rn ||
+              (fac_row_nnz_[e.row] == rn && e.row < row)) {
+            row = e.row;
+            rn = fac_row_nnz_[e.row];
+            entry = static_cast<int>(k);
+          }
+        }
+        if (row < 0) continue;
+        ++candidates;
+        const int64_t score =
+            static_cast<int64_t>(level - 1) * static_cast<int64_t>(rn - 1);
+        if (best_col < 0 || score < best_score ||
+            (score == best_score && j < best_col)) {
+          best_score = score;
+          best_col = j;
+          best_row = row;
+          best_entry = entry;
+        }
+      }
+    }
+    if (best_col < 0) return false;  // no eligible pivot: singular
+
+    const int pr = best_row;
+    const int pc = best_col;
+    const double pivot = work_cols[pc][best_entry].val;
+
+    // --- record L column and retire the pivot column ---------------------
+    LColumn lc;
+    lc.pivot_row = pr;
+    lc.begin = static_cast<int>(l_rows.size());
+    lrows_step.clear();
+    for (const Entry& e : work_cols[pc]) {
+      if (!fac_row_active_[e.row] || e.row == pr) continue;
+      const double mult = e.val / pivot;
+      l_rows.push_back(e.row);
+      l_vals.push_back(mult);
+      fac_lmult_[e.row] = mult;
+      lrows_step.push_back(e.row);
+      --fac_row_nnz_[e.row];  // the pivot-column entry leaves the matrix
+    }
+    lc.end = static_cast<int>(l_rows.size());
+    if (lc.end > lc.begin) l_cols.push_back(lc);  // unit columns are identity
+    fac_lcol_of_row_[pr] =
+        lc.end > lc.begin ? static_cast<int>(l_cols.size()) - 1 : -1;
+    fac_col_active_[pc] = 0;
+    fac_row_active_[pr] = 0;
+    diag[step] = pivot;
+    fac_row_of_slot_[step] = pr;
+    fac_slot_of_input_[pc] = step;
+
+    // --- record the U row and eliminate it from the active matrix --------
+    {
+      auto& rc = row_cols[pr];
+      size_t w = 0;
+      for (size_t t = 0; t < rc.size(); ++t) {
+        const int j = rc[t];
+        if (!fac_col_active_[j]) continue;
+        // Locate row pr in column j.
+        int idx = -1;
+        for (size_t k = 0; k < work_cols[j].size(); ++k) {
+          if (work_cols[j][k].row == pr) {
+            idx = static_cast<int>(k);
+            break;
+          }
+        }
+        if (idx < 0) continue;  // stale listing
+        rc[w++] = j;
+        const double vrj = work_cols[j][idx].val;
+        if (vrj != 0.0) {
+          u_rows[step].push_back({j, vrj});  // input-column id
+        }
+        // Drop the pivot-row entry, then apply  col_j -= mult * col_pc.
+        work_cols[j][idx] = work_cols[j].back();
+        work_cols[j].pop_back();
+        --fac_col_nnz_[j];
+        if (vrj != 0.0 && !lrows_step.empty()) {
+          for (size_t k = 0; k < work_cols[j].size(); ++k) {
+            fac_col_pos_[work_cols[j][k].row] = static_cast<int>(k) + 1;
+          }
+          for (int i : lrows_step) {
+            const double delta = fac_lmult_[i] * vrj;
+            if (fac_col_pos_[i] > 0) {
+              work_cols[j][fac_col_pos_[i] - 1].val -= delta;
+            } else if (delta != 0.0) {
+              work_cols[j].push_back({i, -delta});  // fill-in
+              fac_col_pos_[i] = static_cast<int>(work_cols[j].size());
+              row_cols[i].push_back(j);
+              ++fac_row_nnz_[i];
+              ++fac_col_nnz_[j];
+            }
+          }
+          for (const Entry& e : work_cols[j]) fac_col_pos_[e.row] = 0;
+        }
+      }
+      rc.resize(w);
+      // Updated columns changed size; reseat them in their buckets.
+      for (size_t t = 0; t < w; ++t) {
+        const int lvl = fac_col_nnz_[rc[t]];
+        buckets[lvl].push_back(rc[t]);
+        max_level = std::max(max_level, lvl);
+      }
+    }
+    for (int i : lrows_step) fac_lmult_[i] = 0.0;
+  }
+
+  // --- commit ------------------------------------------------------------
+  m_ = m;
+  Reset();
+  l_cols_ = std::move(l_cols);
+  l_rows_ = std::move(l_rows);
+  l_vals_ = std::move(l_vals);
+  row_of_position_.assign(m, -1);
+  for (int j = 0; j < m; ++j) {
+    row_of_position_[j] = fac_row_of_slot_[fac_slot_of_input_[j]];
+  }
+  // Everything committed below lives in ROW coordinates (pivot row ids):
+  // diag_[r], the U pools, and the triangular order. This keeps FTRAN and
+  // BTRAN free of slot gather/scatter passes.
+  diag_.assign(m, 0.0);
+  for (int k = 0; k < m; ++k) diag_[fac_row_of_slot_[k]] = diag[k];
+  order_.resize(m);
+  pos_in_order_.resize(m);
+  for (int k = 0; k < m; ++k) {
+    order_[k] = fac_row_of_slot_[k];
+    pos_in_order_[fac_row_of_slot_[k]] = k;
+  }
+  // Flatten U into the row/col pools (exactly sized; updates relocate
+  // ranges to the tail as they outgrow), remapping entries from input
+  // column ids to their pivot rows.
+  urows_.Clear(m);
+  ucols_.Clear(m);
+  {
+    std::vector<int>& colcount = fac_col_pos_;  // reuse as scratch
+    colcount.assign(m, 0);
+    int total = 0;
+    for (int k = 0; k < m; ++k) {
+      total += static_cast<int>(u_rows[k].size());
+      for (Entry& e : u_rows[k]) {
+        e.row = fac_row_of_slot_[fac_slot_of_input_[e.row]];
+        ++colcount[e.row];
+      }
+    }
+    urows_.row.resize(total);
+    urows_.val.resize(total);
+    ucols_.row.resize(total);
+    ucols_.val.resize(total);
+    int at = 0;
+    for (int k = 0; k < m; ++k) {
+      const int rk = fac_row_of_slot_[k];
+      Span& r = urows_.range[rk];
+      r.begin = at;
+      r.len = r.cap = static_cast<int>(u_rows[k].size());
+      for (const Entry& e : u_rows[k]) {
+        urows_.row[at] = e.row;
+        urows_.val[at] = e.val;
+        ++at;
+      }
+    }
+    at = 0;
+    for (int k = 0; k < m; ++k) {
+      Span& r = ucols_.range[k];
+      r.begin = at;
+      r.cap = colcount[k];
+      at += colcount[k];
+    }
+    for (int k = 0; k < m; ++k) {
+      const int rk = fac_row_of_slot_[k];
+      const Span& rr = urows_.range[rk];
+      for (int t = rr.begin; t < rr.begin + rr.len; ++t) {
+        Span& cr = ucols_.range[urows_.row[t]];
+        ucols_.row[cr.begin + cr.len] = rk;
+        ucols_.val[cr.begin + cr.len] = urows_.val[t];
+        ++cr.len;
+      }
+    }
+    colcount.assign(m, 0);
+    u_nnz_ = total;
+  }
+  l_col_of_row_ = fac_lcol_of_row_;
+  // Inverse L index: row -> L columns listing it (CSR), for the transposed
+  // hyper-sparse closure in Btran.
+  linv_ptr_.assign(m + 1, 0);
+  for (int r : l_rows_) ++linv_ptr_[r + 1];
+  for (int i = 0; i < m; ++i) linv_ptr_[i + 1] += linv_ptr_[i];
+  linv_step_.resize(l_rows_.size());
+  {
+    std::vector<int>& fill = fac_col_pos_;  // reuse as scratch
+    fill.assign(linv_ptr_.begin(), linv_ptr_.end() - 1);
+    for (int k = 0; k < static_cast<int>(l_cols_.size()); ++k) {
+      for (int t = l_cols_[k].begin; t < l_cols_[k].end; ++t) {
+        linv_step_[fill[l_rows_[t]]++] = k;
+      }
+    }
+    fill.assign(m, 0);
+  }
+  stamp_.assign(m, 0);
+  stamp_gen_ = 0;
+  work_.assign(m, 0.0);
+  return true;
+}
+
+void BasisLu::AllRows(std::vector<int>* out) const {
+  out->resize(m_);
+  for (int i = 0; i < m_; ++i) (*out)[i] = i;
+}
+
+void BasisLu::Ftran(std::vector<double>& v, Spike* spike, const int* rhs_rows,
+                    int rhs_nnz, std::vector<int>* out_rows) const {
+  if (rhs_rows == nullptr || rhs_nnz > m_ / 8) {
+    FtranDense(v, spike);
+    if (out_rows != nullptr) AllRows(out_rows);
+    return;
+  }
+  const int limit = m_ / 4;
+  ++stamp_gen_;
+  touch_.clear();
+  dfs_.clear();
+  for (int t = 0; t < rhs_nnz; ++t) {
+    const int r = rhs_rows[t];
+    if (stamp_[r] != stamp_gen_) {
+      stamp_[r] = stamp_gen_;
+      touch_.push_back(r);
+      dfs_.push_back(r);
+    }
+  }
+  // Reachability closure over L: row r feeds the rows of its L column.
+  bool fallback = false;
+  while (!dfs_.empty()) {
+    const int r = dfs_.back();
+    dfs_.pop_back();
+    const int k = l_col_of_row_[r];
+    if (k < 0) continue;
+    for (int t = l_cols_[k].begin; t < l_cols_[k].end; ++t) {
+      const int i = l_rows_[t];
+      if (stamp_[i] != stamp_gen_) {
+        stamp_[i] = stamp_gen_;
+        touch_.push_back(i);
+        dfs_.push_back(i);
+      }
+    }
+    if (static_cast<int>(touch_.size()) > limit) {
+      fallback = true;
+      break;
+    }
+  }
+  if (fallback) {
+    FtranDense(v, spike);
+    if (out_rows != nullptr) AllRows(out_rows);
+    return;
+  }
+  // Apply the touched L columns in pivot order.
+  steps_.clear();
+  for (int r : touch_) {
+    if (l_col_of_row_[r] >= 0) steps_.push_back(l_col_of_row_[r]);
+  }
+  std::sort(steps_.begin(), steps_.end());
+  for (int k : steps_) {
+    const LColumn& lc = l_cols_[k];
+    const double piv = v[lc.pivot_row];
+    if (piv == 0.0) continue;
+    for (int t = lc.begin; t < lc.end; ++t) v[l_rows_[t]] -= l_vals_[t] * piv;
+  }
+  // Row etas in append order; an eta fires when any of its entry rows is
+  // in the support (unmarked rows are exact zeros).
+  for (const RowEta& eta : row_etas_) {
+    double acc = 0.0;
+    bool any = false;
+    for (int t = eta.begin; t < eta.end; ++t) {
+      const int r = eta_rows_[t];
+      if (stamp_[r] == stamp_gen_) {
+        acc += eta_vals_[t] * v[r];
+        any = true;
+      }
+    }
+    if (!any) continue;
+    v[eta.target_row] -= acc;
+    if (stamp_[eta.target_row] != stamp_gen_) {
+      stamp_[eta.target_row] = stamp_gen_;
+      touch_.push_back(eta.target_row);
+    }
+  }
+  if (spike != nullptr) {
+    // Maintain the (caller-reused) spike dense buffer sparsely: clear the
+    // previous support, then copy only this FTRAN's touched rows — Update
+    // reads untouched rows as exact zeros.
+    if (static_cast<int>(spike->values.size()) != m_) {
+      spike->values.assign(m_, 0.0);
+    } else {
+      for (int r : spike->rows) spike->values[r] = 0.0;
+    }
+    for (int r : touch_) spike->values[r] = v[r];
+    spike->rows = touch_;
+  }
+  // Ancestor closure over U columns: x_j != 0 affects the rows of U
+  // column j.
+  dfs_ = touch_;
+  while (!dfs_.empty()) {
+    const int j = dfs_.back();
+    dfs_.pop_back();
+    const Span r = ucols_.range[j];
+    for (int t = r.begin; t < r.begin + r.len; ++t) {
+      const int k = ucols_.row[t];
+      if (stamp_[k] != stamp_gen_) {
+        stamp_[k] = stamp_gen_;
+        touch_.push_back(k);
+        dfs_.push_back(k);
+      }
+    }
+    if (static_cast<int>(touch_.size()) > limit) {
+      fallback = true;
+      break;
+    }
+  }
+  if (fallback) {
+    for (int pos = m_ - 1; pos >= 0; --pos) {
+      const int s = order_[pos];
+      const Span r = urows_.range[s];
+      double val = v[s];
+      if (val == 0.0 && r.len == 0) continue;
+      for (int t = r.begin; t < r.begin + r.len; ++t) {
+        val -= urows_.val[t] * v[urows_.row[t]];
+      }
+      v[s] = val / diag_[s];
+    }
+    if (out_rows != nullptr) AllRows(out_rows);
+    return;
+  }
+  // Backward substitution over the touched rows, latest order position
+  // first (a row's dependencies all sit later in the order).
+  std::sort(touch_.begin(), touch_.end(), [&](int a, int b) {
+    return pos_in_order_[a] > pos_in_order_[b];
+  });
+  for (int s : touch_) {
+    const Span r = urows_.range[s];
+    double val = v[s];
+    for (int t = r.begin; t < r.begin + r.len; ++t) {
+      val -= urows_.val[t] * v[urows_.row[t]];
+    }
+    v[s] = val / diag_[s];
+  }
+  if (out_rows != nullptr) *out_rows = touch_;
+}
+
+void BasisLu::FtranDense(std::vector<double>& v, Spike* spike) const {
+  // L sweep; columns whose pivot value is zero are skipped.
+  for (const LColumn& lc : l_cols_) {
+    const double piv = v[lc.pivot_row];
+    if (piv == 0.0) continue;
+    for (int t = lc.begin; t < lc.end; ++t) v[l_rows_[t]] -= l_vals_[t] * piv;
+  }
+  // Forrest-Tomlin row etas, in append order.
+  for (const RowEta& eta : row_etas_) {
+    double acc = 0.0;
+    for (int t = eta.begin; t < eta.end; ++t) {
+      acc += eta_vals_[t] * v[eta_rows_[t]];
+    }
+    v[eta.target_row] -= acc;
+  }
+  if (spike != nullptr) {
+    spike->values = v;
+    AllRows(&spike->rows);
+  }
+  // U backward substitution along the logical order.
+  for (int pos = m_ - 1; pos >= 0; --pos) {
+    const int s = order_[pos];
+    const Span r = urows_.range[s];
+    double val = v[s];
+    if (val == 0.0 && r.len == 0) continue;
+    for (int t = r.begin; t < r.begin + r.len; ++t) {
+      val -= urows_.val[t] * v[urows_.row[t]];
+    }
+    v[s] = val / diag_[s];
+  }
+}
+
+void BasisLu::Btran(std::vector<double>& v, const int* rhs_rows, int rhs_nnz,
+                    std::vector<int>* out_rows) const {
+  if (rhs_rows == nullptr || rhs_nnz > m_ / 8) {
+    BtranDense(v);
+    if (out_rows != nullptr) AllRows(out_rows);
+    return;
+  }
+  const int limit = m_ / 4;
+  ++stamp_gen_;
+  touch_.clear();
+  dfs_.clear();
+  for (int t = 0; t < rhs_nnz; ++t) {
+    const int r = rhs_rows[t];
+    if (stamp_[r] != stamp_gen_) {
+      stamp_[r] = stamp_gen_;
+      touch_.push_back(r);
+      dfs_.push_back(r);
+    }
+  }
+  // Descendant closure over U rows: z_j != 0 affects the rows of U row j.
+  bool fallback = false;
+  while (!dfs_.empty()) {
+    const int j = dfs_.back();
+    dfs_.pop_back();
+    const Span r = urows_.range[j];
+    for (int t = r.begin; t < r.begin + r.len; ++t) {
+      const int k = urows_.row[t];
+      if (stamp_[k] != stamp_gen_) {
+        stamp_[k] = stamp_gen_;
+        touch_.push_back(k);
+        dfs_.push_back(k);
+      }
+    }
+    if (static_cast<int>(touch_.size()) > limit) {
+      fallback = true;
+      break;
+    }
+  }
+  if (fallback) {
+    BtranDense(v);
+    if (out_rows != nullptr) AllRows(out_rows);
+    return;
+  }
+  // Forward substitution over the touched rows, earliest position first.
+  std::sort(touch_.begin(), touch_.end(), [&](int a, int b) {
+    return pos_in_order_[a] < pos_in_order_[b];
+  });
+  for (int s : touch_) {
+    const Span r = ucols_.range[s];
+    double val = v[s];
+    for (int t = r.begin; t < r.begin + r.len; ++t) {
+      val -= ucols_.val[t] * v[ucols_.row[t]];
+    }
+    v[s] = val / diag_[s];
+  }
+  // Transposed row etas, reverse append order; spread marks to entry rows.
+  for (auto it = row_etas_.rbegin(); it != row_etas_.rend(); ++it) {
+    if (stamp_[it->target_row] != stamp_gen_) continue;
+    const double val = v[it->target_row];
+    if (val == 0.0) continue;
+    for (int t = it->begin; t < it->end; ++t) {
+      const int r = eta_rows_[t];
+      v[r] -= eta_vals_[t] * val;
+      if (stamp_[r] != stamp_gen_) {
+        stamp_[r] = stamp_gen_;
+        touch_.push_back(r);
+      }
+    }
+  }
+  // Transposed L closure: a touched entry row feeds the pivot rows of the
+  // L columns listing it (chains handled by the DFS).
+  dfs_ = touch_;
+  steps_.clear();
+  while (!dfs_.empty()) {
+    const int i = dfs_.back();
+    dfs_.pop_back();
+    for (int t = linv_ptr_[i]; t < linv_ptr_[i + 1]; ++t) {
+      const int k = linv_step_[t];
+      steps_.push_back(k);
+      const int pr = l_cols_[k].pivot_row;
+      if (stamp_[pr] != stamp_gen_) {
+        stamp_[pr] = stamp_gen_;
+        touch_.push_back(pr);
+        dfs_.push_back(pr);
+      }
+    }
+    if (static_cast<int>(touch_.size()) > limit) {
+      fallback = true;
+      break;
+    }
+  }
+  if (fallback) {
+    for (auto it = l_cols_.rbegin(); it != l_cols_.rend(); ++it) {
+      double acc = 0.0;
+      for (int t = it->begin; t < it->end; ++t) {
+        acc += l_vals_[t] * v[l_rows_[t]];
+      }
+      v[it->pivot_row] -= acc;
+    }
+    if (out_rows != nullptr) AllRows(out_rows);
+    return;
+  }
+  std::sort(steps_.begin(), steps_.end());
+  steps_.erase(std::unique(steps_.begin(), steps_.end()), steps_.end());
+  for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+    const LColumn& lc = l_cols_[*it];
+    double acc = 0.0;
+    for (int t = lc.begin; t < lc.end; ++t) {
+      acc += l_vals_[t] * v[l_rows_[t]];
+    }
+    v[lc.pivot_row] -= acc;
+  }
+  if (out_rows != nullptr) *out_rows = touch_;
+}
+
+void BasisLu::BtranDense(std::vector<double>& v) const {
+  // U^T forward substitution along the logical order.
+  for (int pos = 0; pos < m_; ++pos) {
+    const int s = order_[pos];
+    const Span r = ucols_.range[s];
+    double val = v[s];
+    if (val == 0.0 && r.len == 0) continue;
+    for (int t = r.begin; t < r.begin + r.len; ++t) {
+      val -= ucols_.val[t] * v[ucols_.row[t]];
+    }
+    v[s] = val / diag_[s];
+  }
+  // Transposed row etas, reverse append order.
+  for (auto it = row_etas_.rbegin(); it != row_etas_.rend(); ++it) {
+    const double val = v[it->target_row];
+    if (val == 0.0) continue;
+    for (int t = it->begin; t < it->end; ++t) {
+      v[eta_rows_[t]] -= eta_vals_[t] * val;
+    }
+  }
+  // Transposed L sweep, reverse column order.
+  for (auto it = l_cols_.rbegin(); it != l_cols_.rend(); ++it) {
+    double acc = 0.0;
+    for (int t = it->begin; t < it->end; ++t) {
+      acc += l_vals_[t] * v[l_rows_[t]];
+    }
+    v[it->pivot_row] -= acc;
+  }
+}
+
+bool BasisLu::Update(int leaving_row, const Spike& spike) {
+  const int t = leaving_row;
+  const std::vector<double>& u = spike.values;
+
+  // Dry-run the elimination of row t against the triangular part after t:
+  // accumulate the row ops into stamped scratch (work_ holds garbage for
+  // unstamped rows) and compute the new diagonal, visiting candidate rows
+  // through a position-ordered heap so the pass costs the fill of the
+  // touched U rows, not O(m). U is not modified until the update is known
+  // to be stable.
+  std::vector<double>& w = work_;
+  ++stamp_gen_;
+  heap_.clear();
+  const auto wadd = [&](int r, double val) {
+    if (stamp_[r] != stamp_gen_) {
+      stamp_[r] = stamp_gen_;
+      w[r] = val;
+      heap_.emplace_back(pos_in_order_[r], r);
+      std::push_heap(heap_.begin(), heap_.end(),
+                     std::greater<std::pair<int, int>>());
+    } else {
+      w[r] += val;
+    }
+  };
+  {
+    const Span r = urows_.range[t];
+    for (int k = r.begin; k < r.begin + r.len; ++k) {
+      wadd(urows_.row[k], urows_.val[k]);
+    }
+  }
+  double d = u[t];
+  double umax = 0.0;
+  for (int r : spike.rows) umax = std::max(umax, std::fabs(u[r]));
+  update_eta_.clear();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  std::greater<std::pair<int, int>>());
+    const int j = heap_.back().second;
+    heap_.pop_back();
+    const double val = w[j];
+    if (val == 0.0) continue;
+    const double mult = val / diag_[j];
+    update_eta_.push_back({j, mult});
+    d -= mult * u[j];
+    const Span r = urows_.range[j];
+    for (int k = r.begin; k < r.begin + r.len; ++k) {
+      wadd(urows_.row[k], -mult * urows_.val[k]);
+    }
+  }
+
+  if (std::fabs(d) <= kUpdateStabilityTol * (1.0 + umax)) {
+    return false;  // numerically unstable replacement; refactorize instead
+  }
+
+  // --- commit ------------------------------------------------------------
+  {
+    const Span r = ucols_.range[t];
+    for (int k = r.begin; k < r.begin + r.len; ++k) {
+      urows_.Erase(ucols_.row[k], t);
+      --u_nnz_;
+    }
+  }
+  {
+    const Span r = urows_.range[t];
+    for (int k = r.begin; k < r.begin + r.len; ++k) {
+      ucols_.Erase(urows_.row[k], t);
+      --u_nnz_;
+    }
+  }
+  urows_.range[t].len = 0;
+  ucols_.range[t].len = 0;
+  // Install the spike as the (logically last) column of slot t.
+  for (int s : spike.rows) {
+    if (s == t || u[s] == 0.0) continue;
+    ucols_.Append(t, s, u[s]);
+    urows_.Append(s, t, u[s]);
+    ++u_nnz_;
+  }
+  diag_[t] = d;
+  if (!update_eta_.empty()) {
+    RowEta rec;
+    rec.target_row = t;
+    rec.begin = static_cast<int>(eta_rows_.size());
+    for (const Entry& e : update_eta_) {
+      eta_rows_.push_back(e.row);
+      eta_vals_.push_back(e.val);
+    }
+    rec.end = static_cast<int>(eta_rows_.size());
+    row_etas_.push_back(rec);
+  }
+  // Move row t to the end of the logical order.
+  const int tpos = pos_in_order_[t];
+  order_.erase(order_.begin() + tpos);
+  order_.push_back(t);
+  for (int pos = tpos; pos < m_; ++pos) pos_in_order_[order_[pos]] = pos;
+  ++num_updates_;
+  return true;
+}
+
+uint64_t BasisLu::TotalNnz() const {
+  return l_vals_.size() + eta_vals_.size() + u_nnz_ +
+         static_cast<uint64_t>(m_);
+}
+
+}  // namespace hydra

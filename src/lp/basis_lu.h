@@ -1,0 +1,203 @@
+// Sparse LU factorization of a simplex basis with Markowitz ordering and
+// Forrest-Tomlin column-replacement updates.
+//
+// The basis B (m x m, columns indexed by basis position) is held as
+// B = L * U with
+//   * L implicit: the Gaussian-elimination multipliers recorded at
+//     factorization time (unit lower triangular in pivot order) plus the
+//     row-transform etas appended by Forrest-Tomlin updates, and
+//   * U explicit: a sparse permuted-triangular matrix kept directly in row
+//     coordinates (the pivot row doubles as the column id of the basis
+//     position it eliminates), stored row-wise AND column-wise so FTRAN's
+//     backward substitution and BTRAN's forward substitution both stream
+//     their natural orientation with no gather/scatter passes. A logical
+//     ordering array — not physical data movement — keeps U triangular
+//     across updates.
+//
+// All per-slot lists live in pooled flat arrays (SlotRange into one slot/
+// value pool per orientation, like the PR 1 eta file) rather than
+// vector-of-vectors: the triangular solves walk three contiguous arrays, so
+// the per-iteration constant is memory bandwidth, not pointer chasing.
+// Forrest-Tomlin updates mutate ranges in place, relocating a range to the
+// pool tail when it outgrows its capacity; the garbage this strands is
+// reclaimed at the next refactorization.
+//
+// Pivots are chosen by restricted Markowitz: candidate columns are drawn
+// from the lowest fill-count buckets and scored by
+// (col_nnz - 1) * (row_nnz - 1), subject to a threshold test against the
+// column's largest entry, with index-order tie-breaking so a factorization
+// is a deterministic function of the input columns.
+//
+// A Forrest-Tomlin update replaces one basis column in O(nnz of the spiked
+// row/column): the spike L^-1 a is written into U as the (logically) last
+// column, the leaving slot's U row is eliminated with row etas recorded
+// into the update file, and the slot is moved to the end of the logical
+// order. Updates whose new diagonal is numerically negligible are refused
+// — the caller refactorizes instead. See docs/solver.md.
+
+#ifndef HYDRA_LP_BASIS_LU_H_
+#define HYDRA_LP_BASIS_LU_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hydra {
+
+class BasisLu {
+ public:
+  // Sparse basis column; entries may repeat (they are summed).
+  struct Column {
+    const int* rows = nullptr;
+    const double* vals = nullptr;
+    int nnz = 0;
+  };
+
+  // Spike captured by Ftran for a subsequent Update: the entering column
+  // transformed by L only (update-file row etas included, U not applied).
+  // `rows` is a superset of the nonzero support (exact when Ftran ran its
+  // hyper-sparse path; all rows otherwise).
+  struct Spike {
+    std::vector<double> values;  // dense, row-indexed
+    std::vector<int> rows;
+  };
+
+  // Factorizes the m x m matrix whose position-p column is cols[p].
+  // Returns false (leaving any previous factorization intact) when the
+  // matrix is numerically singular. On success the previous update file is
+  // discarded and row_of_position()[p] names the pivot row each input
+  // column was assigned. Scratch is retained across calls, so repeated
+  // refactorizations of same-shaped bases do not reallocate.
+  bool Factorize(int m, const std::vector<Column>& cols);
+
+  bool factorized() const { return m_ > 0; }
+  int num_rows() const { return m_; }
+  const std::vector<int>& row_of_position() const { return row_of_position_; }
+
+  // v <- B^-1 v (v indexed by row). When `spike` is non-null the
+  // intermediate L^-1 v is captured for a later Update call.
+  //
+  // When `rhs_rows` (a superset of v's nonzero rows, duplicates allowed)
+  // is given and small, the solve runs hyper-sparsely (Gilbert-Peierls
+  // reachability over the L/U dependency graphs) and touches only the
+  // result's support; otherwise it sweeps densely. `out_rows`, when
+  // non-null, receives a superset of the result's nonzero rows (all rows
+  // after a dense sweep).
+  void Ftran(std::vector<double>& v, Spike* spike = nullptr,
+             const int* rhs_rows = nullptr, int rhs_nnz = 0,
+             std::vector<int>* out_rows = nullptr) const;
+
+  // v <- B^-T v, i.e. v^T <- v^T B^-1 (v indexed by row). Sparse-rhs
+  // contract identical to Ftran's.
+  void Btran(std::vector<double>& v, const int* rhs_rows = nullptr,
+             int rhs_nnz = 0, std::vector<int>* out_rows = nullptr) const;
+
+  // Forrest-Tomlin update: the basis column currently pivoting on
+  // `leaving_row` is replaced by the column whose Ftran produced `spike`.
+  // Returns false without modifying the factorization when the update
+  // would be numerically unstable (caller should refactorize).
+  bool Update(int leaving_row, const Spike& spike);
+
+  // Nonzeros across L, U and the update file — the caller's refactorization
+  // growth trigger.
+  uint64_t TotalNnz() const;
+  int updates_since_factorize() const { return num_updates_; }
+
+ private:
+  struct Entry {
+    int row;
+    double val;
+  };
+  // One Gaussian-elimination column of L: multipliers below the pivot.
+  struct LColumn {
+    int pivot_row;
+    int begin;  // [begin, end) into l_rows_/l_vals_
+    int end;
+  };
+  // One Forrest-Tomlin row eta: U row `target_row` accumulated multiples
+  // of other U rows; entries are row ids.
+  struct RowEta {
+    int target_row;
+    int begin;  // [begin, end) into eta_rows_/eta_vals_
+    int end;
+  };
+  // One per-row list inside a pooled array.
+  struct Span {
+    int begin = 0;
+    int len = 0;
+    int cap = 0;
+  };
+  // One orientation of U: per-row spans over a shared row/value pool.
+  // Erase swaps within the span; Append relocates the span to the pool
+  // tail (with headroom) when it is out of capacity.
+  struct UPool {
+    std::vector<Span> range;
+    std::vector<int> row;
+    std::vector<double> val;
+
+    void Clear(int m);
+    void Erase(int s, int entry_row);
+    void Append(int s, int entry_row, double v);
+  };
+
+  void Reset();
+
+  int m_ = 0;
+  // L from factorization, pooled like the old eta file.
+  std::vector<LColumn> l_cols_;
+  std::vector<int> l_rows_;
+  std::vector<double> l_vals_;
+  // Forrest-Tomlin row etas, applied after L (in append order) in FTRAN.
+  std::vector<RowEta> row_etas_;
+  std::vector<int> eta_rows_;
+  std::vector<double> eta_vals_;
+  // U in row coordinates. diag_ holds the pivot; row/col pools hold only
+  // off-diagonal entries (row orientation: rows later in the order; col
+  // orientation: earlier).
+  std::vector<double> diag_;
+  UPool urows_;
+  UPool ucols_;
+  // Logical triangular order of pivot rows and its inverse.
+  std::vector<int> order_;
+  std::vector<int> pos_in_order_;
+  // Input position -> assigned pivot row.
+  std::vector<int> row_of_position_;
+  int num_updates_ = 0;
+  uint64_t u_nnz_ = 0;  // off-diagonal U entries, maintained across updates
+
+  // Scratch (sized m, zeroed between uses) for Ftran/Btran/Update.
+  mutable std::vector<double> work_;
+  // Factorization scratch, retained across calls so refactorizations of
+  // same-shaped bases do not pay an allocation storm.
+  std::vector<std::vector<Entry>> fac_cols_;
+  std::vector<std::vector<int>> fac_row_cols_;
+  std::vector<std::vector<Entry>> fac_urows_;
+  std::vector<std::vector<int>> fac_buckets_;
+  std::vector<int> fac_row_nnz_, fac_col_nnz_, fac_col_pos_, fac_lrows_;
+  std::vector<int> fac_seen_;
+  std::vector<char> fac_row_active_, fac_col_active_;
+  std::vector<double> fac_acc_, fac_lmult_;
+  std::vector<int> fac_row_of_slot_, fac_slot_of_input_, fac_lcol_of_row_;
+  std::vector<Entry> update_eta_;
+
+  // Hyper-sparse solve machinery: L column of each pivot row (-1 = unit),
+  // the inverse L index (row -> L steps listing it, CSR), and generation-
+  // stamped DFS scratch.
+  std::vector<int> l_col_of_row_;
+  std::vector<int> linv_ptr_;
+  std::vector<int> linv_step_;
+  mutable std::vector<int64_t> stamp_;
+  mutable int64_t stamp_gen_ = 0;
+  mutable std::vector<int> touch_;
+  mutable std::vector<int> dfs_;
+  mutable std::vector<int> steps_;
+  std::vector<std::pair<int, int>> heap_;  // (order position, row)
+
+  void FtranDense(std::vector<double>& v, Spike* spike) const;
+  void BtranDense(std::vector<double>& v) const;
+  void AllRows(std::vector<int>* out) const;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_LP_BASIS_LU_H_

@@ -60,7 +60,13 @@ class LpProblem {
 
 struct LpSolution {
   std::vector<double> values;
+  // Total pivots: phase-I feasibility plus the canonicalization phase.
   int iterations = 0;
+  // Pivots spent reaching feasibility (<= iterations).
+  int phase1_iterations = 0;
+  // True when an imported warm-start basis was accepted (the solve did not
+  // start from the all-artificial basis).
+  bool warm_started = false;
 };
 
 }  // namespace hydra

@@ -206,16 +206,39 @@ void RefineRegionsAtCuts(
       refined.reserve(region.blocks.size());
       for (Block& b : region.blocks) {
         // Split b.dims[dim] at every cut, emitting one block per fragment
-        // so no fragment crosses a cut point.
+        // so no fragment crosses a cut point. Only cuts strictly inside the
+        // block's span can split it, so binary-search the relevant range,
+        // then walk intervals and cuts in tandem — repeated SplitAt calls
+        // would copy the remainder once per cut.
+        const IntervalSet& set = b.dims[dim];
+        const auto cut_begin =
+            std::upper_bound(cuts.begin(), cuts.end(), set.Min());
+        const auto cut_end =
+            std::upper_bound(cut_begin, cuts.end(), set.Max());
         std::vector<IntervalSet> fragments;
-        IntervalSet rest = b.dims[dim];
-        for (int64_t cut : cuts) {
-          auto [below, above] = rest.SplitAt(cut);
-          if (!below.empty()) fragments.push_back(std::move(below));
-          rest = std::move(above);
-          if (rest.empty()) break;
+        std::vector<Interval> cur;
+        auto flush = [&fragments, &cur] {
+          if (!cur.empty()) {
+            fragments.push_back(IntervalSet(std::move(cur)));
+            cur.clear();
+          }
+        };
+        auto it = cut_begin;
+        for (const Interval& iv : set.intervals()) {
+          int64_t lo = iv.lo;
+          while (it != cut_end && *it <= lo) {
+            flush();  // window boundary in the gap before this interval
+            ++it;
+          }
+          while (it != cut_end && *it < iv.hi) {
+            cur.push_back(Interval(lo, *it));
+            flush();
+            lo = *it;
+            ++it;
+          }
+          cur.push_back(Interval(lo, iv.hi));
         }
-        if (!rest.empty()) fragments.push_back(std::move(rest));
+        flush();
         if (fragments.size() <= 1) {
           refined.push_back(std::move(b));
           continue;

@@ -102,9 +102,11 @@ TEST(SimplexStressTest, InfeasibleAfterManyPivots) {
 
 TEST(SimplexStressTest, TwoThousandVariableIterationBound) {
   // Random feasible instance built from a known witness. The solver must
-  // find a feasible point in a small multiple of m iterations — partial
-  // pricing trades per-iteration cost for slightly more pivots, and this
-  // pins the trade at <= 5m (observed ~3m across seeds).
+  // find a feasible point in a small multiple of m iterations — candidate
+  // list pricing trades per-iteration cost for slightly more pivots, and
+  // this pins the trade at <= 5m for phase I (observed ~3m across seeds).
+  // The canonicalization phase then walks to the unique canonical vertex;
+  // the total gets a looser bound.
   const int n = 2000;
   const int m = 200;
   Rng rng(7);
@@ -126,9 +128,10 @@ TEST(SimplexStressTest, TwoThousandVariableIterationBound) {
   }
   auto sol = SolveFeasibility(p);
   ASSERT_TRUE(sol.ok()) << sol.status().ToString();
-  EXPECT_LT(p.MaxViolation(sol->values), 1e-5);
+  EXPECT_LT(p.MaxViolation(sol->values), 1e-4);
   for (double v : sol->values) EXPECT_GE(v, -1e-9);
-  EXPECT_LE(sol->iterations, 5 * m);
+  EXPECT_LE(sol->phase1_iterations, 5 * m);
+  EXPECT_LE(sol->iterations, 20 * m);
 }
 
 TEST(SimplexStressTest, WideAndShallowStaysFast) {
@@ -158,7 +161,8 @@ TEST(SimplexStressTest, WideAndShallowStaysFast) {
   auto sol = SolveFeasibility(p);
   ASSERT_TRUE(sol.ok()) << sol.status().ToString();
   EXPECT_LT(p.MaxViolation(sol->values), 1e-5);
-  EXPECT_LE(sol->iterations, 10 * m);
+  EXPECT_LE(sol->phase1_iterations, 10 * m);
+  EXPECT_LE(sol->iterations, 40 * m);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Maintain and plot the BENCH_*.json perf trajectory across PR history.
+
+Each bench binary run with --json leaves a BENCH_<name>.json array of
+{name, seconds, iterations} records. This tool appends one history entry
+per run — keyed by commit SHA and date — to a JSON-lines file
+(bench/history/history.jsonl by default) and renders the wall-clock
+trajectory of every record as an SVG (hand-written, stdlib only, so CI
+runners need no plotting stack; a PNG is also written when matplotlib
+happens to be importable).
+
+Typical usage (what CI's perf job runs):
+  python3 tools/plot_bench_trajectory.py \
+      --history bench/history/history.jsonl \
+      --records build \
+      --commit "$GITHUB_SHA" --date "$(date -u +%Y-%m-%d)" \
+      --out-svg bench_trajectory.svg
+
+Seeding from the committed baselines (used once, and by CI when the
+history file is missing so the plot always has a reference point):
+  python3 tools/plot_bench_trajectory.py \
+      --history bench/history/history.jsonl \
+      --records bench/baselines --commit baseline --date 1970-01-01
+
+Rules:
+  * One JSON-lines entry per commit: re-running with a SHA already in the
+    history replaces that entry instead of duplicating it.
+  * Entries hold {commit, date, records: {bench file: {record: seconds}}}.
+  * The plot is per-record: one series per "file:record" key, log-scale
+    seconds against history position, labeled by short SHA.
+  * --plot-only renders without appending (e.g. to re-plot the committed
+    history).
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+
+# Color cycle chosen to stay distinguishable on white; repeats with dashes.
+PALETTE = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+    "#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+]
+
+
+def load_records(path):
+    """Returns {record name: seconds} for one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    return {rec["name"]: float(rec["seconds"]) for rec in data}
+
+
+def read_history(path):
+    entries = []
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+    return entries
+
+
+def write_history(path, entries):
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        for e in entries:
+            f.write(json.dumps(e, sort_keys=True) + "\n")
+
+
+def append_entry(entries, commit, date, records_dir):
+    files = sorted(glob.glob(os.path.join(records_dir, "BENCH_*.json")))
+    if not files:
+        print(f"no BENCH_*.json files in {records_dir}")
+        return None
+    entry = {
+        "commit": commit,
+        "date": date,
+        "records": {
+            os.path.basename(p): load_records(p) for p in files
+        },
+    }
+    entries = [e for e in entries if e.get("commit") != commit]
+    entries.append(entry)
+    return entries
+
+
+def series_from(entries):
+    """Returns ordered {(file:record): [(entry index, seconds), ...]}."""
+    series = {}
+    for i, e in enumerate(entries):
+        for fname, records in sorted(e.get("records", {}).items()):
+            for name, secs in sorted(records.items()):
+                if secs > 0:
+                    series.setdefault(f"{fname[len('BENCH_'):-len('.json')]}"
+                                      f":{name}", []).append((i, secs))
+    return series
+
+
+def render_svg(entries, series, path):
+    width, height = 960, 540
+    margin_l, margin_r, margin_t, margin_b = 70, 280, 40, 60
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    all_secs = [s for pts in series.values() for _, s in pts]
+    lo = min(all_secs)
+    hi = max(all_secs)
+    lo_e = math.floor(math.log10(lo))
+    hi_e = math.ceil(math.log10(hi)) if hi > 10 ** math.floor(
+        math.log10(hi)) else int(math.log10(hi))
+    hi_e = max(hi_e, lo_e + 1)
+    n = max(len(entries) - 1, 1)
+
+    def x_of(i):
+        return margin_l + plot_w * (i / n)
+
+    def y_of(secs):
+        frac = (math.log10(secs) - lo_e) / (hi_e - lo_e)
+        return margin_t + plot_h * (1 - frac)
+
+    out = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">')
+    out.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    out.append(
+        f'<text x="{margin_l}" y="20" font-size="14" font-weight="bold">'
+        f'Bench wall-clock trajectory (log seconds)</text>')
+
+    # Gridlines and y labels at decades.
+    for e in range(lo_e, hi_e + 1):
+        y = y_of(10 ** e)
+        out.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>')
+        out.append(
+            f'<text x="{margin_l - 8}" y="{y + 4:.1f}" text-anchor="end">'
+            f'1e{e}</text>')
+
+    # X labels: short commit per entry.
+    for i, e in enumerate(entries):
+        x = x_of(i)
+        label = str(e.get("commit", "?"))[:9]
+        out.append(
+            f'<line x1="{x:.1f}" y1="{margin_t}" x2="{x:.1f}" '
+            f'y2="{margin_t + plot_h}" stroke="#f3f3f3"/>')
+        out.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 16}" '
+            f'text-anchor="middle">{label}</text>')
+        date = str(e.get("date", ""))
+        out.append(
+            f'<text x="{x:.1f}" y="{margin_t + plot_h + 30}" '
+            f'text-anchor="middle" fill="#888">{date}</text>')
+
+    for idx, (key, pts) in enumerate(sorted(series.items())):
+        color = PALETTE[idx % len(PALETTE)]
+        dash = "" if idx < len(PALETTE) else ' stroke-dasharray="5,3"'
+        points = " ".join(f"{x_of(i):.1f},{y_of(s):.1f}" for i, s in pts)
+        if len(pts) > 1:
+            out.append(
+                f'<polyline fill="none" stroke="{color}" stroke-width="1.5"'
+                f'{dash} points="{points}"/>')
+        for i, s in pts:
+            out.append(
+                f'<circle cx="{x_of(i):.1f}" cy="{y_of(s):.1f}" r="2.5" '
+                f'fill="{color}"/>')
+        ly = margin_t + 14 * idx
+        lx = margin_l + plot_w + 12
+        out.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"{dash}/>')
+        out.append(f'<text x="{lx + 24}" y="{ly}">{key}</text>')
+
+    out.append("</svg>")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(out) + "\n")
+    print(f"trajectory plot written to {path}")
+
+
+def render_png(entries, series, path):
+    try:
+        import matplotlib  # noqa: F401
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable; skipping PNG (SVG is canonical)")
+        return
+    fig, ax = plt.subplots(figsize=(12, 6))
+    for key, pts in sorted(series.items()):
+        ax.plot([i for i, _ in pts], [s for _, s in pts],
+                marker="o", markersize=3, label=key)
+    ax.set_yscale("log")
+    ax.set_ylabel("seconds")
+    ax.set_xticks(range(len(entries)))
+    ax.set_xticklabels([str(e.get("commit", "?"))[:9] for e in entries],
+                       rotation=45, ha="right")
+    ax.legend(fontsize=7, bbox_to_anchor=(1.02, 1), loc="upper left")
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    print(f"trajectory plot written to {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", default="bench/history/history.jsonl")
+    parser.add_argument("--records", default=None,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--commit", default="unknown")
+    parser.add_argument("--date", default="")
+    parser.add_argument("--out-svg", default=None)
+    parser.add_argument("--out-png", default=None)
+    parser.add_argument("--plot-only", action="store_true",
+                        help="render the existing history without appending")
+    args = parser.parse_args()
+
+    entries = read_history(args.history)
+    if not args.plot_only:
+        if args.records is None:
+            print("--records is required unless --plot-only")
+            return 2
+        appended = append_entry(entries, args.commit, args.date, args.records)
+        if appended is None:
+            return 1
+        entries = appended
+        write_history(args.history, entries)
+        print(f"history now holds {len(entries)} entries: {args.history}")
+
+    if not entries:
+        print("history is empty; nothing to plot")
+        return 1
+    series = series_from(entries)
+    if not series:
+        print("history holds no positive-seconds records; nothing to plot")
+        return 1
+    if args.out_svg:
+        render_svg(entries, series, args.out_svg)
+    if args.out_png:
+        render_png(entries, series, args.out_png)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Tests for tools/compare_bench.py (the CI perf regression gate).
+
+unittest.TestCase style so the file runs under both `python3 -m unittest`
+(what ctest invokes — no third-party deps) and pytest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "compare_bench.py")
+
+
+def write_bench(directory, fname, records):
+    path = os.path.join(directory, fname)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump([{"name": n, "seconds": s, "iterations": 1}
+                   for n, s in records.items()], f)
+    return path
+
+
+def run_tool(*args):
+    proc = subprocess.run(
+        [sys.executable, TOOL, *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.baseline = os.path.join(self._tmp.name, "baseline")
+        self.current = os.path.join(self._tmp.name, "current")
+        os.makedirs(self.baseline)
+        os.makedirs(self.current)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def compare(self, *extra):
+        return run_tool("--baseline", self.baseline,
+                        "--current", self.current, *extra)
+
+    def test_pass_within_tolerance(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0, "r2": 0.5})
+        write_bench(self.current, "BENCH_a.json", {"r1": 1.2, "r2": 0.55})
+        code, out = self.compare()
+        self.assertEqual(code, 0, out)
+        self.assertIn("all records within", out)
+
+    def test_regression_beyond_25_percent_fails(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"r1": 1.3})
+        code, out = self.compare()
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("r1", out)
+
+    def test_speedup_never_fails(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"r1": 0.2})
+        code, out = self.compare()
+        self.assertEqual(code, 0, out)
+
+    def test_missing_record_in_current_run_fails(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0, "gone": 2.0})
+        write_bench(self.current, "BENCH_a.json", {"r1": 1.0})
+        code, out = self.compare()
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from current run", out)
+        self.assertIn("gone", out)
+
+    def test_new_record_is_informational_only(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"r1": 1.0, "brandnew": 9.0})
+        code, out = self.compare()
+        self.assertEqual(code, 0, out)
+        self.assertIn("new", out)
+
+    def test_bench_without_baseline_is_skipped(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"r1": 1.0})
+        write_bench(self.current, "BENCH_b.json", {"slow": 100.0})
+        code, out = self.compare()
+        self.assertEqual(code, 0, out)
+
+    def test_noise_floor_records_never_fail(self):
+        # Records under --min-seconds in the baseline report as noise even
+        # when they regress relatively.
+        write_bench(self.baseline, "BENCH_a.json", {"tiny": 0.001})
+        write_bench(self.current, "BENCH_a.json", {"tiny": 0.005})
+        code, out = self.compare()
+        self.assertEqual(code, 0, out)
+        self.assertIn("noise", out)
+
+    def test_empty_baseline_directory_fails(self):
+        write_bench(self.current, "BENCH_a.json", {"r1": 1.0})
+        code, out = self.compare()
+        self.assertEqual(code, 1, out)
+        self.assertIn("--update", out)
+
+    def test_update_rewrites_baseline(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"r1": 5.0})
+        code, out = self.compare("--update")
+        self.assertEqual(code, 0, out)
+        with open(os.path.join(self.baseline, "BENCH_a.json"),
+                  encoding="utf-8") as f:
+            refreshed = {r["name"]: r["seconds"] for r in json.load(f)}
+        self.assertEqual(refreshed, {"r1": 5.0})
+        # After the rewrite, the same comparison passes.
+        code, out = self.compare()
+        self.assertEqual(code, 0, out)
+
+    def test_update_with_no_current_records_fails(self):
+        code, out = self.compare("--update")
+        self.assertEqual(code, 1, out)
+        self.assertIn("no BENCH_*.json", out)
+
+    def test_normalization_gates_relative_shifts(self):
+        # Both runs share the record "anchor"; every measurement divides by
+        # its own run's anchor, so a uniform 10x slowdown passes while a
+        # relative regression of one record still fails.
+        write_bench(self.baseline, "BENCH_a.json",
+                    {"anchor": 1.0, "r1": 2.0})
+        write_bench(self.current, "BENCH_a.json",
+                    {"anchor": 10.0, "r1": 20.0})
+        code, out = self.compare("--normalize", "BENCH_a.json:anchor")
+        self.assertEqual(code, 0, out)
+
+        write_bench(self.current, "BENCH_a.json",
+                    {"anchor": 10.0, "r1": 40.0})
+        code, out = self.compare("--normalize", "BENCH_a.json:anchor")
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+
+    def test_normalization_missing_anchor_fails(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"r1": 1.0})
+        code, out = self.compare("--normalize", "BENCH_a.json:absent")
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing", out)
+
+    def test_tolerance_env_override(self):
+        write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"r1": 1.4})
+        env = dict(os.environ, HYDRA_BENCH_TOLERANCE="0.5")
+        proc = subprocess.run(
+            [sys.executable, TOOL, "--baseline", self.baseline,
+             "--current", self.current],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
