@@ -36,10 +36,13 @@ class Timer {
 };
 
 inline void PrintHeader(const std::string& title, const std::string& paper) {
-  std::printf("==================================================================\n");
+  std::printf(
+      "==================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("Paper reference: %s\n", paper.c_str());
-  std::printf("==================================================================\n\n");
+  std::printf(
+      "==================================================================\n"
+      "\n");
 }
 
 // The canonical WLc / WLs client sites used across the figure benches.

@@ -13,8 +13,9 @@ int main(int argc, char** argv) {
   using namespace hydra::bench;
 
   JsonReporter json("fig09_cc_distribution", argc, argv);
-  PrintHeader("Figure 9 — Distribution of Cardinality in CCs (WLc)",
-              "131 queries -> 351 CCs spanning ~0..1e9 rows (log-scale histogram)");
+  PrintHeader(
+      "Figure 9 — Distribution of Cardinality in CCs (WLc)",
+      "131 queries -> 351 CCs spanning ~0..1e9 rows (log-scale histogram)");
 
   Timer site_timer;
   const ClientSite site =

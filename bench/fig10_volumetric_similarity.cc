@@ -49,15 +49,17 @@ int main(int argc, char** argv) {
     HYDRA_CHECK_OK(r.status());
     ds_report = std::move(*r);
   } else {
-    std::printf("DataSynth failed: %s\n\n", ds_result.status().ToString().c_str());
+    std::printf("DataSynth failed: %s\n\n",
+                ds_result.status().ToString().c_str());
   }
 
   TextTable table({"relative error <=", "Hydra %CCs", "DataSynth %CCs"});
   for (double err : {0.0, 0.01, 0.05, 0.10, 0.20, 0.40, 0.60, 1.00}) {
-    table.AddRow({TextTable::Cell(err, 2),
-                  TextTable::Cell(100 * hydra_report->FractionWithin(err), 1),
-                  ds_ok ? TextTable::Cell(100 * ds_report.FractionWithin(err), 1)
-                        : "crash"});
+    table.AddRow(
+        {TextTable::Cell(err, 2),
+         TextTable::Cell(100 * hydra_report->FractionWithin(err), 1),
+         ds_ok ? TextTable::Cell(100 * ds_report.FractionWithin(err), 1)
+               : "crash"});
   }
   std::printf("%s\n", table.Render().c_str());
 

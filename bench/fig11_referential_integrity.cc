@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   auto ds_result = datasynth.Regenerate(site.ccs);
   const bool ds_ok = ds_result.ok();
   if (!ds_ok) {
-    std::printf("DataSynth failed: %s\n", ds_result.status().ToString().c_str());
+    std::printf("DataSynth failed: %s\n",
+                ds_result.status().ToString().c_str());
   }
 
   TextTable table({"relation", "rows", "Hydra extra", "DataSynth extra"});

@@ -10,6 +10,7 @@
 #include "engine/executor.h"
 #include "hydra/regenerator.h"
 #include "hydra/tuple_generator.h"
+#include "lp/basis_lu.h"
 #include "lp/simplex.h"
 #include "partition/grid_partition.h"
 #include "partition/region_partition.h"
@@ -154,6 +155,57 @@ void BM_SimplexWarmStart(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimplexWarmStart)->Arg(0)->Arg(1);
+
+// A/B for the post-refactorization x_B = B^-1 b solve: the same Ftran with
+// and without the right-hand side's support handed in (Gilbert-Peierls
+// reachability vs a dense L/U sweep). Args: {m, b_nnz, sparse}.
+void BM_BasisLuFtranB(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int b_nnz = static_cast<int>(state.range(1));
+  const bool sparse = state.range(2) != 0;
+  Rng rng(11);
+  // Nonsingular sparse basis: unit diagonal plus a few strictly-lower
+  // entries per column, the shape of a mostly-slack phase-I basis.
+  std::vector<std::vector<int>> rows(m);
+  std::vector<std::vector<double>> vals(m);
+  for (int j = 0; j < m; ++j) {
+    rows[j].push_back(j);
+    vals[j].push_back(1.0);
+    for (int t = 0; t < 4 && j + 1 < m; ++t) {
+      rows[j].push_back(static_cast<int>(rng.NextInt(j + 1, m)));
+      vals[j].push_back(static_cast<double>(rng.NextInt(1, 8)) * 0.125);
+    }
+  }
+  std::vector<BasisLu::Column> cols(m);
+  for (int j = 0; j < m; ++j) {
+    cols[j] = {rows[j].data(), vals[j].data(),
+               static_cast<int>(rows[j].size())};
+  }
+  BasisLu lu;
+  HYDRA_CHECK(lu.Factorize(m, cols));
+  std::vector<int> support;
+  for (int t = 0; t < b_nnz; ++t) {
+    support.push_back(static_cast<int>(rng.NextInt(0, m)));
+  }
+  std::vector<double> b(m, 0.0);
+  for (int r : support) b[r] = 1.0;
+  std::vector<double> v;
+  for (auto _ : state) {
+    v = b;
+    if (sparse) {
+      lu.Ftran(v, /*spike=*/nullptr, support.data(),
+               static_cast<int>(support.size()));
+    } else {
+      lu.Ftran(v);
+    }
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_BasisLuFtranB)
+    ->Args({5000, 4, 0})
+    ->Args({5000, 4, 1})
+    ->Args({5000, 200, 0})
+    ->Args({5000, 200, 1});
 
 void BM_ToyRegeneration(benchmark::State& state) {
   ToyEnvironment env = MakeToyEnvironment();

@@ -60,7 +60,9 @@ int main() {
       table.AddRow(std::move(row));
     }
     std::printf("%s", table.Render().c_str());
-    if (rs.rows.size() > 8) std::printf("  ... %zu more groups\n", rs.rows.size() - 8);
+    if (rs.rows.size() > 8) {
+      std::printf("  ... %zu more groups\n", rs.rows.size() - 8);
+    }
   }
 
   // --- 3. Verify volumetric similarity -----------------------------------

@@ -95,7 +95,8 @@ ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
   zetan_ = Zeta(n, theta);
   zeta2_ = Zeta(2, theta);
   alpha_ = 1.0 / (1.0 - theta);
-  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) / (1.0 - zeta2_ / zetan_);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan_);
 }
 
 uint64_t ZipfDistribution::Sample(Rng& rng) const {

@@ -77,8 +77,9 @@ class Status {
 template <typename T>
 class StatusOr {
  public:
-  StatusOr(const T& value) : value_(value) {}          // NOLINT(runtime/explicit)
-  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT(runtime/explicit)
+  StatusOr(const T& value) : value_(value) {}  // NOLINT(runtime/explicit)
+  StatusOr(T&& value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
   StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
 
   bool ok() const { return status_.ok(); }

@@ -74,7 +74,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
     Table ft(rel.num_attributes());
     {
       SourceScanOp scan(&source, qt.relation, rel.num_attributes(),
-                        qt.filter, ctx_.get());
+                        qt.filter, ctx());
       scan.Open();
       RowBlock block;
       while (scan.NextBatch(&block)) {
@@ -170,7 +170,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
     std::vector<int> root_attrs;
     root_attrs.reserve(acc_cols.size());
     for (const AttrCol& c : acc_cols) root_attrs.push_back(c.attr);
-    ProjectOp project(std::make_unique<TableScanOp>(&filtered[0], ctx_.get()),
+    ProjectOp project(std::make_unique<TableScanOp>(&filtered[0], ctx()),
                       std::move(root_attrs));
     project.Open();
     RowBlock block;
@@ -194,7 +194,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
       }
     }
     auto new_scan = std::make_unique<ProjectOp>(
-        std::make_unique<TableScanOp>(&filtered[new_t], ctx_.get()),
+        std::make_unique<TableScanOp>(&filtered[new_t], ctx()),
         new_attrs);
     const int acc_key_col = col_index(acc_cols, acc_key[j]);
 
@@ -209,13 +209,13 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
       out_cols.insert(out_cols.end(), acc_cols.begin(), acc_cols.end());
       join = std::make_unique<HashJoinOp>(std::move(new_scan),
                                           /*probe_col=*/0, &acc, acc_key_col,
-                                          ctx_.get());
+                                          ctx());
     } else {
       out_cols = acc_cols;
       for (int a : new_attrs) out_cols.push_back({new_t, a});
       join = std::make_unique<HashJoinOp>(
-          std::make_unique<TableScanOp>(&acc, ctx_.get()), acc_key_col,
-          std::move(new_scan), /*build_col=*/0, ctx_.get());
+          std::make_unique<TableScanOp>(&acc, ctx()), acc_key_col,
+          std::move(new_scan), /*build_col=*/0, ctx());
     }
 
     // Keys of not-yet-joined tables enter acc only once their table joins

@@ -47,18 +47,29 @@ class Executor {
   // morsel-parallel operator pipeline. Results are byte-identical at any
   // num_threads (docs/engine.md).
   explicit Executor(const Schema& schema, ExecOptions options = {})
-      : schema_(schema), ctx_(std::make_unique<ExecContext>(options)) {}
+      : schema_(schema), owned_ctx_(std::make_unique<ExecContext>(options)) {}
+
+  // Runs on a caller-owned context instead (e.g. a serving-layer scheduler
+  // slot over a shared pool — docs/serve.md). `ctx` must outlive the
+  // executor; results are identical to the owning mode.
+  Executor(const Schema& schema, ExecContext* ctx)
+      : schema_(schema), external_ctx_(ctx) {}
 
   // Executes `query` against `source` and returns the annotated plan.
   // Requires the query's relations to be distinct (no self-joins).
   StatusOr<AnnotatedQueryPlan> Execute(const Query& query,
                                        const TableSource& source) const;
 
-  const ExecOptions& options() const { return ctx_->options(); }
+  const ExecOptions& options() const { return ctx()->options(); }
 
  private:
+  ExecContext* ctx() const {
+    return external_ctx_ != nullptr ? external_ctx_ : owned_ctx_.get();
+  }
+
   const Schema& schema_;
-  std::unique_ptr<ExecContext> ctx_;
+  std::unique_ptr<ExecContext> owned_ctx_;
+  ExecContext* external_ctx_ = nullptr;  // non-owning
 };
 
 // The client-site Parser: converts an AQP into cardinality constraints

@@ -226,6 +226,18 @@ ExecContext::ExecContext(ExecOptions options) : options_(options) {
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
+ExecContext::ExecContext(ExecOptions options, ThreadPool* shared_pool,
+                         int slot_parallelism)
+    : options_(options) {
+  if (options_.morsel_rows < 1) options_.morsel_rows = 1;
+  if (shared_pool != nullptr && slot_parallelism > 1 &&
+      shared_pool->num_threads() > 1) {
+    external_pool_ = shared_pool;
+    slot_parallelism_ =
+        std::min(slot_parallelism, shared_pool->num_threads());
+  }
+}
+
 // --- Operator base -------------------------------------------------------
 
 Operator::~Operator() = default;
@@ -274,9 +286,12 @@ void SourceScanOp::OpenImpl() {
             out->AppendRow(row.data());
           });
         } else {
-          source_->ScanRange(relation_, begin, end, [this, out](const Row& row) {
-            if (filter_.Eval(row.data())) out->AppendRow(row.data());
-          });
+          source_->ScanRange(relation_, begin, end,
+                             [this, out](const Row& row) {
+                               if (filter_.Eval(row.data())) {
+                                 out->AppendRow(row.data());
+                               }
+                             });
         }
       });
 }

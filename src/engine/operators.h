@@ -140,20 +140,41 @@ struct ExecOptions {
 // Shared execution state for one operator tree (reused across the queries of
 // a workload): the options plus the pool morsel work fans out on. Operators
 // given no context — or a 1-thread context — run fully sequentially.
+//
+// Two ownership modes:
+//  * owning (the classic constructor): the context spawns its own pool of
+//    options.ResolvedThreads() workers;
+//  * external slot: the context borrows a caller-owned shared pool and caps
+//    its fan-out at `slot_parallelism` — the serving layer's "scheduler
+//    slot", letting many concurrent pipelines share one pool with bounded
+//    per-pipeline width. Tasks submitted through a slot must never block on
+//    other pool tasks (the engine's leaf tasks never do), so slots cannot
+//    deadlock a shared pool.
 class ExecContext {
  public:
   explicit ExecContext(ExecOptions options);
+  // External-slot mode: non-owning. With slot_parallelism <= 1 (or a null
+  // pool) the context is fully sequential and never touches `shared_pool`.
+  ExecContext(ExecOptions options, ThreadPool* shared_pool,
+              int slot_parallelism);
 
   const ExecOptions& options() const { return options_; }
   int64_t morsel_rows() const { return options_.morsel_rows; }
   // Workers available for fan-out; 1 means sequential.
-  int parallelism() const { return pool_ ? pool_->num_threads() : 1; }
+  int parallelism() const {
+    if (external_pool_ != nullptr) return slot_parallelism_;
+    return pool_ ? pool_->num_threads() : 1;
+  }
   // Null when sequential.
-  ThreadPool* pool() { return pool_.get(); }
+  ThreadPool* pool() {
+    return external_pool_ != nullptr ? external_pool_ : pool_.get();
+  }
 
  private:
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* external_pool_ = nullptr;  // non-owning slot mode
+  int slot_parallelism_ = 1;
 };
 
 namespace internal {

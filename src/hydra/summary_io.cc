@@ -1,5 +1,6 @@
 #include "hydra/summary_io.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -36,9 +37,15 @@ class Writer {
   uint64_t bytes_ = 0;
 };
 
+// Size-bounded reader: tracks the bytes left in the file so every length
+// and count field can be validated against what the file can actually hold
+// *before* anything is allocated — a corrupt header claiming 2^32 rows must
+// fail with a Status, not an OOM (the serve layer loads untrusted files at
+// runtime).
 class Reader {
  public:
-  explicit Reader(std::FILE* f) : f_(f) {}
+  Reader(std::FILE* f, uint64_t file_bytes)
+      : f_(f), remaining_(file_bytes) {}
 
   uint64_t U64() {
     uint64_t v = 0;
@@ -57,7 +64,7 @@ class Reader {
   }
   std::string Str() {
     const uint64_t n = U64();
-    if (!ok_ || n > (1u << 20)) {
+    if (!ok_ || n > remaining_ || n > (1u << 20)) {
       ok_ = false;
       return "";
     }
@@ -66,15 +73,31 @@ class Reader {
     return s;
   }
   void Raw(void* p, size_t n) {
-    if (ok_ && std::fread(p, 1, n, f_) != n) ok_ = false;
+    if (!ok_ || n > remaining_ || std::fread(p, 1, n, f_) != n) {
+      ok_ = false;
+      return;
+    }
+    remaining_ -= n;
   }
 
   bool ok() const { return ok_; }
+  // Bytes of payload the rest of the file can still supply.
+  uint64_t remaining() const { return remaining_; }
 
  private:
   std::FILE* f_;
+  uint64_t remaining_;
   bool ok_ = true;
 };
+
+// fstat-free file size via the stdio seek API.
+bool FileBytes(std::FILE* f, uint64_t* out) {
+  if (std::fseek(f, 0, SEEK_END) != 0) return false;
+  const long size = std::ftell(f);
+  if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) return false;
+  *out = static_cast<uint64_t>(size);
+  return true;
+}
 
 }  // namespace
 
@@ -127,25 +150,34 @@ StatusOr<uint64_t> WriteSummary(const DatabaseSummary& summary,
 StatusOr<DatabaseSummary> ReadSummary(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
-  Reader r(f);
-  if (r.U64() != kSummaryMagic) {
+  uint64_t file_bytes = 0;
+  if (!FileBytes(f, &file_bytes)) {
     std::fclose(f);
-    return Status::IoError("bad summary header in " + path);
+    return Status::IoError("cannot size " + path);
   }
+  Reader r(f, file_bytes);
+  // Every early exit funnels through here so the handle can never leak.
+  const auto fail = [&](const std::string& what) -> Status {
+    std::fclose(f);
+    return Status::IoError("corrupt summary " + path + ": " + what);
+  };
+
+  if (r.U64() != kSummaryMagic) return fail("bad header");
 
   DatabaseSummary out;
   const int32_t num_relations = r.I32();
   if (!r.ok() || num_relations < 0 || num_relations > 1 << 16) {
-    std::fclose(f);
-    return Status::IoError("corrupt summary: relation count");
+    return fail("relation count");
   }
   for (int32_t rel_idx = 0; rel_idx < num_relations; ++rel_idx) {
     const std::string name = r.Str();
     const uint64_t row_count = r.U64();
     const int32_t num_attrs = r.I32();
-    if (!r.ok() || num_attrs < 0 || num_attrs > 1 << 16) {
-      std::fclose(f);
-      return Status::IoError("corrupt summary: attribute count");
+    if (!r.ok() || name.empty() || num_attrs < 0 || num_attrs > 1 << 16) {
+      return fail("attribute count");
+    }
+    if (out.schema.RelationIndex(name) >= 0) {
+      return fail("duplicate relation name " + name);
     }
     Relation rel(name, row_count);
     for (int32_t a = 0; a < num_attrs; ++a) {
@@ -154,23 +186,31 @@ StatusOr<DatabaseSummary> ReadSummary(const std::string& path) {
       const int64_t lo = r.I64();
       const int64_t hi = r.I64();
       const int32_t fk_target = r.I32();
-      if (!r.ok() || (kind == AttributeKind::kData && lo >= hi)) {
-        std::fclose(f);
-        return Status::IoError("corrupt summary: attribute payload");
+      if (!r.ok() || attr_name.empty() ||
+          (kind == AttributeKind::kData && lo >= hi)) {
+        return fail("attribute payload");
+      }
+      // Pre-validate what the schema builders would otherwise CHECK-abort
+      // on: duplicate names, a second PK, a dangling FK target.
+      if (rel.AttrIndex(attr_name) >= 0) {
+        return fail("duplicate attribute " + name + "." + attr_name);
       }
       switch (kind) {
         case AttributeKind::kData:
           rel.AddDataAttribute(attr_name, Interval(lo, hi));
           break;
         case AttributeKind::kPrimaryKey:
+          if (rel.PrimaryKeyIndex() >= 0) return fail("second primary key");
           rel.AddPrimaryKey(attr_name);
           break;
         case AttributeKind::kForeignKey:
+          if (fk_target < 0 || fk_target >= num_relations) {
+            return fail("foreign key target out of range");
+          }
           rel.AddForeignKey(attr_name, fk_target);
           break;
         default:
-          std::fclose(f);
-          return Status::IoError("corrupt summary: attribute kind");
+          return fail("attribute kind");
       }
     }
     out.schema.AddRelation(std::move(rel));
@@ -181,30 +221,47 @@ StatusOr<DatabaseSummary> ReadSummary(const std::string& path) {
     RelationSummary& rs = out.relations[i];
     rs.relation = r.I32();
     const int32_t cols = r.I32();
-    if (!r.ok() || cols < 0 || cols > 1 << 16) {
-      std::fclose(f);
-      return Status::IoError("corrupt summary: column count");
+    // Summary blocks are written in relation order over the relation's own
+    // attributes; anything else indexes out of the schema at generation
+    // time.
+    const int32_t rel_attrs = out.schema.relation(i).num_attributes();
+    if (!r.ok() || rs.relation != i || cols < 0 || cols > rel_attrs) {
+      return fail("summary column count");
     }
-    for (int32_t c = 0; c < cols; ++c) rs.attr_indices.push_back(r.I32());
+    for (int32_t c = 0; c < cols; ++c) {
+      const int32_t attr = r.I32();
+      if (!r.ok() || attr < 0 || attr >= rel_attrs) {
+        return fail("summary attribute index");
+      }
+      rs.attr_indices.push_back(attr);
+    }
     const uint64_t rows = r.U64();
-    if (!r.ok() || rows > (1ull << 32)) {
-      std::fclose(f);
-      return Status::IoError("corrupt summary: row count");
+    // Each row needs (1 + cols) i64 fields; a row count the rest of the
+    // file cannot physically hold is rejected before the resize allocates.
+    const uint64_t row_bytes = (1ull + cols) * sizeof(int64_t);
+    if (!r.ok() || rows > r.remaining() / row_bytes) {
+      return fail("summary row count");
     }
     rs.rows.resize(rows);
+    int64_t total = 0;
     for (uint64_t row = 0; row < rows; ++row) {
-      rs.rows[row].count = r.I64();
+      const int64_t count = r.I64();
+      if (count < 0 || count > INT64_MAX - total) {
+        return fail("summary tuple count");
+      }
+      total += count;
+      rs.rows[row].count = count;
       rs.rows[row].values.resize(cols);
       for (int32_t c = 0; c < cols; ++c) rs.rows[row].values[c] = r.I64();
     }
+    if (!r.ok()) return fail("truncated summary rows");
     rs.Finalize();
   }
   out.extra_tuples.resize(num_relations);
   for (int32_t i = 0; i < num_relations; ++i) out.extra_tuples[i] = r.U64();
 
-  const bool ok = r.ok();
+  if (!r.ok()) return fail("truncated file");
   std::fclose(f);
-  if (!ok) return Status::IoError("truncated summary file " + path);
   return out;
 }
 

@@ -157,6 +157,50 @@ void TupleGenerator::GetTuple(int relation, int64_t r, Row* out) const {
   FillRow(relation, rs.RowIndexForTuple(r), r, out);
 }
 
+TupleGenerator::Cursor::Cursor(const TupleGenerator& generator, int relation,
+                               int64_t begin)
+    : generator_(&generator),
+      relation_(relation),
+      total_(generator.summary_.relations[relation].TotalCount()) {
+  row_buf_.assign(
+      generator_->summary_.schema.relation(relation_).num_attributes(), 0);
+  Seek(begin);
+}
+
+void TupleGenerator::Cursor::Seek(int64_t rank) {
+  HYDRA_CHECK_MSG(rank >= 0 && rank <= total_,
+                  "cursor seek to " << rank << " outside [0, " << total_
+                                    << "]");
+  next_ = rank;
+  const RelationSummary& rs = generator_->summary_.relations[relation_];
+  summary_row_ = rank < total_ ? rs.RowIndexForTuple(rank)
+                               : static_cast<int>(rs.rows.size());
+}
+
+int64_t TupleGenerator::Cursor::Fill(int64_t max_rows, Value* dst) {
+  const RelationSummary& rs = generator_->summary_.relations[relation_];
+  const int width = static_cast<int>(row_buf_.size());
+  const int pk_attr = generator_->pk_attr_[relation_];
+  const int64_t end = std::min(total_, next_ + std::max<int64_t>(0, max_rows));
+  int64_t written = 0;
+  while (next_ < end) {
+    // Skip summary rows exhausted by previous fills (zero-count rows too).
+    while (rs.prefix_counts[summary_row_] + rs.rows[summary_row_].count <=
+           next_) {
+      ++summary_row_;
+    }
+    const int64_t stop = std::min(
+        end, rs.prefix_counts[summary_row_] + rs.rows[summary_row_].count);
+    generator_->FillRow(relation_, summary_row_, next_, &row_buf_);
+    for (; next_ < stop; ++next_, ++written) {
+      if (pk_attr >= 0) row_buf_[pk_attr] = next_;
+      std::memcpy(dst + written * width, row_buf_.data(),
+                  sizeof(Value) * width);
+    }
+  }
+  return written;
+}
+
 namespace {
 
 // One unit of parallel materialization work: the rank range [begin, end) of

@@ -74,6 +74,40 @@ class TupleGenerator : public TableSource {
   // Random access: fills `out` with the tuple whose PK is `r`.
   void GetTuple(int relation, int64_t r, Row* out) const;
 
+  // Resumable streaming cursor over one relation's rank space — the serving
+  // layer's unit of dynamic regeneration (docs/serve.md). Fill() emits the
+  // next bounded run of rows and advances; position() is the rank of the
+  // next unemitted row, so a cursor rebuilt over a freshly reloaded copy of
+  // the same summary and Seek()ed to that rank continues the stream
+  // byte-identically. Within a cursor's lifetime the covering summary row
+  // is carried across Fill() calls, so only Seek() pays a binary search.
+  // The generator must outlive the cursor.
+  class Cursor {
+   public:
+    Cursor(const TupleGenerator& generator, int relation, int64_t begin = 0);
+
+    // Rank of the next row Fill() would emit.
+    int64_t position() const { return next_; }
+    int64_t total_rows() const { return total_; }
+    bool done() const { return next_ >= total_; }
+
+    // Re-anchors the cursor at `rank` (0 <= rank <= total_rows()).
+    void Seek(int64_t rank);
+
+    // Generates up to `max_rows` rows into `dst` (which must hold
+    // max_rows * num_attributes Values, row-major) and advances. Returns
+    // the number of rows written; 0 exactly at end of stream.
+    int64_t Fill(int64_t max_rows, Value* dst);
+
+   private:
+    const TupleGenerator* generator_;
+    int relation_;
+    int64_t total_;
+    int64_t next_ = 0;     // rank of the next row to emit
+    int summary_row_ = 0;  // index of the summary row covering next_
+    Row row_buf_;          // current summary row's values (PK rewritten)
+  };
+
  private:
   // Writes the non-key values of summary row `summary_row` into `out`
   // (which must already be sized) and sets the PK to `pk`.

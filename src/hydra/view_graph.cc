@@ -89,7 +89,9 @@ std::vector<SubView> DecomposeView(
 
   const std::vector<int> order = ChordalizeMinFill(adj);
   std::vector<int> position(nodes.size());
-  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = static_cast<int>(i);
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = static_cast<int>(i);
+  }
 
   // Candidate cliques: v plus its neighbors eliminated after v.
   std::vector<std::vector<int>> candidates;

@@ -30,8 +30,8 @@ struct SubView {
 // left-boundary instantiation. Sub-views are returned in clique-tree BFS
 // order (parents before children), so merging them left-to-right satisfies
 // the running-intersection property.
-std::vector<SubView> DecomposeView(int num_columns,
-                                   const std::vector<ViewConstraint>& constraints);
+std::vector<SubView> DecomposeView(
+    int num_columns, const std::vector<ViewConstraint>& constraints);
 
 }  // namespace hydra
 

@@ -48,7 +48,9 @@ IntegerizeResult IntegerizeSolution(const LpProblem& problem,
       // then larger current values (more room to subtract).
       std::vector<int> candidates;
       for (size_t i = 0; i < c.vars.size(); ++i) {
-        if (std::fabs(c.coeffs[i] - 1.0) < 1e-9) candidates.push_back(c.vars[i]);
+        if (std::fabs(c.coeffs[i] - 1.0) < 1e-9) {
+          candidates.push_back(c.vars[i]);
+        }
       }
       std::stable_sort(candidates.begin(), candidates.end(),
                        [&](int a, int b) {

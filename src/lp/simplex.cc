@@ -530,9 +530,25 @@ class RevisedSimplex {
     max_lu_nnz_ = lu_.TotalNnz() + base_growth_nnz_;
     fresh_factorization_ = true;
 
-    // x_B = B^-1 b (min tracked pre-clamp for warm-start validation).
+    // x_B = B^-1 b (min tracked pre-clamp for warm-start validation). When
+    // b's support is tiny, handing it to Ftran lets the solve run
+    // hyper-sparsely over the fresh factors (the update file is empty
+    // here) instead of sweeping all of L and U. The gate is deliberately
+    // much tighter than Ftran's own m/8 cutoff: BM_BasisLuFtranB measures
+    // mid-size supports (~m/25) losing to the dense sweep once the
+    // reachability closure blows past its fallback limit, so only
+    // clearly-small supports take the sparse path.
     xb_ = cm_.b;
-    lu_.Ftran(xb_);
+    b_support_.clear();
+    for (int i = 0; i < m_; ++i) {
+      if (xb_[i] != 0.0) b_support_.push_back(i);
+    }
+    if (static_cast<int>(b_support_.size()) < m_ / 64) {
+      lu_.Ftran(xb_, /*spike=*/nullptr, b_support_.data(),
+                static_cast<int>(b_support_.size()));
+    } else {
+      lu_.Ftran(xb_);
+    }
     min_xb_ = 0.0;
     for (double& v : xb_) {
       min_xb_ = std::min(min_xb_, v);
@@ -685,6 +701,7 @@ class RevisedSimplex {
   bool fresh_factorization_ = false;
   double min_xb_ = 0.0;       // pre-clamp min of the last refactorized x_B
   std::vector<double> xb_;
+  std::vector<int> b_support_;  // nonzero rows of b (Refactorize scratch)
   std::vector<double> y_;     // dual vector, maintained incrementally
   std::vector<double> work_;  // FTRAN result of the entering column
   std::vector<int> work_support_;  // superset of work_'s nonzero rows

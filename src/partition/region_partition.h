@@ -82,18 +82,19 @@ RegionPartition BuildRegionPartition(
 
 // Algorithm 2 (Valid Partition) exposed for testing: refines the domain into
 // blocks valid with respect to every conjunct in `sub_constraints`.
-std::vector<Block> BuildValidBlocks(const std::vector<Interval>& domains,
-                                    const std::vector<Conjunct>& sub_constraints,
-                                    const RegionPartitionOptions& options = {});
+std::vector<Block> BuildValidBlocks(
+    const std::vector<Interval>& domains,
+    const std::vector<Conjunct>& sub_constraints,
+    const RegionPartitionOptions& options = {});
 
 // Refines `partition` so that, along each dimension listed in `dims_to_cut`
 // (paired with sorted cut values), no block's interval crosses a cut. Used to
 // align partitions of different sub-views along shared attributes before
 // adding consistency constraints (Section 4.2, "Consistency Constraints").
 // Regions keep their labels; blocks multiply as needed.
-void RefineRegionsAtCuts(RegionPartition* partition,
-                         const std::vector<std::pair<int, std::vector<int64_t>>>&
-                             dims_to_cut);
+void RefineRegionsAtCuts(
+    RegionPartition* partition,
+    const std::vector<std::pair<int, std::vector<int64_t>>>& dims_to_cut);
 
 // All block boundaries of `partition` along dimension `dim` (sorted, unique,
 // interior points only — domain endpoints excluded).

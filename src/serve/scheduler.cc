@@ -1,0 +1,53 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hydra {
+
+FairScheduler::FairScheduler(int max_inflight)
+    : max_inflight_(std::max(1, max_inflight)) {}
+
+void FairScheduler::Admit(uint64_t session, const std::function<void()>& fn) {
+  Ticket ticket;
+  ticket.session = session;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    waiting_[session].push_back(&ticket);
+    GrantLocked();
+    if (!ticket.granted) {
+      ++admission_waits_;
+      granted_cv_.wait(lock, [&ticket] { return ticket.granted; });
+    }
+  }
+  fn();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    GrantLocked();
+  }
+}
+
+void FairScheduler::GrantLocked() {
+  bool granted_any = false;
+  while (inflight_ < max_inflight_ && !waiting_.empty()) {
+    auto it = waiting_.lower_bound(rr_next_);
+    if (it == waiting_.end()) it = waiting_.begin();  // wrap the rotation
+    Ticket* ticket = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) waiting_.erase(it);
+    rr_next_ = ticket->session + 1;
+    ticket->granted = true;
+    ++inflight_;
+    granted_any = true;
+  }
+  if (granted_any) granted_cv_.notify_all();
+}
+
+uint64_t FairScheduler::admission_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admission_waits_;
+}
+
+}  // namespace hydra

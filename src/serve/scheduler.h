@@ -1,0 +1,70 @@
+// FairScheduler — admission control for the dynamic-regeneration service.
+//
+// Every unit of serving work (one cursor morsel, one point lookup, one
+// engine pipeline) passes through Admit(): the caller blocks until a slot
+// of the bounded inflight window is granted, runs its work, and releases
+// the slot. Grants rotate round-robin over the sessions that have waiters,
+// so a session streaming a giant scan (many back-to-back requests) cannot
+// starve point-lookup sessions: after each grant the rotation cursor moves
+// past the granted session, and its next request queues behind every other
+// waiting session's. The window bound is the backpressure mechanism — work
+// admitted concurrently never exceeds max_inflight, no matter how many
+// clients are connected.
+//
+// Determinism: the scheduler orders *work*, never results. Each request's
+// output is a pure function of (summary, cursor spec, rank), so any grant
+// interleaving produces the same per-client streams.
+
+#ifndef HYDRA_SERVE_SCHEDULER_H_
+#define HYDRA_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace hydra {
+
+class FairScheduler {
+ public:
+  explicit FairScheduler(int max_inflight);
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  // Blocks until `session`'s turn at a free slot, runs `fn` on the calling
+  // thread, then releases the slot and grants the next waiter. Reentrant
+  // calls from inside `fn` would deadlock the calling session; serving
+  // work never nests admissions.
+  void Admit(uint64_t session, const std::function<void()>& fn);
+
+  int max_inflight() const { return max_inflight_; }
+  // Grants that found the window full and had to queue.
+  uint64_t admission_waits() const;
+
+ private:
+  struct Ticket {
+    uint64_t session = 0;
+    bool granted = false;
+  };
+
+  // Grants free slots to waiting tickets in round-robin session order.
+  // Caller holds mu_; notifies when any ticket was granted.
+  void GrantLocked();
+
+  const int max_inflight_;
+  mutable std::mutex mu_;
+  std::condition_variable granted_cv_;
+  // session -> FIFO of that session's waiting tickets. Ordered map: the
+  // rotation cursor walks sessions in id order, wrapping.
+  std::map<uint64_t, std::deque<Ticket*>> waiting_;
+  uint64_t rr_next_ = 0;  // first session id to consider for the next grant
+  int inflight_ = 0;
+  uint64_t admission_waits_ = 0;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_SERVE_SCHEDULER_H_

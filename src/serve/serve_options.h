@@ -1,0 +1,57 @@
+// Configuration and observability types of the dynamic-regeneration service
+// (docs/serve.md). One ServeOptions configures the whole server: the shared
+// worker pool, the summary cache budget, the admission window, and the
+// per-request work bound.
+
+#ifndef HYDRA_SERVE_SERVE_OPTIONS_H_
+#define HYDRA_SERVE_SERVE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace hydra {
+
+struct ServeOptions {
+  // Workers in the shared pool engine pipelines fan out on. 0 = one per
+  // hardware thread; 1 = fully sequential serving.
+  int num_threads = 0;
+  // Byte budget of the summary cache. Unpinned summaries beyond the budget
+  // are evicted LRU-first and transparently reloaded from disk on the next
+  // acquire; pinned (in-use) summaries are never evicted, so the resident
+  // set may transiently exceed the budget under load.
+  uint64_t cache_bytes = 64ull << 20;
+  // Source ranks generated per admitted cursor grant: the unit of work one
+  // NextBatch admission buys, and therefore the granularity at which the
+  // scheduler interleaves sessions. Stream *content* never depends on it.
+  int64_t batch_rows = 4096;
+  // Concurrently admitted requests; 0 = the resolved pool width. This is
+  // the backpressure knob: clients beyond the window queue in the fair
+  // round-robin admission queue.
+  int max_inflight = 0;
+  // Fan-out width of one session's engine-pipeline scheduler slot
+  // (ExecContext external-slot mode over the shared pool). 1 = pipelines
+  // run sequentially on the client's thread.
+  int query_parallelism = 2;
+  // Morsel size inside engine pipelines (ExecOptions::morsel_rows).
+  int64_t morsel_rows = 4096;
+};
+
+// Monotonic counters snapshotted by RegenServer::stats(). Plain values —
+// the server keeps atomics internally.
+struct ServeStats {
+  // Summary cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;  // disk loads, including reloads after eviction
+  uint64_t evictions = 0;
+  uint64_t cached_bytes = 0;    // resident bytes right now
+  uint64_t resident_summaries = 0;
+  // Serving.
+  uint64_t batches_served = 0;  // non-empty cursor batches handed out
+  uint64_t rows_served = 0;     // rows across those batches
+  uint64_t lookups_served = 0;
+  uint64_t queries_served = 0;  // full engine pipelines
+  uint64_t admission_waits = 0;  // grants that queued behind a full window
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_SERVE_SERVE_OPTIONS_H_

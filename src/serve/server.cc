@@ -1,0 +1,269 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "hydra/tuple_generator.h"
+
+namespace hydra {
+
+namespace {
+
+int ResolvePoolThreads(const ServeOptions& options) {
+  const int threads = options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                               : options.num_threads;
+  return std::max(1, threads);
+}
+
+int ResolveInflight(const ServeOptions& options, int pool_threads) {
+  return options.max_inflight == 0 ? pool_threads
+                                   : std::max(1, options.max_inflight);
+}
+
+}  // namespace
+
+RegenServer::RegenServer(ServeOptions options)
+    : options_(options),
+      store_(options.cache_bytes),
+      scheduler_(ResolveInflight(options, ResolvePoolThreads(options))) {
+  if (options_.batch_rows < 1) options_.batch_rows = 1;
+  const int threads = ResolvePoolThreads(options_);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+RegenServer::~RegenServer() = default;
+
+Status RegenServer::RegisterSummary(const std::string& id,
+                                    const std::string& path) {
+  return store_.Register(id, path);
+}
+
+StatusOr<uint64_t> RegenServer::OpenSession(const std::string& summary_id) {
+  // Load (or touch) the summary now so registration errors and corrupt
+  // files fail the open, not the first batch.
+  HYDRA_ASSIGN_OR_RETURN(const SummaryLease lease, store_.Acquire(summary_id));
+  (void)lease;
+  auto session = std::make_shared<Session>();
+  session->summary_id = summary_id;
+  session->slot = std::make_unique<ExecContext>(
+      ExecOptions{options_.query_parallelism, options_.morsel_rows},
+      pool_.get(), options_.query_parallelism);
+  std::lock_guard<std::mutex> lock(mu_);
+  session->id = next_session_id_++;
+  sessions_.emplace(session->id, session);
+  return session->id;
+}
+
+Status RegenServer::CloseSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(session_id) == 0) {
+    return Status::NotFound("no such session");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<RegenServer::Session>> RegenServer::FindSession(
+    uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  return it->second;
+}
+
+StatusOr<uint64_t> RegenServer::OpenCursor(uint64_t session_id,
+                                           CursorSpec spec) {
+  HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         FindSession(session_id));
+  HYDRA_ASSIGN_OR_RETURN(const SummaryLease lease,
+                         store_.Acquire(session->summary_id));
+  const Schema& schema = lease.summary().schema;
+  if (spec.relation < 0 || spec.relation >= schema.num_relations()) {
+    return Status::InvalidArgument("cursor relation out of range");
+  }
+  const int width = schema.relation(spec.relation).num_attributes();
+  for (const int col : spec.filter.Columns()) {
+    if (col < 0 || col >= width) {
+      return Status::InvalidArgument("cursor filter column out of range");
+    }
+  }
+  for (const int col : spec.projection) {
+    if (col < 0 || col >= width) {
+      return Status::InvalidArgument("cursor projection column out of range");
+    }
+  }
+  const int64_t rows =
+      static_cast<int64_t>(lease.generator().RowCount(spec.relation));
+  Cursor cursor;
+  cursor.end_rank =
+      spec.end_rank < 0 ? rows : std::min<int64_t>(spec.end_rank, rows);
+  cursor.next_rank =
+      std::max<int64_t>(0, std::min(spec.begin_rank, cursor.end_rank));
+  cursor.source_width = width;
+  cursor.out_width = spec.projection.empty()
+                         ? width
+                         : static_cast<int>(spec.projection.size());
+  cursor.spec = std::move(spec);
+  std::lock_guard<std::mutex> lock(session->mu);
+  const uint64_t cursor_id = session->next_cursor_id++;
+  session->cursors.emplace(cursor_id, std::move(cursor));
+  return cursor_id;
+}
+
+StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
+                                      RowBlock* out) {
+  HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         FindSession(session_id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  const auto it = session->cursors.find(cursor_id);
+  if (it == session->cursors.end()) return Status::NotFound("no such cursor");
+  Cursor& cursor = it->second;
+  out->Reset(cursor.out_width);
+
+  // One admission grant per source morsel: a selective filter costs several
+  // grants (other sessions interleave between them), never one unbounded
+  // scan. The summary lease is taken inside the grant, so cache loads are
+  // admission-controlled work too — and eviction between grants is fine:
+  // the cursor addresses ranks, not a generator instance.
+  Status status = Status::OK();
+  while (out->empty() && cursor.next_rank < cursor.end_rank && status.ok()) {
+    scheduler_.Admit(session->id, [&] {
+      StatusOr<SummaryLease> lease = store_.Acquire(session->summary_id);
+      if (!lease.ok()) {
+        status = lease.status();
+        return;
+      }
+      const int64_t morsel = std::min<int64_t>(
+          options_.batch_rows, cursor.end_rank - cursor.next_rank);
+      cursor.scratch.Reset(cursor.source_width);
+      // Reuse the streaming cursor while the same generator instance is
+      // resident; after an eviction the lease hands back a different
+      // instance (same bytes — it reloaded the same file) and the state
+      // is rebuilt at next_rank. Comparing against a possibly-dangling
+      // old pointer is fine: it is never dereferenced, and on an address
+      // match the cached state was derived from identical summary content.
+      const TupleGenerator& generator = lease->generator();
+      if (cursor.gen_cursor == nullptr || cursor.gen_instance != &generator ||
+          cursor.gen_cursor->position() != cursor.next_rank) {
+        cursor.gen_cursor = std::make_unique<TupleGenerator::Cursor>(
+            generator, cursor.spec.relation, cursor.next_rank);
+        cursor.gen_instance = &generator;
+      }
+      const int64_t generated = cursor.gen_cursor->Fill(
+          morsel, cursor.scratch.AppendUninitialized(morsel));
+      cursor.scratch.Truncate(generated);
+      cursor.next_rank = cursor.gen_cursor->position();
+      const bool unfiltered = cursor.spec.filter.IsTrue();
+      const auto& projection = cursor.spec.projection;
+      for (int64_t r = 0; r < generated; ++r) {
+        const Value* row = cursor.scratch.RowPtr(r);
+        if (!unfiltered && !cursor.spec.filter.Eval(row)) continue;
+        if (projection.empty()) {
+          out->AppendRow(row);
+        } else {
+          Value* dst = out->AppendRow();
+          for (size_t c = 0; c < projection.size(); ++c) {
+            dst[c] = row[projection[c]];
+          }
+        }
+      }
+    });
+  }
+  HYDRA_RETURN_IF_ERROR(status);
+  if (out->empty()) return false;
+  batches_served_.fetch_add(1, std::memory_order_relaxed);
+  rows_served_.fetch_add(static_cast<uint64_t>(out->num_rows()),
+                         std::memory_order_relaxed);
+  return true;
+}
+
+StatusOr<int64_t> RegenServer::CursorRank(uint64_t session_id,
+                                          uint64_t cursor_id) {
+  HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         FindSession(session_id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  const auto it = session->cursors.find(cursor_id);
+  if (it == session->cursors.end()) return Status::NotFound("no such cursor");
+  return it->second.next_rank;
+}
+
+Status RegenServer::CloseCursor(uint64_t session_id, uint64_t cursor_id) {
+  HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         FindSession(session_id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->cursors.erase(cursor_id) == 0) {
+    return Status::NotFound("no such cursor");
+  }
+  return Status::OK();
+}
+
+Status RegenServer::Lookup(uint64_t session_id, int relation, int64_t pk,
+                           Row* out) {
+  HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         FindSession(session_id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  Status status = Status::OK();
+  scheduler_.Admit(session->id, [&] {
+    StatusOr<SummaryLease> lease = store_.Acquire(session->summary_id);
+    if (!lease.ok()) {
+      status = lease.status();
+      return;
+    }
+    const Schema& schema = lease->summary().schema;
+    if (relation < 0 || relation >= schema.num_relations()) {
+      status = Status::InvalidArgument("lookup relation out of range");
+      return;
+    }
+    if (pk < 0 ||
+        pk >= static_cast<int64_t>(lease->generator().RowCount(relation))) {
+      status = Status::OutOfRange("lookup pk out of range");
+      return;
+    }
+    lease->generator().GetTuple(relation, pk, out);
+  });
+  HYDRA_RETURN_IF_ERROR(status);
+  lookups_served_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+StatusOr<AnnotatedQueryPlan> RegenServer::ExecuteQuery(uint64_t session_id,
+                                                       const Query& query) {
+  HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         FindSession(session_id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  StatusOr<AnnotatedQueryPlan> result =
+      Status::Internal("query never admitted");
+  scheduler_.Admit(session->id, [&] {
+    StatusOr<SummaryLease> lease = store_.Acquire(session->summary_id);
+    if (!lease.ok()) {
+      result = lease.status();
+      return;
+    }
+    // The whole pipeline runs under one grant on this client's thread; its
+    // intra-query fan-out goes to the shared pool through the session's
+    // scheduler slot. Pool tasks never block on other pool tasks, so slots
+    // cannot deadlock the pool.
+    const Executor executor(lease->summary().schema, session->slot.get());
+    result = executor.Execute(query, lease->generator());
+  });
+  if (result.ok()) queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+ServeStats RegenServer::stats() const {
+  ServeStats s;
+  const SummaryStore::Stats store = store_.stats();
+  s.cache_hits = store.hits;
+  s.cache_misses = store.misses;
+  s.evictions = store.evictions;
+  s.cached_bytes = store.cached_bytes;
+  s.resident_summaries = store.resident;
+  s.batches_served = batches_served_.load(std::memory_order_relaxed);
+  s.rows_served = rows_served_.load(std::memory_order_relaxed);
+  s.lookups_served = lookups_served_.load(std::memory_order_relaxed);
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.admission_waits = scheduler_.admission_waits();
+  return s;
+}
+
+}  // namespace hydra

@@ -1,0 +1,150 @@
+// RegenServer — the dynamic-regeneration service (docs/serve.md).
+//
+// One process serves many concurrent clients against many virtual
+// databases: a client opens a session on a registered summary id, then
+// streams rows through cursors (bounded filtered/projected rank scans over
+// the TupleGenerator), issues point lookups, or runs full engine pipelines
+// (the morsel-driven executor on a scheduler slot over the server's shared
+// pool). Nothing is materialized — every served row is generated on demand
+// from the summary, the paper's Section 6 `datagen` path made multi-tenant.
+//
+// Determinism contract: a cursor's concatenated row stream is a pure
+// function of (summary file, CursorSpec) — identical across any
+// {num_threads, max_inflight, cache_bytes, batch_rows} configuration, any
+// interleaving with other sessions, and across evictions: cursors address
+// the rank space, so a cursor whose summary was evicted and reloaded (or a
+// brand-new cursor opened at CursorRank()) continues byte-identically.
+//
+// Threading: the server is thread-safe; each session is a single-client
+// object (concurrent calls into one session serialize on its lock). All
+// work is admission-controlled by the FairScheduler, so total concurrent
+// work never exceeds ServeOptions::max_inflight.
+
+#ifndef HYDRA_SERVE_SERVER_H_
+#define HYDRA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/executor.h"
+#include "engine/operators.h"
+#include "query/predicate.h"
+#include "query/query.h"
+#include "serve/scheduler.h"
+#include "serve/serve_options.h"
+#include "serve/summary_store.h"
+
+namespace hydra {
+
+// What a cursor streams: the rank range [begin_rank, end_rank) of one
+// relation, filtered by a pushed-down predicate over the relation's
+// attributes, projected to `projection` (empty = all attributes).
+struct CursorSpec {
+  int relation = -1;
+  DnfPredicate filter = DnfPredicate::True();
+  std::vector<int> projection;
+  int64_t begin_rank = 0;
+  int64_t end_rank = -1;  // -1 = the relation's row count
+};
+
+class RegenServer {
+ public:
+  explicit RegenServer(ServeOptions options = {});
+  ~RegenServer();
+
+  RegenServer(const RegenServer&) = delete;
+  RegenServer& operator=(const RegenServer&) = delete;
+
+  // Registers the summary file at `path` under `id` (loaded lazily on
+  // first use; see SummaryStore).
+  Status RegisterSummary(const std::string& id, const std::string& path);
+
+  // Opens a session against a registered summary. Validates that the
+  // summary loads (so a corrupt file fails here, not mid-stream).
+  StatusOr<uint64_t> OpenSession(const std::string& summary_id);
+  Status CloseSession(uint64_t session_id);
+
+  // Opens a cursor; the spec is validated against the summary's schema.
+  StatusOr<uint64_t> OpenCursor(uint64_t session_id, CursorSpec spec);
+
+  // Fills `out` with the next non-empty batch and returns true, or returns
+  // false (out empty) at end of stream. Each admitted grant generates at
+  // most ServeOptions::batch_rows source ranks, so selective filters cost
+  // several grants — between which other sessions interleave — rather than
+  // one unbounded one. Batch boundaries are an implementation detail; only
+  // the concatenated stream is contractual.
+  StatusOr<bool> NextBatch(uint64_t session_id, uint64_t cursor_id,
+                           RowBlock* out);
+
+  // Rank of the next row the cursor would emit — the resume token: a new
+  // cursor opened with begin_rank = CursorRank() continues the stream.
+  StatusOr<int64_t> CursorRank(uint64_t session_id, uint64_t cursor_id);
+  Status CloseCursor(uint64_t session_id, uint64_t cursor_id);
+
+  // Point lookup: the tuple whose PK is `pk` (PK values are ranks).
+  Status Lookup(uint64_t session_id, int relation, int64_t pk, Row* out);
+
+  // Full engine pipeline over the session's virtual database: executes
+  // `query` with the morsel-driven executor on this session's scheduler
+  // slot (ExecContext external-slot mode over the shared pool) and returns
+  // the annotated plan. Results are identical at any server configuration.
+  StatusOr<AnnotatedQueryPlan> ExecuteQuery(uint64_t session_id,
+                                            const Query& query);
+
+  ServeStats stats() const;
+  const ServeOptions& options() const { return options_; }
+  // Resolved worker count of the shared pool (1 = sequential serving).
+  int pool_threads() const { return pool_ ? pool_->num_threads() : 1; }
+
+ private:
+  struct Cursor {
+    CursorSpec spec;
+    int64_t next_rank = 0;
+    int64_t end_rank = 0;
+    int source_width = 0;
+    int out_width = 0;
+    RowBlock scratch;  // source-width generation buffer, reused per morsel
+    // Streaming state over the *currently resident* generator, kept across
+    // grants so consecutive batches resume in O(1) (no per-batch
+    // prefix-sum search). gen_instance identifies the generator it was
+    // built over; a mismatch (the summary was evicted and reloaded) or a
+    // rank mismatch (external reposition) rebuilds it via Seek.
+    std::unique_ptr<TupleGenerator::Cursor> gen_cursor;
+    const TupleGenerator* gen_instance = nullptr;
+  };
+  struct Session {
+    uint64_t id = 0;
+    std::string summary_id;
+    std::mutex mu;  // serializes calls into this session
+    std::unordered_map<uint64_t, Cursor> cursors;
+    uint64_t next_cursor_id = 1;
+    // This session's engine-pipeline slot over the server's shared pool.
+    std::unique_ptr<ExecContext> slot;
+  };
+
+  StatusOr<std::shared_ptr<Session>> FindSession(uint64_t session_id);
+
+  ServeOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when serving sequentially
+  SummaryStore store_;
+  FairScheduler scheduler_;
+
+  std::mutex mu_;  // guards sessions_ / next_session_id_
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::atomic<uint64_t> batches_served_{0};
+  std::atomic<uint64_t> rows_served_{0};
+  std::atomic<uint64_t> lookups_served_{0};
+  std::atomic<uint64_t> queries_served_{0};
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_SERVE_SERVER_H_

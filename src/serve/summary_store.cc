@@ -1,0 +1,166 @@
+#include "serve/summary_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "hydra/summary_io.h"
+
+namespace hydra {
+
+namespace serve_internal {
+
+// One loaded summary. The generator references the summary member, so the
+// entry lives on the heap and is never moved after construction.
+struct StoreEntry {
+  std::string id;
+  DatabaseSummary summary;
+  std::unique_ptr<TupleGenerator> generator;
+  uint64_t bytes = 0;
+  int pins = 0;
+  uint64_t lru_stamp = 0;
+  bool loading = true;
+};
+
+}  // namespace serve_internal
+
+using serve_internal::StoreEntry;
+
+SummaryLease::SummaryLease(SummaryLease&& other) noexcept
+    : store_(other.store_), entry_(other.entry_) {
+  other.store_ = nullptr;
+  other.entry_ = nullptr;
+}
+
+SummaryLease& SummaryLease::operator=(SummaryLease&& other) noexcept {
+  if (this != &other) {
+    if (entry_ != nullptr) store_->Release(entry_);
+    store_ = other.store_;
+    entry_ = other.entry_;
+    other.store_ = nullptr;
+    other.entry_ = nullptr;
+  }
+  return *this;
+}
+
+SummaryLease::~SummaryLease() {
+  if (entry_ != nullptr) store_->Release(entry_);
+}
+
+const DatabaseSummary& SummaryLease::summary() const {
+  HYDRA_DCHECK(entry_ != nullptr);
+  return entry_->summary;
+}
+
+const TupleGenerator& SummaryLease::generator() const {
+  HYDRA_DCHECK(entry_ != nullptr);
+  return *entry_->generator;
+}
+
+SummaryStore::SummaryStore(uint64_t cache_bytes)
+    : cache_bytes_(cache_bytes) {}
+
+SummaryStore::~SummaryStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, entry] : resident_) {
+    HYDRA_CHECK_MSG(entry->pins == 0,
+                    "SummaryStore destroyed with live lease on " << id);
+  }
+}
+
+Status SummaryStore::Register(const std::string& id, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!paths_.emplace(id, path).second) {
+    return Status::InvalidArgument("summary id already registered: " + id);
+  }
+  return Status::OK();
+}
+
+StatusOr<SummaryLease> SummaryStore::Acquire(const std::string& id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = resident_.find(id);
+    if (it != resident_.end()) {
+      StoreEntry* entry = it->second.get();
+      if (entry->loading) {
+        // Another thread is reading the file; wait for it to finish (or
+        // fail, which erases the placeholder) and re-check.
+        loaded_cv_.wait(lock);
+        continue;
+      }
+      ++entry->pins;
+      entry->lru_stamp = ++lru_clock_;
+      ++hits_;
+      return SummaryLease(this, entry);
+    }
+    const auto path_it = paths_.find(id);
+    if (path_it == paths_.end()) {
+      return Status::NotFound("summary id not registered: " + id);
+    }
+    // Miss: install a loading placeholder, read the file outside the lock,
+    // then publish. Waiters above re-find the entry, so the placeholder's
+    // address is the synchronization point.
+    auto placeholder = std::make_unique<StoreEntry>();
+    placeholder->id = id;
+    StoreEntry* entry = placeholder.get();
+    resident_.emplace(id, std::move(placeholder));
+    const std::string path = path_it->second;
+    lock.unlock();
+    StatusOr<DatabaseSummary> loaded = ReadSummary(path);
+    lock.lock();
+    if (!loaded.ok()) {
+      resident_.erase(id);
+      loaded_cv_.notify_all();
+      return loaded.status();
+    }
+    entry->summary = std::move(*loaded);
+    entry->generator = std::make_unique<TupleGenerator>(entry->summary);
+    entry->bytes = entry->summary.ByteSize();
+    entry->loading = false;
+    entry->pins = 1;
+    entry->lru_stamp = ++lru_clock_;
+    total_bytes_ += entry->bytes;
+    ++misses_;
+    EvictToFitLocked();
+    loaded_cv_.notify_all();
+    return SummaryLease(this, entry);
+  }
+}
+
+void SummaryStore::EvictToFitLocked() {
+  while (total_bytes_ > cache_bytes_) {
+    StoreEntry* victim = nullptr;
+    for (const auto& [id, entry] : resident_) {
+      if (entry->pins > 0 || entry->loading) continue;
+      if (victim == nullptr || entry->lru_stamp < victim->lru_stamp) {
+        victim = entry.get();
+      }
+    }
+    if (victim == nullptr) return;  // everything left is pinned or loading
+    total_bytes_ -= victim->bytes;
+    ++evictions_;
+    const std::string victim_id = victim->id;  // outlive the entry
+    resident_.erase(victim_id);
+  }
+}
+
+void SummaryStore::Release(StoreEntry* entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HYDRA_DCHECK(entry->pins > 0);
+  --entry->pins;
+  // An over-budget cache could not shrink past this entry while it was
+  // pinned; retry now that it is evictable.
+  if (entry->pins == 0) EvictToFitLocked();
+}
+
+SummaryStore::Stats SummaryStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.cached_bytes = total_bytes_;
+  s.resident = resident_.size();
+  return s;
+}
+
+}  // namespace hydra

@@ -78,8 +78,10 @@ TEST(PreprocessorTest, JoinCcRewrittenOntoRootView) {
   }
   ASSERT_NE(joint, nullptr);
   Row probe(rv.num_columns(), 0);
-  const int s_a = rv.ColumnOf(AttrRef{s, env.schema.relation(s).AttrIndex("A")});
-  const int t_c = rv.ColumnOf(AttrRef{t, env.schema.relation(t).AttrIndex("C")});
+  const int s_a =
+      rv.ColumnOf(AttrRef{s, env.schema.relation(s).AttrIndex("A")});
+  const int t_c =
+      rv.ColumnOf(AttrRef{t, env.schema.relation(t).AttrIndex("C")});
   ASSERT_GE(s_a, 0);
   ASSERT_GE(t_c, 0);
   probe[s_a] = 30;

@@ -1,0 +1,502 @@
+// Tests for the dynamic-regeneration service (src/serve/): summary-cache
+// LRU/pinning behavior, fair-scheduler backpressure, and — the serving
+// contract — byte-identical per-client streams across every
+// {threads, clients, cache_bytes, batch_rows} configuration, including
+// cursors that survive LRU eviction and reload of their summary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hydra/regenerator.h"
+#include "hydra/summary_io.h"
+#include "hydra/tuple_generator.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/summary_store.h"
+#include "workload/toy.h"
+
+namespace hydra {
+namespace {
+
+constexpr uint64_t kFnvSeed = 14695981039346656037ull;
+
+uint64_t HashValues(uint64_t h, const Value* v, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t x = static_cast<uint64_t>(v[i]);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (x >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hydra_serve_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    env_ = MakeToyEnvironment();
+    HydraRegenerator hydra(env_.schema);
+    auto result = hydra.Regenerate(env_.ccs);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    summary_ = std::move(result->summary);
+    path_ = (dir_ / "toy.summary").string();
+    ASSERT_TRUE(WriteSummary(summary_, path_).ok());
+    summary_bytes_ = summary_.ByteSize();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Registers both toy-backed summary ids on a freshly built server.
+  void RegisterBoth(RegenServer& server) {
+    ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
+    ASSERT_TRUE(server.RegisterSummary("beta", path_).ok());
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+  ToyEnvironment env_;
+  DatabaseSummary summary_;
+  uint64_t summary_bytes_ = 0;
+};
+
+// ---- deterministic client workload ---------------------------------------
+//
+// 16 fixed work items; item c's result depends only on c (never on how many
+// clients run concurrently), so its hash must match across every server
+// configuration. Kinds rotate: filtered+projected range scan, point-lookup
+// burst, full engine pipeline.
+
+constexpr int kNumItems = 16;
+
+uint64_t RunItem(RegenServer& server, const ToyEnvironment& env, int c,
+                 std::string* error) {
+  const auto fail = [&](const Status& s) {
+    *error = "item " + std::to_string(c) + ": " + s.ToString();
+    return uint64_t{0};
+  };
+  auto sid = server.OpenSession(c % 2 == 0 ? "alpha" : "beta");
+  if (!sid.ok()) return fail(sid.status());
+  uint64_t h = kFnvSeed;
+  const int kind = c % 3;
+  if (kind == 0) {
+    CursorSpec spec;
+    spec.relation = env.schema.RelationIndex("R");
+    const int64_t lo = (c * 37) % 300;
+    spec.filter = PredicateOf(AtomRange(/*column=*/1, lo, lo + 200));
+    spec.projection = {0, 1};
+    spec.begin_rank = c * 1000;
+    spec.end_rank = spec.begin_rank + 9000;
+    auto cid = server.OpenCursor(*sid, spec);
+    if (!cid.ok()) return fail(cid.status());
+    RowBlock block;
+    for (;;) {
+      auto more = server.NextBatch(*sid, *cid, &block);
+      if (!more.ok()) return fail(more.status());
+      if (!*more) break;
+      h = HashValues(h, block.RowPtr(0),
+                     block.num_rows() * block.num_columns());
+    }
+  } else if (kind == 1) {
+    const int rel = env.schema.RelationIndex(c % 2 == 0 ? "S" : "T");
+    const int64_t rows = c % 2 == 0 ? 700 : 1500;
+    Row row;
+    for (int i = 0; i < 300; ++i) {
+      const Status s =
+          server.Lookup(*sid, rel, (i * 97 + c * 13) % rows, &row);
+      if (!s.ok()) return fail(s);
+      h = HashValues(h, row.data(), static_cast<int64_t>(row.size()));
+    }
+  } else {
+    auto aqp = server.ExecuteQuery(*sid, env.query);
+    if (!aqp.ok()) return fail(aqp.status());
+    for (const AqpStep& step : aqp->steps) {
+      h = HashString(h, step.label);
+      h = HashValues(h, reinterpret_cast<const Value*>(&step.cardinality), 1);
+    }
+  }
+  EXPECT_TRUE(server.CloseSession(*sid).ok());
+  return h;
+}
+
+// Distributes the kNumItems work items round-robin over `clients` threads.
+std::vector<uint64_t> RunClients(RegenServer& server,
+                                 const ToyEnvironment& env, int clients,
+                                 std::vector<std::string>* errors) {
+  std::vector<uint64_t> hashes(kNumItems, 0);
+  errors->assign(kNumItems, "");
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      for (int c = t; c < kNumItems; c += clients) {
+        hashes[c] = RunItem(server, env, c, &(*errors)[c]);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  return hashes;
+}
+
+// ---- serving determinism --------------------------------------------------
+
+TEST_F(ServeTest, StreamsByteIdenticalAcrossConfigurations) {
+  const uint64_t big = 64ull << 20;
+  const uint64_t tiny = summary_bytes_ + 64;  // fits exactly one summary
+  struct Config {
+    int threads;
+    int clients;
+    uint64_t cache_bytes;
+    int64_t batch_rows;
+  };
+  std::vector<Config> configs;
+  for (int threads : {1, 2, 8}) {
+    for (int clients : {1, 4, 16}) {
+      configs.push_back({threads, clients, big, 4096});
+    }
+  }
+  configs.push_back({8, 16, tiny, 513});   // evicting cache, odd batches
+  configs.push_back({2, 16, tiny, 1009});
+
+  std::vector<uint64_t> reference;
+  for (const Config& config : configs) {
+    ServeOptions options;
+    options.num_threads = config.threads;
+    options.cache_bytes = config.cache_bytes;
+    options.batch_rows = config.batch_rows;
+    RegenServer server(options);
+    RegisterBoth(server);
+    std::vector<std::string> errors;
+    const std::vector<uint64_t> hashes =
+        RunClients(server, env_, config.clients, &errors);
+    for (const std::string& e : errors) EXPECT_EQ(e, "");
+    if (reference.empty()) {
+      reference = hashes;
+      continue;
+    }
+    EXPECT_EQ(hashes, reference)
+        << "streams diverged at threads=" << config.threads
+        << " clients=" << config.clients
+        << " cache=" << config.cache_bytes
+        << " batch=" << config.batch_rows;
+    const ServeStats stats = server.stats();
+    EXPECT_GT(stats.rows_served, 0u);
+    EXPECT_GT(stats.lookups_served, 0u);
+    EXPECT_GT(stats.queries_served, 0u);
+  }
+}
+
+TEST_F(ServeTest, CursorStreamMatchesGeneratorScan) {
+  RegenServer server{ServeOptions{}};
+  RegisterBoth(server);
+  auto sid = server.OpenSession("alpha");
+  ASSERT_TRUE(sid.ok());
+  const int r = env_.schema.RelationIndex("R");
+  CursorSpec spec;
+  spec.relation = r;
+  spec.filter = PredicateOf(AtomRange(/*column=*/1, 100, 400));
+  spec.projection = {1, 2};
+  auto cid = server.OpenCursor(*sid, spec);
+  ASSERT_TRUE(cid.ok());
+  std::vector<Value> served;
+  RowBlock block;
+  for (;;) {
+    auto more = server.NextBatch(*sid, *cid, &block);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    served.insert(served.end(), block.data().begin(), block.data().end());
+  }
+
+  TupleGenerator gen(summary_);
+  std::vector<Value> expected;
+  gen.Scan(r, [&](const Row& row) {
+    if (row[1] >= 100 && row[1] < 400) {
+      expected.push_back(row[1]);
+      expected.push_back(row[2]);
+    }
+  });
+  EXPECT_EQ(served, expected);
+}
+
+TEST_F(ServeTest, CursorSurvivesEvictionAndReload) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = summary_bytes_ + 64;  // room for one summary only
+  options.batch_rows = 1000;
+  RegenServer server(options);
+  RegisterBoth(server);
+  const int r = env_.schema.RelationIndex("R");
+  CursorSpec spec;
+  spec.relation = r;
+
+  // Uninterrupted reference stream.
+  std::vector<Value> expected;
+  {
+    TupleGenerator gen(summary_);
+    gen.Scan(r, [&](const Row& row) {
+      expected.insert(expected.end(), row.begin(), row.end());
+    });
+  }
+
+  auto alpha = server.OpenSession("alpha");
+  ASSERT_TRUE(alpha.ok());
+  auto cursor = server.OpenCursor(*alpha, spec);
+  ASSERT_TRUE(cursor.ok());
+  std::vector<Value> served;
+  RowBlock block;
+  for (int i = 0; i < 3; ++i) {
+    auto more = server.NextBatch(*alpha, *cursor, &block);
+    ASSERT_TRUE(more.ok() && *more);
+    served.insert(served.end(), block.data().begin(), block.data().end());
+  }
+
+  // Traffic on the other summary evicts alpha's (unpinned between calls).
+  auto beta = server.OpenSession("beta");
+  ASSERT_TRUE(beta.ok());
+  auto beta_cursor = server.OpenCursor(*beta, spec);
+  ASSERT_TRUE(beta_cursor.ok());
+  auto beta_batch = server.NextBatch(*beta, *beta_cursor, &block);
+  ASSERT_TRUE(beta_batch.ok() && *beta_batch);
+  EXPECT_GE(server.stats().evictions, 1u);
+
+  // The cursor continues over a freshly reloaded summary, byte-identically.
+  for (;;) {
+    auto more = server.NextBatch(*alpha, *cursor, &block);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    served.insert(served.end(), block.data().begin(), block.data().end());
+  }
+  EXPECT_EQ(served, expected);
+  EXPECT_GE(server.stats().cache_misses, 3u);  // alpha, beta, alpha again
+}
+
+TEST_F(ServeTest, CursorReopensAtSavedRank) {
+  RegenServer server{ServeOptions{}};
+  RegisterBoth(server);
+  const int r = env_.schema.RelationIndex("R");
+  CursorSpec spec;
+  spec.relation = r;
+
+  auto sid = server.OpenSession("alpha");
+  ASSERT_TRUE(sid.ok());
+  auto cid = server.OpenCursor(*sid, spec);
+  ASSERT_TRUE(cid.ok());
+  std::vector<Value> first_half;
+  RowBlock block;
+  for (int i = 0; i < 5; ++i) {
+    auto more = server.NextBatch(*sid, *cid, &block);
+    ASSERT_TRUE(more.ok() && *more);
+    first_half.insert(first_half.end(), block.data().begin(),
+                      block.data().end());
+  }
+  auto rank = server.CursorRank(*sid, *cid);
+  ASSERT_TRUE(rank.ok());
+  ASSERT_TRUE(server.CloseSession(*sid).ok());
+
+  // A brand-new session resumes at the saved rank: the concatenation must
+  // equal one uninterrupted stream.
+  auto sid2 = server.OpenSession("alpha");
+  ASSERT_TRUE(sid2.ok());
+  CursorSpec resume = spec;
+  resume.begin_rank = *rank;
+  auto cid2 = server.OpenCursor(*sid2, resume);
+  ASSERT_TRUE(cid2.ok());
+  std::vector<Value> resumed = first_half;
+  for (;;) {
+    auto more = server.NextBatch(*sid2, *cid2, &block);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    resumed.insert(resumed.end(), block.data().begin(), block.data().end());
+  }
+
+  std::vector<Value> expected;
+  TupleGenerator gen(summary_);
+  gen.Scan(r, [&](const Row& row) {
+    expected.insert(expected.end(), row.begin(), row.end());
+  });
+  EXPECT_EQ(resumed, expected);
+}
+
+TEST_F(ServeTest, ExecuteQueryMatchesDirectExecutor) {
+  RegenServer server{ServeOptions{}};
+  RegisterBoth(server);
+  auto sid = server.OpenSession("alpha");
+  ASSERT_TRUE(sid.ok());
+  auto served = server.ExecuteQuery(*sid, env_.query);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  TupleGenerator gen(summary_);
+  Executor direct(summary_.schema);
+  auto expected = direct.Execute(env_.query, gen);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(served->steps.size(), expected->steps.size());
+  for (size_t i = 0; i < expected->steps.size(); ++i) {
+    EXPECT_EQ(served->steps[i].label, expected->steps[i].label);
+    EXPECT_EQ(served->steps[i].cardinality, expected->steps[i].cardinality);
+  }
+}
+
+// ---- summary store --------------------------------------------------------
+
+TEST_F(ServeTest, StoreEvictsLeastRecentlyUsed) {
+  SummaryStore store(2 * summary_bytes_ + 128);  // fits two summaries
+  ASSERT_TRUE(store.Register("a", path_).ok());
+  ASSERT_TRUE(store.Register("b", path_).ok());
+  ASSERT_TRUE(store.Register("c", path_).ok());
+
+  ASSERT_TRUE(store.Acquire("a").ok());  // load a
+  ASSERT_TRUE(store.Acquire("b").ok());  // load b
+  EXPECT_EQ(store.stats().resident, 2u);
+  ASSERT_TRUE(store.Acquire("c").ok());  // load c -> evicts a (LRU)
+  {
+    const SummaryStore::Stats s = store.stats();
+    EXPECT_EQ(s.resident, 2u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.misses, 3u);
+  }
+  ASSERT_TRUE(store.Acquire("b").ok());  // still resident: a hit
+  EXPECT_EQ(store.stats().hits, 1u);
+  ASSERT_TRUE(store.Acquire("a").ok());  // evicted above: a miss, evicts c
+  {
+    const SummaryStore::Stats s = store.stats();
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.evictions, 2u);
+    EXPECT_EQ(s.resident, 2u);
+  }
+}
+
+TEST_F(ServeTest, StoreNeverEvictsPinnedEntries) {
+  SummaryStore store(/*cache_bytes=*/1);  // nothing fits
+  ASSERT_TRUE(store.Register("a", path_).ok());
+  ASSERT_TRUE(store.Register("b", path_).ok());
+  auto a = store.Acquire("a");
+  ASSERT_TRUE(a.ok());
+  auto b = store.Acquire("b");
+  ASSERT_TRUE(b.ok());
+  // Both pinned: the cache overcommits rather than evicting in-use data.
+  EXPECT_EQ(store.stats().resident, 2u);
+  EXPECT_EQ(store.stats().evictions, 0u);
+  EXPECT_GT(a->summary().ByteSize(), 0u);
+  // A second acquire of a pinned id must share the entry: generator
+  // pointers stay stable while any lease is live.
+  auto b2 = store.Acquire("b");
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(&b->generator(), &b2->generator());
+  { auto drop = std::move(*b2); }
+  { auto drop = std::move(*a); }  // release a -> immediately evictable
+  EXPECT_EQ(store.stats().evictions, 1u);
+  { auto drop = std::move(*b); }
+  EXPECT_EQ(store.stats().evictions, 2u);
+  EXPECT_EQ(store.stats().resident, 0u);
+  EXPECT_EQ(store.stats().cached_bytes, 0u);
+}
+
+TEST_F(ServeTest, StoreConcurrentAcquireSingleLoad) {
+  SummaryStore store(64ull << 20);
+  ASSERT_TRUE(store.Register("a", path_).ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        auto lease = store.Acquire("a");
+        if (!lease.ok() || lease->generator().RowCount(0) == 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All concurrent first acquires collapsed onto one disk load.
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().hits, 159u);
+}
+
+// ---- scheduler ------------------------------------------------------------
+
+TEST(FairSchedulerTest, WindowBoundsConcurrentWork) {
+  FairScheduler scheduler(/*max_inflight=*/2);
+  std::atomic<int> inflight{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        scheduler.Admit(static_cast<uint64_t>(t), [&] {
+          const int now = inflight.fetch_add(1) + 1;
+          int seen = max_seen.load();
+          while (now > seen && !max_seen.compare_exchange_weak(seen, now)) {
+          }
+          // Hold the slot long enough that the other five threads pile up
+          // behind the 2-wide window, even on a single-core machine.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          inflight.fetch_sub(1);
+        });
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_LE(max_seen.load(), 2);
+  EXPECT_GT(scheduler.admission_waits(), 0u);
+}
+
+// ---- error paths ----------------------------------------------------------
+
+TEST_F(ServeTest, ErrorPaths) {
+  RegenServer server{ServeOptions{}};
+  RegisterBoth(server);
+  EXPECT_EQ(server.RegisterSummary("alpha", path_).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.OpenSession("nope").status().code(), StatusCode::kNotFound);
+
+  const std::string corrupt = (dir_ / "corrupt.summary").string();
+  std::FILE* f = std::fopen(corrupt.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("garbage!", 1, 8, f);
+  std::fclose(f);
+  ASSERT_TRUE(server.RegisterSummary("corrupt", corrupt).ok());
+  EXPECT_EQ(server.OpenSession("corrupt").status().code(),
+            StatusCode::kIoError);
+
+  auto sid = server.OpenSession("alpha");
+  ASSERT_TRUE(sid.ok());
+  CursorSpec bad_rel;
+  bad_rel.relation = 99;
+  EXPECT_EQ(server.OpenCursor(*sid, bad_rel).status().code(),
+            StatusCode::kInvalidArgument);
+  CursorSpec bad_filter;
+  bad_filter.relation = 0;
+  bad_filter.filter = PredicateOf(AtomRange(17, 0, 5));
+  EXPECT_EQ(server.OpenCursor(*sid, bad_filter).status().code(),
+            StatusCode::kInvalidArgument);
+  CursorSpec bad_proj;
+  bad_proj.relation = 0;
+  bad_proj.projection = {0, 42};
+  EXPECT_EQ(server.OpenCursor(*sid, bad_proj).status().code(),
+            StatusCode::kInvalidArgument);
+  RowBlock block;
+  EXPECT_EQ(server.NextBatch(*sid, 12345, &block).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server.Lookup(*sid, 0, int64_t{1} << 40, nullptr).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(server.CloseSession(*sid).ok());
+  EXPECT_EQ(server.CloseSession(*sid).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hydra

@@ -110,5 +110,180 @@ TEST_F(SummaryIoTest, TruncatedFileFails) {
   EXPECT_FALSE(ReadSummary(Path("cut.summary")).ok());
 }
 
+TEST_F(SummaryIoTest, EveryTruncationLengthFails) {
+  // No prefix of a valid file may crash or parse: the serve layer loads
+  // these at runtime. Sweep a stride of truncation points.
+  ASSERT_TRUE(WriteSummary(summary_, Path("sweep.summary")).ok());
+  const auto full = std::filesystem::file_size(Path("sweep.summary"));
+  for (uintmax_t cut = 0; cut < full; cut += 13) {
+    std::filesystem::copy_file(
+        Path("sweep.summary"), Path("sweep_cut.summary"),
+        std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(Path("sweep_cut.summary"), cut);
+    EXPECT_FALSE(ReadSummary(Path("sweep_cut.summary")).ok()) << cut;
+  }
+}
+
+// Hand-writes summary files with targeted field corruptions. Field layout
+// mirrors WriteSummary; every case must come back as a Status, never a
+// crash or an absurd allocation.
+class CorruptSummaryWriter {
+ public:
+  explicit CorruptSummaryWriter(const std::string& path) {
+    f_ = std::fopen(path.c_str(), "wb");
+  }
+  ~CorruptSummaryWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  void U64(uint64_t v) { std::fwrite(&v, sizeof(v), 1, f_); }
+  void I64(int64_t v) { std::fwrite(&v, sizeof(v), 1, f_); }
+  void I32(int32_t v) { std::fwrite(&v, sizeof(v), 1, f_); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    std::fwrite(s.data(), 1, s.size(), f_);
+  }
+  void Magic() { U64(0x48594452'53554D31ULL); }
+  // Schema of one relation R(pk, a) with a [0, 10) data attribute.
+  void MinimalSchema() {
+    I32(1);  // num_relations
+    Str("R");
+    U64(4);  // row_count
+    I32(2);  // num_attrs
+    Str("pk");
+    I32(1);  // kPrimaryKey
+    I64(0);
+    I64(4);
+    I32(-1);
+    Str("a");
+    I32(0);  // kData
+    I64(0);
+    I64(10);
+    I32(-1);
+  }
+  void Close() {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+TEST_F(SummaryIoTest, HugeClaimedRowCountFailsWithoutAllocating) {
+  CorruptSummaryWriter w(Path("huge.summary"));
+  w.Magic();
+  w.MinimalSchema();
+  w.I32(0);  // summary relation
+  w.I32(1);  // cols
+  w.I32(1);  // attr index
+  // Claims 2^40 summary rows; the file ends here. The old reader resized
+  // the row vector before noticing, which is an OOM at ~40 bytes per row.
+  w.U64(1ull << 40);
+  w.Close();
+  auto result = ReadSummary(Path("huge.summary"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SummaryIoTest, SummaryAttrIndexOutOfRangeFails) {
+  CorruptSummaryWriter w(Path("attr.summary"));
+  w.Magic();
+  w.MinimalSchema();
+  w.I32(0);
+  w.I32(1);
+  w.I32(5);  // relation R has 2 attributes
+  w.U64(0);
+  w.U64(0);  // extra_tuples
+  w.Close();
+  EXPECT_FALSE(ReadSummary(Path("attr.summary")).ok());
+}
+
+TEST_F(SummaryIoTest, NegativeTupleCountFails) {
+  CorruptSummaryWriter w(Path("negcount.summary"));
+  w.Magic();
+  w.MinimalSchema();
+  w.I32(0);
+  w.I32(1);
+  w.I32(1);
+  w.U64(1);   // one summary row
+  w.I64(-3);  // negative NumTuples would corrupt the prefix sums
+  w.I64(7);
+  w.U64(0);
+  w.Close();
+  EXPECT_FALSE(ReadSummary(Path("negcount.summary")).ok());
+}
+
+TEST_F(SummaryIoTest, SecondPrimaryKeyFails) {
+  CorruptSummaryWriter w(Path("twopk.summary"));
+  w.Magic();
+  w.I32(1);
+  w.Str("R");
+  w.U64(4);
+  w.I32(2);
+  w.Str("pk");
+  w.I32(1);  // kPrimaryKey
+  w.I64(0);
+  w.I64(4);
+  w.I32(-1);
+  w.Str("pk2");
+  w.I32(1);  // a second PK CHECK-aborted the schema builder before
+  w.I64(0);
+  w.I64(4);
+  w.I32(-1);
+  w.Close();
+  EXPECT_FALSE(ReadSummary(Path("twopk.summary")).ok());
+}
+
+TEST_F(SummaryIoTest, DuplicateAttributeNameFails) {
+  CorruptSummaryWriter w(Path("dupattr.summary"));
+  w.Magic();
+  w.I32(1);
+  w.Str("R");
+  w.U64(4);
+  w.I32(2);
+  w.Str("a");
+  w.I32(0);
+  w.I64(0);
+  w.I64(10);
+  w.I32(-1);
+  w.Str("a");  // duplicate name CHECK-aborted the schema builder before
+  w.I32(0);
+  w.I64(0);
+  w.I64(10);
+  w.I32(-1);
+  w.Close();
+  EXPECT_FALSE(ReadSummary(Path("dupattr.summary")).ok());
+}
+
+TEST_F(SummaryIoTest, ForeignKeyTargetOutOfRangeFails) {
+  CorruptSummaryWriter w(Path("badfk.summary"));
+  w.Magic();
+  w.I32(1);
+  w.Str("R");
+  w.U64(4);
+  w.I32(1);
+  w.Str("fk");
+  w.I32(2);  // kForeignKey
+  w.I64(0);
+  w.I64(1);
+  w.I32(9);  // only one relation exists
+  w.Close();
+  EXPECT_FALSE(ReadSummary(Path("badfk.summary")).ok());
+}
+
+TEST_F(SummaryIoTest, SummaryRelationIndexMismatchFails) {
+  CorruptSummaryWriter w(Path("relidx.summary"));
+  w.Magic();
+  w.MinimalSchema();
+  w.I32(1);  // summary block claims relation 1; only relation 0 exists
+  w.I32(1);
+  w.I32(1);
+  w.U64(0);
+  w.U64(0);
+  w.Close();
+  EXPECT_FALSE(ReadSummary(Path("relidx.summary")).ok());
+}
+
 }  // namespace
 }  // namespace hydra
