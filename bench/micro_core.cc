@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "engine/executor.h"
@@ -253,6 +254,31 @@ void BM_ExecutorAqp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecutorAqp)->Arg(1)->Arg(4);
+
+// The robustness contract for failpoints (docs/robustness.md): a disabled
+// point costs one relaxed atomic load, so production-path instrumentation
+// (disk I/O, summary loads, scheduler grants) is free when no fault schedule
+// is armed. Arg 0 benches the disabled fast path; arg 1 arms the point with
+// a never-firing probability so the slow path's Fire() dispatch is visible
+// for contrast.
+void BM_FailpointCheck(benchmark::State& state) {
+  static Failpoint fp("bench/failpoint_check");
+  const bool armed = state.range(0) != 0;
+  if (armed) {
+    FailpointSpec spec;
+    spec.kind = FailpointSpec::Kind::kDelay;
+    spec.delay_ms = 0;
+    spec.probability = 0.0;  // never triggers: measures dispatch, not faults
+    fp.Arm(spec);
+  }
+  for (auto _ : state) {
+    Status status = Status::OK();
+    if (fp.armed()) status = fp.Fire();
+    benchmark::DoNotOptimize(status);
+  }
+  fp.Disarm();
+}
+BENCHMARK(BM_FailpointCheck)->Arg(0)->Arg(1);
 
 void BM_RandomAccessTuple(benchmark::State& state) {
   ToyEnvironment env = MakeToyEnvironment();

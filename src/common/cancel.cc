@@ -1,0 +1,16 @@
+#include "common/cancel.h"
+
+namespace hydra {
+
+Status CancelScope::Check() const {
+  if ((token_ != nullptr && token_->cancelled()) ||
+      (second_ != nullptr && second_->cancelled())) {
+    return Status::Cancelled("work cancelled");
+  }
+  if (deadline_.Expired()) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace hydra

@@ -22,8 +22,32 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+bool StatusCodeFromName(const std::string& name, StatusCode* code) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,   StatusCode::kResourceExhausted,
+      StatusCode::kInternal,     StatusCode::kUnimplemented,
+      StatusCode::kIoError,      StatusCode::kCancelled,
+      StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+  };
+  for (const StatusCode c : kAll) {
+    if (name == StatusCodeName(c)) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

@@ -23,13 +23,22 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  kCancelled,          // the caller (or the server) revoked the work
+  kDeadlineExceeded,   // the work's deadline passed before it finished
+  kUnavailable,        // transient: retrying may succeed (I/O blip, shutdown)
 };
 
 // Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
 const char* StatusCodeName(StatusCode code);
 
+// Inverse of StatusCodeName: true and sets *code when `name` is a known
+// code name (used by the failpoint spec parser).
+bool StatusCodeFromName(const std::string& name, StatusCode* code);
+
 // A success-or-error result. Cheap to copy on the OK path (no allocation).
-class Status {
+// [[nodiscard]]: silently dropping a Status is how failure paths rot; cast
+// to void at the handful of sites where ignoring one is the intent.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -60,6 +69,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,7 +93,7 @@ class Status {
 
 // A value-or-error result. The value is only accessible when ok().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(const T& value) : value_(value) {}  // NOLINT(runtime/explicit)
   StatusOr(T&& value)  // NOLINT(runtime/explicit)

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace hydra {
+
+// Delay-only chaos hook: perturbs task start order (a submitted task sits
+// in the queue while the worker sleeps), shaking out order-dependence in
+// "deterministic at any thread count" claims. No error path — pool tasks
+// report failure through their output slots.
+HYDRA_FAILPOINT_DEFINE(g_fp_dispatch, "thread_pool/dispatch");
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
@@ -24,6 +32,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   if (workers_.empty()) {
+    HYDRA_FAILPOINT_HIT(g_fp_dispatch);
     fn();
     return;
   }
@@ -56,6 +65,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    HYDRA_FAILPOINT_HIT(g_fp_dispatch);
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -69,6 +69,10 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
   std::vector<Table> filtered;
   filtered.reserve(num_tables);
   for (int t = 0; t < num_tables; ++t) {
+    // Stage boundary: a tripped CancelScope unwinds here (and after each
+    // join below) within one morsel of the signal — the pipelines stop
+    // emitting, so the partial tables are simply dropped.
+    HYDRA_RETURN_IF_ERROR(ctx()->CheckCancel());
     const QueryTable& qt = query.tables[t];
     const Relation& rel = schema_.relation(qt.relation);
     Table ft(rel.num_attributes());
@@ -182,6 +186,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
   std::vector<int> joined_tables = {0};  // indices into query.tables
 
   for (int j = 0; j < num_joins; ++j) {
+    HYDRA_RETURN_IF_ERROR(ctx()->CheckCancel());
     const int new_t = j + 1;
 
     // The new relation projected to its key column (first) plus any of its
@@ -272,6 +277,9 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
     aqp.steps.push_back(std::move(step));
   }
 
+  // A cancellation that tripped inside the last stage produced truncated
+  // streams above; report it rather than returning a silently-partial plan.
+  HYDRA_RETURN_IF_ERROR(ctx()->CheckCancel());
   return aqp;
 }
 

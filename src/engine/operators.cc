@@ -82,6 +82,7 @@ class MorselPipeline {
   bool Next(RowBlock* out) {
     if (slots_.empty()) {  // sequential: fill straight into the caller
       while (next_emit_ < num_morsels_) {
+        if (Cancelled()) return false;
         const int64_t begin = next_emit_ * morsel_rows_;
         const int64_t end = std::min(total_rows_, begin + morsel_rows_);
         ++next_emit_;
@@ -92,6 +93,11 @@ class MorselPipeline {
       return false;
     }
     while (next_emit_ < num_morsels_) {
+      // Cancelled: stop emitting. In-flight workers see the same flag,
+      // leave their blocks empty, and the destructor drains them — the
+      // truncated stream is reported by the caller's CheckCancel, never
+      // consumed as a complete result.
+      if (Cancelled()) return false;
       Slot& slot = slots_[next_emit_ % slots_.size()];
       {
         std::unique_lock<std::mutex> lock(mu_);
@@ -113,6 +119,8 @@ class MorselPipeline {
     bool done = false;
   };
 
+  bool Cancelled() const { return ctx_ != nullptr && ctx_->cancelled(); }
+
   void SubmitNext() {
     if (next_submit_ >= num_morsels_) return;
     const int64_t m = next_submit_++;
@@ -122,7 +130,7 @@ class MorselPipeline {
       const int64_t begin = m * morsel_rows_;
       const int64_t end = std::min(total_rows_, begin + morsel_rows_);
       slot->block.Reset(num_columns_);
-      fill_(begin, end, &slot->block);
+      if (!Cancelled()) fill_(begin, end, &slot->block);
       {
         std::lock_guard<std::mutex> lock(mu_);
         slot->done = true;

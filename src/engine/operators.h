@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "engine/table.h"
 #include "hydra/tuple_generator.h"
@@ -170,11 +171,23 @@ class ExecContext {
     return external_pool_ != nullptr ? external_pool_ : pool_.get();
   }
 
+  // Failure domain (docs/robustness.md): a non-null scope makes morsel
+  // sources stop planning new morsels once it trips — a pipeline unwinds
+  // within one morsel of the signal. The caller sets it around a request
+  // and must keep the scope alive while set; never owned.
+  void set_cancel(const CancelScope* cancel) { cancel_ = cancel; }
+  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+  // OK, or why execution must stop (kCancelled / kDeadlineExceeded).
+  Status CheckCancel() const {
+    return cancel_ != nullptr ? cancel_->Check() : Status::OK();
+  }
+
  private:
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   ThreadPool* external_pool_ = nullptr;  // non-owning slot mode
   int slot_parallelism_ = 1;
+  const CancelScope* cancel_ = nullptr;
 };
 
 namespace internal {

@@ -4,9 +4,16 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace hydra {
+
+// Chaos hooks on both halves of the summary disk format. Injecting
+// kUnavailable on the read side models a transient I/O blip (the serve
+// layer's retry path); kIoError models a hard one.
+HYDRA_FAILPOINT_DEFINE(g_fp_summary_read, "summary_io/read");
+HYDRA_FAILPOINT_DEFINE(g_fp_summary_write, "summary_io/write");
 
 namespace {
 
@@ -103,6 +110,7 @@ bool FileBytes(std::FILE* f, uint64_t* out) {
 
 StatusOr<uint64_t> WriteSummary(const DatabaseSummary& summary,
                                 const std::string& path) {
+  HYDRA_FAILPOINT(g_fp_summary_write);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   Writer w(f);
@@ -148,6 +156,7 @@ StatusOr<uint64_t> WriteSummary(const DatabaseSummary& summary,
 }
 
 StatusOr<DatabaseSummary> ReadSummary(const std::string& path) {
+  HYDRA_FAILPOINT(g_fp_summary_read);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   uint64_t file_bytes = 0;

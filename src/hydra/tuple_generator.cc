@@ -184,6 +184,9 @@ int64_t TupleGenerator::Cursor::Fill(int64_t max_rows, Value* dst) {
   const int64_t end = std::min(total_, next_ + std::max<int64_t>(0, max_rows));
   int64_t written = 0;
   while (next_ < end) {
+    // Poll at run boundaries, not per row: runs are the natural quantum
+    // (one summary row's stretch), so the check cost stays negligible.
+    if (cancel_ != nullptr && cancel_->cancelled()) break;
     // Skip summary rows exhausted by previous fills (zero-count rows too).
     while (rs.prefix_counts[summary_row_] + rs.rows[summary_row_].count <=
            next_) {

@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "engine/table.h"
 #include "hydra/summary.h"
@@ -96,8 +97,15 @@ class TupleGenerator : public TableSource {
 
     // Generates up to `max_rows` rows into `dst` (which must hold
     // max_rows * num_attributes Values, row-major) and advances. Returns
-    // the number of rows written; 0 exactly at end of stream.
+    // the number of rows written; 0 exactly at end of stream. With a
+    // cancel scope set, a tripped scope stops the fill at the next summary
+    // run boundary — a shorter (possibly empty) prefix, position() still
+    // exact, so a resumed or retried fill continues byte-identically.
     int64_t Fill(int64_t max_rows, Value* dst);
+
+    // Failure domain: non-owning; the scope must stay alive across Fill().
+    // Null (the default) disables polling entirely.
+    void set_cancel(const CancelScope* cancel) { cancel_ = cancel; }
 
    private:
     const TupleGenerator* generator_;
@@ -106,6 +114,7 @@ class TupleGenerator : public TableSource {
     int64_t next_ = 0;     // rank of the next row to emit
     int summary_row_ = 0;  // index of the summary row covering next_
     Row row_buf_;          // current summary row's values (PK rewritten)
+    const CancelScope* cancel_ = nullptr;
   };
 
  private:

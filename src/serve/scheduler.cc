@@ -1,32 +1,66 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace hydra {
 
-FairScheduler::FairScheduler(int max_inflight)
-    : max_inflight_(std::max(1, max_inflight)) {}
+// Fires as a request is granted its slot, before the work runs: delay(ms)
+// stretches the window a grant is held (starving other sessions — the
+// fairness rotation must still bound the damage), error(...) turns the
+// grant into a clean rejection the client sees as the request's Status.
+HYDRA_FAILPOINT_DEFINE(g_fp_grant, "serve/grant");
 
-void FairScheduler::Admit(uint64_t session, const std::function<void()>& fn) {
+FairScheduler::FairScheduler(int max_inflight, int max_queued)
+    : max_inflight_(std::max(1, max_inflight)),
+      max_queued_(std::max(0, max_queued)) {}
+
+Status FairScheduler::Admit(uint64_t session, const std::function<void()>& fn,
+                            const CancelScope& cancel) {
   Ticket ticket;
   ticket.session = session;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    HYDRA_RETURN_IF_ERROR(cancel.Check());
+    // Load shedding: a full queue fast-rejects instead of growing. A free
+    // slot still admits immediately — shedding bounds *waiting*, not work.
+    if (max_queued_ > 0 && num_waiting_ >= max_queued_ &&
+        inflight_ >= max_inflight_) {
+      ++shed_;
+      return Status::ResourceExhausted("admission queue full");
+    }
     waiting_[session].push_back(&ticket);
+    ++num_waiting_;
     GrantLocked();
     if (!ticket.granted) {
       ++admission_waits_;
-      granted_cv_.wait(lock, [&ticket] { return ticket.granted; });
+      // Deadlines are not hooked into the cv, so poll: granted_cv_ wakes on
+      // grants and Kick(); the periodic timeout bounds how stale an expired
+      // deadline can go unnoticed.
+      while (!ticket.granted && !cancel.cancelled()) {
+        granted_cv_.wait_for(lock, std::chrono::milliseconds(10));
+      }
+      if (!ticket.granted) {
+        // Cancelled while queued: withdraw the ticket and report why.
+        RemoveTicketLocked(&ticket);
+        if (num_waiting_ == 0 && inflight_ == 0) drained_cv_.notify_all();
+        return cancel.Check();
+      }
     }
   }
-  fn();
+  Status injected;
+  if (g_fp_grant.armed()) injected = g_fp_grant.Fire();
+  if (injected.ok()) fn();
   {
     std::lock_guard<std::mutex> lock(mu_);
     --inflight_;
     GrantLocked();
+    if (num_waiting_ == 0 && inflight_ == 0) drained_cv_.notify_all();
   }
+  return injected;
 }
 
 void FairScheduler::GrantLocked() {
@@ -37,6 +71,7 @@ void FairScheduler::GrantLocked() {
     Ticket* ticket = it->second.front();
     it->second.pop_front();
     if (it->second.empty()) waiting_.erase(it);
+    --num_waiting_;
     rr_next_ = ticket->session + 1;
     ticket->granted = true;
     ++inflight_;
@@ -45,9 +80,43 @@ void FairScheduler::GrantLocked() {
   if (granted_any) granted_cv_.notify_all();
 }
 
+void FairScheduler::RemoveTicketLocked(Ticket* ticket) {
+  const auto it = waiting_.find(ticket->session);
+  if (it == waiting_.end()) return;
+  for (auto dq_it = it->second.begin(); dq_it != it->second.end(); ++dq_it) {
+    if (*dq_it == ticket) {
+      it->second.erase(dq_it);
+      --num_waiting_;
+      break;
+    }
+  }
+  if (it->second.empty()) waiting_.erase(it);
+}
+
+void FairScheduler::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  granted_cv_.notify_all();
+}
+
+void FairScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock,
+                   [this] { return num_waiting_ == 0 && inflight_ == 0; });
+}
+
 uint64_t FairScheduler::admission_waits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return admission_waits_;
+}
+
+uint64_t FairScheduler::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+int FairScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_waiting_;
 }
 
 }  // namespace hydra

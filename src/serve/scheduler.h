@@ -11,6 +11,14 @@
 // admitted concurrently never exceeds max_inflight, no matter how many
 // clients are connected.
 //
+// Failure domain (docs/robustness.md): Admit returns a Status. A request
+// whose CancelScope trips while it waits leaves the queue with
+// kCancelled / kDeadlineExceeded; when `max_queued` > 0, a request arriving
+// at a full queue is fast-rejected with kResourceExhausted (load shedding)
+// instead of queueing unboundedly. Kick() wakes every waiter to re-check
+// its scope (the server calls it after cancelling sessions); Drain() blocks
+// until nothing is admitted or queued — the graceful-shutdown barrier.
+//
 // Determinism: the scheduler orders *work*, never results. Each request's
 // output is a pure function of (summary, cursor spec, rank), so any grant
 // interleaving produces the same per-client streams.
@@ -25,24 +33,45 @@
 #include <map>
 #include <mutex>
 
+#include "common/cancel.h"
+#include "common/status.h"
+
 namespace hydra {
 
 class FairScheduler {
  public:
-  explicit FairScheduler(int max_inflight);
+  // max_queued: waiters allowed in the admission queue before new requests
+  // are shed with kResourceExhausted; 0 = unbounded.
+  explicit FairScheduler(int max_inflight, int max_queued = 0);
 
   FairScheduler(const FairScheduler&) = delete;
   FairScheduler& operator=(const FairScheduler&) = delete;
 
   // Blocks until `session`'s turn at a free slot, runs `fn` on the calling
-  // thread, then releases the slot and grants the next waiter. Reentrant
-  // calls from inside `fn` would deadlock the calling session; serving
-  // work never nests admissions.
-  void Admit(uint64_t session, const std::function<void()>& fn);
+  // thread, then releases the slot and grants the next waiter. Returns
+  // non-OK without running `fn` when the queue is full (shedding) or
+  // `cancel` trips first. Reentrant calls from inside `fn` would deadlock
+  // the calling session; serving work never nests admissions.
+  Status Admit(uint64_t session, const std::function<void()>& fn,
+               const CancelScope& cancel = {});
+
+  // Wakes every waiter so it re-evaluates its CancelScope. Call after
+  // cancelling tokens that queued waiters are watching.
+  void Kick();
+
+  // Blocks until no work is admitted or queued. With every session
+  // cancelled and Kick()ed this terminates: waiters leave cancelled,
+  // in-flight work finishes its bounded quantum.
+  void Drain();
 
   int max_inflight() const { return max_inflight_; }
+  int max_queued() const { return max_queued_; }
   // Grants that found the window full and had to queue.
   uint64_t admission_waits() const;
+  // Requests fast-rejected by the queue-depth bound.
+  uint64_t shed() const;
+  // Waiters queued right now (the shedding signal OpenSession consults).
+  int queued() const;
 
  private:
   struct Ticket {
@@ -53,16 +82,22 @@ class FairScheduler {
   // Grants free slots to waiting tickets in round-robin session order.
   // Caller holds mu_; notifies when any ticket was granted.
   void GrantLocked();
+  // Removes a not-yet-granted ticket whose owner is abandoning the wait.
+  void RemoveTicketLocked(Ticket* ticket);
 
   const int max_inflight_;
+  const int max_queued_;
   mutable std::mutex mu_;
   std::condition_variable granted_cv_;
+  std::condition_variable drained_cv_;
   // session -> FIFO of that session's waiting tickets. Ordered map: the
   // rotation cursor walks sessions in id order, wrapping.
   std::map<uint64_t, std::deque<Ticket*>> waiting_;
+  int num_waiting_ = 0;  // total tickets across waiting_
   uint64_t rr_next_ = 0;  // first session id to consider for the next grant
   int inflight_ = 0;
   uint64_t admission_waits_ = 0;
+  uint64_t shed_ = 0;
 };
 
 }  // namespace hydra

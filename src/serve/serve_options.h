@@ -33,6 +33,27 @@ struct ServeOptions {
   int query_parallelism = 2;
   // Morsel size inside engine pipelines (ExecOptions::morsel_rows).
   int64_t morsel_rows = 4096;
+
+  // --- failure domain (docs/robustness.md) -------------------------------
+  // Load shedding: admission requests beyond this many queued waiters are
+  // fast-rejected with kResourceExhausted instead of queueing unboundedly,
+  // and OpenSession refuses new sessions while the queue is that deep.
+  // 0 = unbounded (the pre-shedding behavior).
+  int max_queued = 0;
+  // Hard cap on concurrently open sessions; opens beyond it are rejected
+  // with kResourceExhausted. 0 = unbounded.
+  int max_sessions = 0;
+  // Degradation before refusal: while the summary cache is overcommitted
+  // (pinned entries exceed cache_bytes), cursor grants shrink their morsel
+  // proportionally — smaller work quanta under memory pressure — down to
+  // this floor. Stream *content* never depends on it. 0 disables.
+  int64_t min_degraded_batch_rows = 64;
+  // Transient-load retry: a summary load failing with kIoError or
+  // kUnavailable is retried up to this many additional times with capped
+  // exponential backoff and deterministic jitter.
+  int load_retries = 3;
+  int64_t load_retry_base_ms = 2;   // backoff = base << attempt, jittered
+  int64_t load_retry_max_ms = 100;  // cap per sleep
 };
 
 // Monotonic counters snapshotted by RegenServer::stats(). Plain values —
@@ -50,6 +71,11 @@ struct ServeStats {
   uint64_t lookups_served = 0;
   uint64_t queries_served = 0;  // full engine pipelines
   uint64_t admission_waits = 0;  // grants that queued behind a full window
+  // Failure domain.
+  uint64_t load_retries = 0;      // transient summary-load attempts retried
+  uint64_t shed_requests = 0;     // admissions/opens rejected by shedding
+  uint64_t degraded_batches = 0;  // cursor grants shrunk under overcommit
+  uint64_t cancelled_requests = 0;  // requests ended by cancel/deadline
 };
 
 }  // namespace hydra

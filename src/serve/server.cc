@@ -21,25 +21,62 @@ int ResolveInflight(const ServeOptions& options, int pool_threads) {
                                    : std::max(1, options.max_inflight);
 }
 
+LoadRetryPolicy ResolveRetryPolicy(const ServeOptions& options) {
+  LoadRetryPolicy policy;
+  policy.retries = std::max(0, options.load_retries);
+  policy.base_ms = std::max<int64_t>(0, options.load_retry_base_ms);
+  policy.max_ms = std::max<int64_t>(policy.base_ms, options.load_retry_max_ms);
+  return policy;
+}
+
+bool IsTerminalSignal(const Status& status) {
+  return status.code() == StatusCode::kCancelled ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
 }  // namespace
 
 RegenServer::RegenServer(ServeOptions options)
     : options_(options),
-      store_(options.cache_bytes),
-      scheduler_(ResolveInflight(options, ResolvePoolThreads(options))) {
+      store_(options.cache_bytes, ResolveRetryPolicy(options)),
+      scheduler_(ResolveInflight(options, ResolvePoolThreads(options)),
+                 options.max_queued) {
   if (options_.batch_rows < 1) options_.batch_rows = 1;
   const int threads = ResolvePoolThreads(options_);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
-RegenServer::~RegenServer() = default;
+RegenServer::~RegenServer() {
+  // Belt and braces: a well-behaved embedder already Shutdown() and joined
+  // its clients; draining again is a no-op then, and otherwise it keeps a
+  // racing in-flight request from outliving the scheduler.
+  (void)Shutdown();
+}
 
 Status RegenServer::RegisterSummary(const std::string& id,
                                     const std::string& path) {
   return store_.Register(id, path);
 }
 
-StatusOr<uint64_t> RegenServer::OpenSession(const std::string& summary_id) {
+StatusOr<uint64_t> RegenServer::OpenSession(const std::string& summary_id,
+                                            SessionOptions session_options) {
+  if (shutting_down()) {
+    return Status::Unavailable("server is shutting down");
+  }
+  // Load shedding at the front door: refuse new tenants while the session
+  // cap is reached or the admission queue is already at its bound —
+  // existing sessions' requests shed individually in Admit.
+  if (options_.max_sessions > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+      opens_shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("session limit reached");
+    }
+  }
+  if (options_.max_queued > 0 && scheduler_.queued() >= options_.max_queued) {
+    opens_shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted("admission queue full");
+  }
   // Load (or touch) the summary now so registration errors and corrupt
   // files fail the open, not the first batch.
   HYDRA_ASSIGN_OR_RETURN(const SummaryLease lease, store_.Acquire(summary_id));
@@ -49,17 +86,63 @@ StatusOr<uint64_t> RegenServer::OpenSession(const std::string& summary_id) {
   session->slot = std::make_unique<ExecContext>(
       ExecOptions{options_.query_parallelism, options_.morsel_rows},
       pool_.get(), options_.query_parallelism);
+  session->user_cancel = std::move(session_options.cancel);
+  session->deadline = session_options.deadline_ms > 0
+                          ? Deadline::After(session_options.deadline_ms)
+                          : Deadline::Infinite();
   std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down()) {
+    // Shutdown raced the open: refuse rather than admit a session the
+    // drain pass will never see.
+    return Status::Unavailable("server is shutting down");
+  }
   session->id = next_session_id_++;
   sessions_.emplace(session->id, session);
   return session->id;
 }
 
 Status RegenServer::CloseSession(uint64_t session_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.erase(session_id) == 0) {
-    return Status::NotFound("no such session");
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return Status::NotFound("no such session");
+    session = it->second;
+    sessions_.erase(it);
   }
+  // A request of this session may still be queued (the map only stops new
+  // FindSession calls); cancel + kick so it leaves promptly, and the held
+  // shared_ptr keeps the Session alive until that waiter unwinds.
+  session->server_cancel.Cancel();
+  scheduler_.Kick();
+  return Status::OK();
+}
+
+Status RegenServer::CancelSession(uint64_t session_id) {
+  HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                         FindSession(session_id));
+  session->server_cancel.Cancel();
+  scheduler_.Kick();
+  return Status::OK();
+}
+
+Status RegenServer::Shutdown() {
+  if (shutting_down_.exchange(true)) {
+    // Second caller (or the destructor after an explicit Shutdown): still
+    // wait for the drain so every caller returns to a quiet server.
+    scheduler_.Drain();
+    return Status::OK();
+  }
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) sessions.push_back(session);
+  }
+  for (const auto& session : sessions) session->server_cancel.Cancel();
+  scheduler_.Kick();
+  scheduler_.Drain();
+  if (pool_ != nullptr) pool_->Wait();
   return Status::OK();
 }
 
@@ -125,16 +208,17 @@ StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
   // scan. The summary lease is taken inside the grant, so cache loads are
   // admission-controlled work too — and eviction between grants is fine:
   // the cursor addresses ranks, not a generator instance.
+  const CancelScope scope = SessionScope(*session);
   Status status = Status::OK();
   while (out->empty() && cursor.next_rank < cursor.end_rank && status.ok()) {
-    scheduler_.Admit(session->id, [&] {
+    const Status admitted = scheduler_.Admit(session->id, [&] {
       StatusOr<SummaryLease> lease = store_.Acquire(session->summary_id);
       if (!lease.ok()) {
         status = lease.status();
         return;
       }
       const int64_t morsel = std::min<int64_t>(
-          options_.batch_rows, cursor.end_rank - cursor.next_rank);
+          EffectiveBatchRows(), cursor.end_rank - cursor.next_rank);
       cursor.scratch.Reset(cursor.source_width);
       // Reuse the streaming cursor while the same generator instance is
       // resident; after an eviction the lease hands back a different
@@ -149,8 +233,13 @@ StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
             generator, cursor.spec.relation, cursor.next_rank);
         cursor.gen_instance = &generator;
       }
+      // A fill that is interrupted mid-morsel (cancel trips between summary
+      // runs) simply generates a shorter prefix; the next admission check
+      // reports why. Content stays a deterministic prefix of the stream.
+      cursor.gen_cursor->set_cancel(&scope);
       const int64_t generated = cursor.gen_cursor->Fill(
           morsel, cursor.scratch.AppendUninitialized(morsel));
+      cursor.gen_cursor->set_cancel(nullptr);
       cursor.scratch.Truncate(generated);
       cursor.next_rank = cursor.gen_cursor->position();
       const bool unfiltered = cursor.spec.filter.IsTrue();
@@ -167,9 +256,10 @@ StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
           }
         }
       }
-    });
+    }, scope);
+    if (status.ok()) status = admitted;
   }
-  HYDRA_RETURN_IF_ERROR(status);
+  HYDRA_RETURN_IF_ERROR(TallyTerminal(status));
   if (out->empty()) return false;
   batches_served_.fetch_add(1, std::memory_order_relaxed);
   rows_served_.fetch_add(static_cast<uint64_t>(out->num_rows()),
@@ -202,8 +292,9 @@ Status RegenServer::Lookup(uint64_t session_id, int relation, int64_t pk,
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                          FindSession(session_id));
   std::lock_guard<std::mutex> lock(session->mu);
+  const CancelScope scope = SessionScope(*session);
   Status status = Status::OK();
-  scheduler_.Admit(session->id, [&] {
+  const Status admitted = scheduler_.Admit(session->id, [&] {
     StatusOr<SummaryLease> lease = store_.Acquire(session->summary_id);
     if (!lease.ok()) {
       status = lease.status();
@@ -220,8 +311,9 @@ Status RegenServer::Lookup(uint64_t session_id, int relation, int64_t pk,
       return;
     }
     lease->generator().GetTuple(relation, pk, out);
-  });
-  HYDRA_RETURN_IF_ERROR(status);
+  }, scope);
+  if (status.ok()) status = admitted;
+  HYDRA_RETURN_IF_ERROR(TallyTerminal(status));
   lookups_served_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -231,9 +323,10 @@ StatusOr<AnnotatedQueryPlan> RegenServer::ExecuteQuery(uint64_t session_id,
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                          FindSession(session_id));
   std::lock_guard<std::mutex> lock(session->mu);
+  const CancelScope scope = SessionScope(*session);
   StatusOr<AnnotatedQueryPlan> result =
       Status::Internal("query never admitted");
-  scheduler_.Admit(session->id, [&] {
+  const Status admitted = scheduler_.Admit(session->id, [&] {
     StatusOr<SummaryLease> lease = store_.Acquire(session->summary_id);
     if (!lease.ok()) {
       result = lease.status();
@@ -242,12 +335,46 @@ StatusOr<AnnotatedQueryPlan> RegenServer::ExecuteQuery(uint64_t session_id,
     // The whole pipeline runs under one grant on this client's thread; its
     // intra-query fan-out goes to the shared pool through the session's
     // scheduler slot. Pool tasks never block on other pool tasks, so slots
-    // cannot deadlock the pool.
+    // cannot deadlock the pool. The slot polls the scope at morsel
+    // boundaries, so a long pipeline unwinds within one morsel of cancel.
+    session->slot->set_cancel(&scope);
     const Executor executor(lease->summary().schema, session->slot.get());
     result = executor.Execute(query, lease->generator());
-  });
-  if (result.ok()) queries_served_.fetch_add(1, std::memory_order_relaxed);
+    session->slot->set_cancel(nullptr);
+  }, scope);
+  if (!admitted.ok()) result = admitted;  // fn never ran; this is the reason
+  if (!result.ok()) return TallyTerminal(result.status());
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+int64_t RegenServer::EffectiveBatchRows() {
+  if (options_.min_degraded_batch_rows <= 0 || !store_.Overcommitted()) {
+    return options_.batch_rows;
+  }
+  // Overcommitted: every resident summary is pinned past the budget, so
+  // shrink work quanta proportionally to the overshoot — grants stay cheap
+  // and leases short-lived, which is what lets the cache recover. Content
+  // never depends on the morsel size, only pacing does.
+  const SummaryStore::Stats cache = store_.stats();
+  if (cache.cached_bytes == 0) return options_.batch_rows;
+  const double fill = static_cast<double>(options_.cache_bytes) /
+                      static_cast<double>(cache.cached_bytes);
+  int64_t rows = static_cast<int64_t>(
+      static_cast<double>(options_.batch_rows) * fill);
+  rows = std::max(rows, std::min(options_.min_degraded_batch_rows,
+                                 options_.batch_rows));
+  if (rows < options_.batch_rows) {
+    degraded_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return rows;
+}
+
+Status RegenServer::TallyTerminal(Status status) {
+  if (IsTerminalSignal(status)) {
+    cancelled_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
 }
 
 ServeStats RegenServer::stats() const {
@@ -263,6 +390,11 @@ ServeStats RegenServer::stats() const {
   s.lookups_served = lookups_served_.load(std::memory_order_relaxed);
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
   s.admission_waits = scheduler_.admission_waits();
+  s.load_retries = store.load_retries;
+  s.shed_requests =
+      scheduler_.shed() + opens_shed_.load(std::memory_order_relaxed);
+  s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
+  s.cancelled_requests = cancelled_requests_.load(std::memory_order_relaxed);
   return s;
 }
 

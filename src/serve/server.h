@@ -19,6 +19,15 @@
 // object (concurrent calls into one session serialize on its lock). All
 // work is admission-controlled by the FairScheduler, so total concurrent
 // work never exceeds ServeOptions::max_inflight.
+//
+// Failure domain (docs/robustness.md): every request observes the
+// session's CancelScope — the client's own CancelToken, the per-session
+// deadline, and the server's shutdown signal — and unwinds with
+// kCancelled / kDeadlineExceeded within one admission grant of the signal.
+// Overload sheds (kResourceExhausted) instead of queueing unboundedly, and
+// cache overcommit degrades batch sizes before refusing anything.
+// Shutdown() drains gracefully: new opens get kUnavailable, in-flight work
+// finishes its bounded quantum, and the call returns once nothing runs.
 
 #ifndef HYDRA_SERVE_SERVER_H_
 #define HYDRA_SERVE_SERVER_H_
@@ -30,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/executor.h"
@@ -53,6 +63,17 @@ struct CursorSpec {
   int64_t end_rank = -1;  // -1 = the relation's row count
 };
 
+// Per-session failure-domain knobs, all optional.
+struct SessionOptions {
+  // Wall-clock budget for the whole session; 0 = none. Requests past the
+  // deadline fail with kDeadlineExceeded.
+  int64_t deadline_ms = 0;
+  // Caller-owned cancellation handle: Cancel() makes every subsequent (and
+  // every queued) request of this session fail with kCancelled. The server
+  // shares ownership, so the caller may drop it any time.
+  std::shared_ptr<CancelToken> cancel;
+};
+
 class RegenServer {
  public:
   explicit RegenServer(ServeOptions options = {});
@@ -66,9 +87,27 @@ class RegenServer {
   Status RegisterSummary(const std::string& id, const std::string& path);
 
   // Opens a session against a registered summary. Validates that the
-  // summary loads (so a corrupt file fails here, not mid-stream).
-  StatusOr<uint64_t> OpenSession(const std::string& summary_id);
+  // summary loads (so a corrupt file fails here, not mid-stream). Fails
+  // with kUnavailable after Shutdown() and with kResourceExhausted when the
+  // server is shedding (session cap reached or admission queue full).
+  StatusOr<uint64_t> OpenSession(const std::string& summary_id,
+                                 SessionOptions session_options = {});
   Status CloseSession(uint64_t session_id);
+
+  // Trips the session's server-side cancel flag: every queued and future
+  // request of the session fails with kCancelled; in-flight work stops
+  // within one admission grant. The session stays open (CloseSession still
+  // applies) so the client can observe the terminal error.
+  Status CancelSession(uint64_t session_id);
+
+  // Graceful drain: new opens fail with kUnavailable, every session is
+  // cancelled, queued admissions are woken to leave, and the call blocks
+  // until no work is admitted or queued. Idempotent; the destructor calls
+  // it. Existing sessions stay readable for stats/errors until closed.
+  Status Shutdown();
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_relaxed);
+  }
 
   // Opens a cursor; the spec is validated against the summary's schema.
   StatusOr<uint64_t> OpenCursor(uint64_t session_id, CursorSpec spec);
@@ -126,9 +165,25 @@ class RegenServer {
     uint64_t next_cursor_id = 1;
     // This session's engine-pipeline slot over the server's shared pool.
     std::unique_ptr<ExecContext> slot;
+    // Failure domain: the client's token (may be null), the session
+    // deadline, and the server-side flag Shutdown()/CancelSession() trip.
+    std::shared_ptr<CancelToken> user_cancel;
+    Deadline deadline;
+    CancelToken server_cancel;
   };
 
   StatusOr<std::shared_ptr<Session>> FindSession(uint64_t session_id);
+  // The scope every request of `session` polls: user token + deadline +
+  // server-side cancel. Valid while the shared_ptr is held.
+  static CancelScope SessionScope(const Session& session) {
+    return CancelScope(session.user_cancel.get(), session.deadline,
+                       &session.server_cancel);
+  }
+  // Rows one cursor grant may generate right now: batch_rows normally,
+  // proportionally less (floored) while the summary cache is overcommitted.
+  int64_t EffectiveBatchRows();
+  // Counts a request that ended with kCancelled/kDeadlineExceeded.
+  Status TallyTerminal(Status status);
 
   ServeOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when serving sequentially
@@ -139,10 +194,14 @@ class RegenServer {
   std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
   uint64_t next_session_id_ = 1;
 
+  std::atomic<bool> shutting_down_{false};
   std::atomic<uint64_t> batches_served_{0};
   std::atomic<uint64_t> rows_served_{0};
   std::atomic<uint64_t> lookups_served_{0};
   std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> opens_shed_{0};
+  std::atomic<uint64_t> degraded_batches_{0};
+  std::atomic<uint64_t> cancelled_requests_{0};
 };
 
 }  // namespace hydra

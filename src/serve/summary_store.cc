@@ -1,11 +1,44 @@
 #include "serve/summary_store.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "hydra/summary_io.h"
 
 namespace hydra {
+
+// Fires inside the single-flight load, before ReadSummary touches the
+// file: error(UNAVAILABLE,times=N) with N <= load retries makes the load
+// succeed only after the backoff loop — the chaos harness's retry story.
+HYDRA_FAILPOINT_DEFINE(g_fp_summary_load, "serve/summary_load");
+
+namespace {
+
+// FNV-1a then splitmix64 finalizer: a stateless jitter hash so the backoff
+// schedule of (id, attempt) is reproducible across runs and threads.
+uint64_t JitterHash(const std::string& id, int attempt) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<uint64_t>(attempt);
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e9b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace
 
 namespace serve_internal {
 
@@ -56,8 +89,33 @@ const TupleGenerator& SummaryLease::generator() const {
   return *entry_->generator;
 }
 
-SummaryStore::SummaryStore(uint64_t cache_bytes)
-    : cache_bytes_(cache_bytes) {}
+SummaryStore::SummaryStore(uint64_t cache_bytes, LoadRetryPolicy retry)
+    : cache_bytes_(cache_bytes), retry_(retry) {}
+
+StatusOr<DatabaseSummary> SummaryStore::LoadWithRetry(
+    const std::string& id, const std::string& path) {
+  for (int attempt = 0;; ++attempt) {
+    Status injected;
+    if (g_fp_summary_load.armed()) injected = g_fp_summary_load.Fire();
+    StatusOr<DatabaseSummary> loaded =
+        injected.ok() ? ReadSummary(path) : StatusOr<DatabaseSummary>(injected);
+    if (loaded.ok() || !IsTransient(loaded.status()) ||
+        attempt >= retry_.retries) {
+      return loaded;
+    }
+    load_retries_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t backoff = std::min(
+        retry_.max_ms, retry_.base_ms << std::min(attempt, 30));
+    // Deterministic jitter in [0, backoff]: desynchronizes concurrent
+    // retriers without nondeterministic RNG state.
+    const int64_t jitter =
+        backoff > 0
+            ? static_cast<int64_t>(JitterHash(id, attempt) %
+                                   static_cast<uint64_t>(backoff + 1))
+            : 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff + jitter));
+  }
+}
 
 SummaryStore::~SummaryStore() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -105,7 +163,7 @@ StatusOr<SummaryLease> SummaryStore::Acquire(const std::string& id) {
     resident_.emplace(id, std::move(placeholder));
     const std::string path = path_it->second;
     lock.unlock();
-    StatusOr<DatabaseSummary> loaded = ReadSummary(path);
+    StatusOr<DatabaseSummary> loaded = LoadWithRetry(id, path);
     lock.lock();
     if (!loaded.ok()) {
       resident_.erase(id);
@@ -160,7 +218,13 @@ SummaryStore::Stats SummaryStore::stats() const {
   s.evictions = evictions_;
   s.cached_bytes = total_bytes_;
   s.resident = resident_.size();
+  s.load_retries = load_retries_.load(std::memory_order_relaxed);
   return s;
+}
+
+bool SummaryStore::Overcommitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_ > cache_bytes_;
 }
 
 }  // namespace hydra

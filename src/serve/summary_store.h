@@ -8,6 +8,12 @@
 // room for hot ones. Loads go through the hardened ReadSummary, so a
 // corrupt or truncated file surfaces as a Status, never a crash.
 //
+// Transient load failures (kIoError / kUnavailable — an evicted summary
+// being reloaded while the disk hiccups) are retried with capped
+// exponential backoff and deterministic per-(id, attempt) jitter before
+// the error escapes to the caller (docs/robustness.md). Permanent errors
+// (corrupt file, unregistered id) never retry.
+//
 // Concurrency: all operations are thread-safe. A load happens outside the
 // store mutex; concurrent acquirers of the same id wait for the first
 // loader instead of reading the file twice.
@@ -15,6 +21,7 @@
 #ifndef HYDRA_SERVE_SUMMARY_STORE_H_
 #define HYDRA_SERVE_SUMMARY_STORE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -58,9 +65,19 @@ class SummaryLease {
   serve_internal::StoreEntry* entry_ = nullptr;
 };
 
+// Backoff schedule for transient load failures. `retries` additional
+// attempts follow a failed load; attempt k sleeps
+// min(max_ms, base_ms << k) plus a deterministic jitter derived from
+// (summary id, k) — no RNG state, so chaos runs replay exactly.
+struct LoadRetryPolicy {
+  int retries = 0;
+  int64_t base_ms = 2;
+  int64_t max_ms = 100;
+};
+
 class SummaryStore {
  public:
-  explicit SummaryStore(uint64_t cache_bytes);
+  explicit SummaryStore(uint64_t cache_bytes, LoadRetryPolicy retry = {});
   ~SummaryStore();
 
   SummaryStore(const SummaryStore&) = delete;
@@ -81,8 +98,13 @@ class SummaryStore {
     uint64_t evictions = 0;
     uint64_t cached_bytes = 0;
     uint64_t resident = 0;
+    uint64_t load_retries = 0;  // transient-failure attempts retried
   };
   Stats stats() const;
+
+  // True while resident bytes exceed the budget (every entry pinned): the
+  // serve layer's signal to degrade work quanta before refusing service.
+  bool Overcommitted() const;
 
  private:
   friend class SummaryLease;
@@ -91,8 +113,13 @@ class SummaryStore {
   // pinned/loading entries remain). Caller holds mu_.
   void EvictToFitLocked();
   void Release(serve_internal::StoreEntry* entry);
+  // ReadSummary plus the transient-failure retry loop; runs unlocked.
+  StatusOr<DatabaseSummary> LoadWithRetry(const std::string& id,
+                                          const std::string& path);
 
   const uint64_t cache_bytes_;
+  const LoadRetryPolicy retry_;
+  std::atomic<uint64_t> load_retries_{0};
   mutable std::mutex mu_;
   std::condition_variable loaded_cv_;
   std::map<std::string, std::string> paths_;

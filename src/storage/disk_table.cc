@@ -3,9 +3,19 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace hydra {
+
+// Chaos hooks over the writer's failure surface: file creation, shard
+// positioning, the data-path writes (disk full), and the close/finalize
+// step. tests/storage_test.cc drives each; the materialization fleet's
+// one-failed-shard-aborts-all contract is tested through them.
+HYDRA_FAILPOINT_DEFINE(g_fp_table_open, "disk_table/open");
+HYDRA_FAILPOINT_DEFINE(g_fp_table_open_shard, "disk_table/open_shard");
+HYDRA_FAILPOINT_DEFINE(g_fp_table_append, "disk_table/append");
+HYDRA_FAILPOINT_DEFINE(g_fp_table_close, "disk_table/close");
 
 namespace {
 
@@ -37,6 +47,7 @@ DiskTableWriter::~DiskTableWriter() {
 }
 
 Status DiskTableWriter::Open() {
+  HYDRA_FAILPOINT(g_fp_table_open);
   file_ = std::fopen(path_.c_str(), "wb");
   if (file_ == nullptr) {
     return Status::IoError("cannot open " + path_ + " for writing");
@@ -49,6 +60,7 @@ Status DiskTableWriter::Open() {
 }
 
 Status DiskTableWriter::OpenShard(int64_t begin_row) {
+  HYDRA_FAILPOINT(g_fp_table_open_shard);
   HYDRA_CHECK_MSG(begin_row >= 0, "negative shard start " << begin_row);
   // "r+b": the file (and its header) must already exist, and writes land at
   // the seek position instead of truncating. Writing past the current end is
@@ -108,6 +120,7 @@ Status DiskTableWriter::AppendBlock(const Value* rows, int64_t num_rows) {
   // hand the caller's contiguous rows straight to the (already buffered)
   // stdio stream in one write.
   HYDRA_RETURN_IF_ERROR(FlushBuffer());
+  HYDRA_FAILPOINT(g_fp_table_append);
   const size_t count = static_cast<size_t>(num_rows) * num_columns_;
   if (count > 0 && std::fwrite(rows, sizeof(Value), count, file_) != count) {
     return Status::IoError("short write to " + path_);
@@ -118,6 +131,7 @@ Status DiskTableWriter::AppendBlock(const Value* rows, int64_t num_rows) {
 
 Status DiskTableWriter::FlushBuffer() {
   if (buffer_.empty()) return Status::OK();
+  HYDRA_FAILPOINT(g_fp_table_append);
   if (std::fwrite(buffer_.data(), sizeof(Value), buffer_.size(), file_) !=
       buffer_.size()) {
     return Status::IoError("short write to " + path_);
@@ -131,6 +145,9 @@ Status DiskTableWriter::Close() {
     return Status::IoError(path_ + " is not open");
   }
   Status status = FlushBuffer();
+  // Injected inline (not via the early-return macro) so the fclose below
+  // still runs: a chaos-injected close failure must not leak the handle.
+  if (status.ok() && g_fp_table_close.armed()) status = g_fp_table_close.Fire();
   // Patch the row count into the header — unless this is a shard, whose
   // file already carries the finalized header from PreallocateDiskTable.
   if (status.ok() && !shard_mode_) {

@@ -8,10 +8,12 @@
 
 #include <atomic>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "hydra/regenerator.h"
 #include "hydra/summary_io.h"
 #include "hydra/tuple_generator.h"
@@ -433,11 +435,12 @@ TEST(FairSchedulerTest, WindowBoundsConcurrentWork) {
   FairScheduler scheduler(/*max_inflight=*/2);
   std::atomic<int> inflight{0};
   std::atomic<int> max_seen{0};
+  std::atomic<int> admit_failures{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 6; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < 40; ++i) {
-        scheduler.Admit(static_cast<uint64_t>(t), [&] {
+        const Status admitted = scheduler.Admit(static_cast<uint64_t>(t), [&] {
           const int now = inflight.fetch_add(1) + 1;
           int seen = max_seen.load();
           while (now > seen && !max_seen.compare_exchange_weak(seen, now)) {
@@ -447,12 +450,104 @@ TEST(FairSchedulerTest, WindowBoundsConcurrentWork) {
           std::this_thread::sleep_for(std::chrono::microseconds(200));
           inflight.fetch_sub(1);
         });
+        if (!admitted.ok()) admit_failures.fetch_add(1);
       }
     });
   }
   for (std::thread& th : threads) th.join();
   EXPECT_LE(max_seen.load(), 2);
+  EXPECT_EQ(admit_failures.load(), 0);  // no scope, no bound: all admitted
   EXPECT_GT(scheduler.admission_waits(), 0u);
+}
+
+TEST(FairSchedulerTest, QueueBoundShedsExcessWaiters) {
+  FairScheduler scheduler(/*max_inflight=*/1, /*max_queued=*/2);
+  std::mutex gate;
+  gate.lock();  // the first admitted task blocks, wedging the window
+  std::atomic<int> shed{0};
+  std::atomic<int> ran{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const Status admitted = scheduler.Admit(static_cast<uint64_t>(t), [&] {
+        ran.fetch_add(1);
+        gate.lock();  // first holder blocks until the main thread unlocks
+        gate.unlock();
+      });
+      if (admitted.code() == StatusCode::kResourceExhausted) {
+        shed.fetch_add(1);
+      }
+    });
+  }
+  // Window (1) + queue (2) fill; the rest must fast-reject.
+  while (shed.load() < 5) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+  gate.unlock();
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(shed.load(), 5);
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(scheduler.shed(), 5u);
+  EXPECT_EQ(scheduler.queued(), 0);
+}
+
+TEST(FairSchedulerTest, CancelledWaiterLeavesTheQueue) {
+  FairScheduler scheduler(/*max_inflight=*/1);
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> holding{false};
+  std::thread holder([&] {
+    const Status admitted = scheduler.Admit(1, [&] {
+      holding.store(true);
+      gate.lock();
+      gate.unlock();
+    });
+    EXPECT_TRUE(admitted.ok());
+  });
+  // Wait until the holder owns the window.
+  while (!holding.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  CancelToken token;
+  std::thread waiter([&] {
+    bool ran = false;
+    const Status admitted = scheduler.Admit(
+        2, [&] { ran = true; }, CancelScope(&token, Deadline::Infinite()));
+    EXPECT_EQ(admitted.code(), StatusCode::kCancelled);
+    EXPECT_FALSE(ran);
+  });
+  while (scheduler.queued() == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  token.Cancel();
+  scheduler.Kick();
+  waiter.join();
+  EXPECT_EQ(scheduler.queued(), 0);
+  gate.unlock();
+  holder.join();
+  scheduler.Drain();  // nothing left: returns immediately, no deadlock
+}
+
+TEST(FairSchedulerTest, DeadlineExpiryRejectsQueuedWaiter) {
+  FairScheduler scheduler(/*max_inflight=*/1);
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> holding{false};
+  std::thread holder([&] {
+    const Status admitted = scheduler.Admit(1, [&] {
+      holding.store(true);
+      gate.lock();
+      gate.unlock();
+    });
+    EXPECT_TRUE(admitted.ok());
+  });
+  while (!holding.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const Status admitted = scheduler.Admit(
+      2, [] {}, CancelScope(nullptr, Deadline::After(20)));
+  EXPECT_EQ(admitted.code(), StatusCode::kDeadlineExceeded);
+  gate.unlock();
+  holder.join();
 }
 
 // ---- error paths ----------------------------------------------------------

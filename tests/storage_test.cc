@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+#include "hydra/regenerator.h"
+#include "hydra/tuple_generator.h"
 #include "storage/disk_table.h"
+#include "workload/toy.h"
 
 namespace hydra {
 namespace {
@@ -14,11 +18,15 @@ namespace {
 class DiskTableTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    Failpoint::DisarmAll();
     dir_ = std::filesystem::temp_directory_path() /
            ("hydra_storage_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    Failpoint::DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
 
   std::string Path(const std::string& name) { return (dir_ / name).string(); }
 
@@ -193,6 +201,84 @@ TEST_F(DiskTableTest, BytesReflectsContent) {
   ASSERT_TRUE(bytes.ok());
   // Header (24 bytes) + 200 values.
   EXPECT_EQ(*bytes, 24u + 200u * sizeof(Value));
+}
+
+// ---- injected-fault error paths (docs/robustness.md) ----------------------
+
+TEST_F(DiskTableTest, InjectedOpenFailureSurfacesCleanly) {
+  ASSERT_TRUE(Failpoint::ArmFromString("disk_table/open=error(IO_ERROR)").ok());
+  DiskTableWriter writer(Path("never_created.tbl"), 2);
+  EXPECT_EQ(writer.Open().code(), StatusCode::kIoError);
+  // The writer was never opened; closing is still safe and the failure left
+  // no half-created file behind the caller's back.
+  (void)writer.Close();
+}
+
+TEST_F(DiskTableTest, DiskFullMidWriteLeavesFileScanningAsEmpty) {
+  const std::string path = Path("diskfull.tbl");
+  DiskTableWriter writer(path, 2);
+  ASSERT_TRUE(writer.Open().ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(writer.Append({i, i}).ok());
+  // From here every flush fails, as if the disk filled under the buffer.
+  ASSERT_TRUE(
+      Failpoint::ArmFromString("disk_table/append=error(IO_ERROR)").ok());
+  Status status = Status::OK();
+  for (int i = 0; i < 100000 && status.ok(); ++i) {
+    status = writer.Append({i, i});
+  }
+  const Status close_status = writer.Close();
+  // The failure surfaced on the buffered-append path or at Close — never
+  // silently — and the unfinalized header makes the file scan as empty.
+  EXPECT_TRUE(!status.ok() || !close_status.ok());
+  auto rows = ScanDiskTable(path, [](const Row&) { FAIL(); });
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 0u);
+}
+
+TEST_F(DiskTableTest, InjectedShardOpenFailure) {
+  const std::string path = Path("shardfail.tbl");
+  ASSERT_TRUE(PreallocateDiskTable(path, 2).ok());
+  ASSERT_TRUE(
+      Failpoint::ArmFromString("disk_table/open_shard=error(IO_ERROR)").ok());
+  DiskTableWriter writer(path, 2);
+  EXPECT_EQ(writer.OpenShard(0).code(), StatusCode::kIoError);
+}
+
+// One failed shard aborts the whole materialization fleet cleanly: the
+// error propagates, no header is ever finalized, and every output file
+// scans as empty — never as a table with zero-filled holes
+// (the MaterializeToDisk contract in tuple_generator.cc).
+TEST_F(DiskTableTest, FailedShardAbortsMaterializationFleet) {
+  const ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto regen = hydra.Regenerate(env.ccs);
+  ASSERT_TRUE(regen.ok()) << regen.status().ToString();
+  const DatabaseSummary& summary = regen->summary;
+
+  GenerationOptions options;
+  options.num_threads = 4;
+  options.shard_rows = 256;  // many shards per relation: a real fleet
+  ASSERT_TRUE(
+      Failpoint::ArmFromString("disk_table/open_shard=error(IO_ERROR,times=1)")
+          .ok());
+  const auto bytes = MaterializeToDisk(summary, dir_.string(), options);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kIoError);
+  Failpoint::DisarmAll();
+
+  for (int r = 0; r < summary.schema.num_relations(); ++r) {
+    const std::string path =
+        (dir_ / (summary.schema.relation(r).name() + ".tbl")).string();
+    auto rows = ScanDiskTable(path, [](const Row&) { FAIL(); });
+    ASSERT_TRUE(rows.ok()) << path << ": " << rows.status().ToString();
+    EXPECT_EQ(*rows, 0u) << path << " scanned rows after an aborted fleet";
+  }
+
+  // The same summary materializes fine once the fault clears — the aborted
+  // run left nothing poisoned behind.
+  const auto retry = MaterializeToDisk(summary, dir_.string(), options);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_GT(*retry, 0u);
 }
 
 }  // namespace
