@@ -48,6 +48,18 @@ uint64_t HashString(uint64_t h, const std::string& s) {
   return h;
 }
 
+// Hashes a block's logical rows in row-major order: the stream hash is over
+// row content, independent of the engine's storage layout, so it matches
+// the pre-columnar reference streams bit for bit.
+uint64_t HashBlock(uint64_t h, const RowBlock& block) {
+  Row row(block.num_columns());
+  for (int64_t r = 0; r < block.num_rows(); ++r) {
+    block.CopyRowTo(r, row.data());
+    h = HashValues(h, row.data(), block.num_columns());
+  }
+  return h;
+}
+
 // One client's unit of work; its result depends only on the item, never on
 // the serving configuration, so hashes compare across configurations.
 struct WorkItem {
@@ -84,8 +96,7 @@ StatusOr<uint64_t> TryRunItem(RegenServer& server, const WorkItem& item) {
           break;
         }
         if (!*more) break;
-        h = HashValues(h, block.RowPtr(0),
-                       block.num_rows() * block.num_columns());
+        h = HashBlock(h, block);
       }
       break;
     }
@@ -136,8 +147,7 @@ uint64_t RunItem(RegenServer& server, const WorkItem& item) {
         auto more = server.NextBatch(*sid, *cid, &block);
         HYDRA_CHECK_MSG(more.ok(), more.status().ToString());
         if (!*more) break;
-        h = HashValues(h, block.RowPtr(0),
-                       block.num_rows() * block.num_columns());
+        h = HashBlock(h, block);
       }
       break;
     }
@@ -376,8 +386,7 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 10; ++i) {
       auto more = server.NextBatch(*sid, *cid, &block);
       HYDRA_CHECK_MSG(more.ok() && *more, "unexpected end of stream");
-      h = HashValues(h, block.RowPtr(0),
-                     block.num_rows() * block.num_columns());
+      h = HashBlock(h, block);
     }
     // Touch the other summary so the toy summary is evicted mid-stream.
     auto other = server.OpenSession("tpcds");
@@ -389,8 +398,7 @@ int main(int argc, char** argv) {
       auto more = server.NextBatch(*sid, *cid, &block);
       HYDRA_CHECK_OK(more.status());
       if (!*more) break;
-      h = HashValues(h, block.RowPtr(0),
-                     block.num_rows() * block.num_columns());
+      h = HashBlock(h, block);
     }
     // Reference: the same scan on an untouched server with a huge cache.
     ServeOptions ref_options;
@@ -407,8 +415,7 @@ int main(int argc, char** argv) {
       auto more = ref_server.NextBatch(*ref_sid, *ref_cid, &block);
       HYDRA_CHECK_OK(more.status());
       if (!*more) break;
-      ref_hash = HashValues(ref_hash, block.RowPtr(0),
-                            block.num_rows() * block.num_columns());
+      ref_hash = HashBlock(ref_hash, block);
     }
     HYDRA_CHECK_MSG(h == ref_hash,
                     "cursor stream diverged across eviction + reload");

@@ -9,6 +9,8 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "engine/executor.h"
+#include "engine/kernels.h"
+#include "engine/row_block.h"
 #include "hydra/regenerator.h"
 #include "hydra/tuple_generator.h"
 #include "lp/basis_lu.h"
@@ -296,6 +298,91 @@ void BM_RandomAccessTuple(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomAccessTuple);
+
+// --- Columnar kernel micro benches -----------------------------------------
+// Each takes a trailing 0/1 arg toggling kernels::SetSimdEnabled, so one run
+// A/Bs the scalar loops against the explicit SIMD paths on the same data.
+// CI runs these (plus fig_query_exec) in a second -mavx2 build variant to
+// cover the AVX2 dispatch level the default Release build compiles out.
+
+RowBlock RandomBlock(int width, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  RowBlock block(width);
+  block.ResizeUninitialized(rows);
+  for (int c = 0; c < width; ++c) {
+    Value* col = block.MutableColumn(c);
+    for (int64_t i = 0; i < rows; ++i) col[i] = rng.NextInt(-100, 100);
+  }
+  return block;
+}
+
+// Args: {rows, simd}.
+void BM_PredEval(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  kernels::SetSimdEnabled(state.range(1) != 0);
+  const RowBlock block = RandomBlock(2, n, 17);
+  // Two conjuncts sharing a column, so the bench covers the per-atom mask
+  // kernels and the conjunct AND / disjunct OR combines.
+  const DnfPredicate dnf =
+      PredicateAllOf({Atom{0, IntervalSet(Interval(0, 40))},
+                      Atom{1, IntervalSet(Interval(-50, 0))}})
+          .Or(PredicateOf(Atom{0, IntervalSet(Interval(60, 90))}));
+  const kernels::BlockPredicate pred(dnf);
+  SelVector sel;
+  for (auto _ : state) {
+    pred.Select(block, &sel);
+    benchmark::DoNotOptimize(sel.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  kernels::SetSimdEnabled(true);
+}
+BENCHMARK(BM_PredEval)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
+
+// Args: {rows, simd}.
+void BM_HashKeys(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  kernels::SetSimdEnabled(state.range(1) != 0);
+  const RowBlock block = RandomBlock(1, n, 23);
+  std::vector<uint64_t> hashes(n);
+  for (auto _ : state) {
+    kernels::HashKeys(block.Column(0), n, hashes.data());
+    benchmark::DoNotOptimize(hashes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  kernels::SetSimdEnabled(true);
+}
+BENCHMARK(BM_HashKeys)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
+
+// Args: {simd}. Columnar generator fill of a whole relation (the batched
+// replacement for the row-at-a-time Fill path).
+void BM_GeneratorFill(benchmark::State& state) {
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto result = hydra.Regenerate(env.ccs);
+  HYDRA_CHECK_MSG(result.ok(), result.status().ToString());
+  TupleGenerator gen(result->summary);
+  const int r = env.schema.RelationIndex("R");
+  const int64_t n = static_cast<int64_t>(gen.RowCount(r));
+  const int width = env.schema.relation(r).num_attributes();
+  kernels::SetSimdEnabled(state.range(0) != 0);
+  RowBlock block(width);
+  for (auto _ : state) {
+    block.Reset(width);
+    gen.FillBlockRange(r, 0, n, &block);
+    benchmark::DoNotOptimize(block.Column(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  kernels::SetSimdEnabled(true);
+}
+BENCHMARK(BM_GeneratorFill)->Arg(0)->Arg(1);
 
 // Bridges google-benchmark runs into the JsonReporter trajectory records:
 // one {name, seconds-per-iteration, iterations} record per run.

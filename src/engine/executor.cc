@@ -66,8 +66,14 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
   // and evaluates the pushed-down filter inside the morsel workers, and the
   // blocks arrive in rank order, so the filtered table is identical to a
   // sequential scan at any thread count.
-  std::vector<Table> filtered;
-  filtered.reserve(num_tables);
+  // Per-query intermediates are thread_local so their buffers survive
+  // across Execute calls: a workload loop otherwise re-allocates (and
+  // first-touches) megabytes of fresh column storage for every query.
+  thread_local std::vector<RowBlock> filtered;
+  thread_local RowBlock drain;
+  if (static_cast<int>(filtered.size()) < num_tables) {
+    filtered.resize(num_tables);
+  }
   for (int t = 0; t < num_tables; ++t) {
     // Stage boundary: a tripped CancelScope unwinds here (and after each
     // join below) within one morsel of the signal — the pipelines stop
@@ -75,15 +81,13 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
     HYDRA_RETURN_IF_ERROR(ctx()->CheckCancel());
     const QueryTable& qt = query.tables[t];
     const Relation& rel = schema_.relation(qt.relation);
-    Table ft(rel.num_attributes());
+    RowBlock& ft = filtered[t];
+    ft.Reset(rel.num_attributes());
     {
       SourceScanOp scan(&source, qt.relation, rel.num_attributes(),
                         qt.filter, ctx());
       scan.Open();
-      RowBlock block;
-      while (scan.NextBatch(&block)) {
-        ft.AppendBlock(block.RowPtr(0), block.num_rows());
-      }
+      while (scan.NextBatch(&drain)) ft.AppendBlock(drain);
     }
     if (!qt.filter.IsTrue()) {
       AqpStep step;
@@ -93,7 +97,6 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
       step.cardinality = ft.num_rows();
       aqp.steps.push_back(std::move(step));
     }
-    filtered.push_back(std::move(ft));
   }
 
   // Left-deep join phase, entirely in the operator layer: every step is one
@@ -169,18 +172,16 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
   for (const AttrCol& c : needed_after(-1)) {
     if (c.table == 0) acc_cols.push_back(c);
   }
-  Table acc(static_cast<int>(acc_cols.size()));
+  thread_local RowBlock acc;
+  acc.Reset(static_cast<int>(acc_cols.size()));
   if (num_joins > 0) {
     std::vector<int> root_attrs;
     root_attrs.reserve(acc_cols.size());
     for (const AttrCol& c : acc_cols) root_attrs.push_back(c.attr);
-    ProjectOp project(std::make_unique<TableScanOp>(&filtered[0], ctx()),
+    ProjectOp project(std::make_unique<RowBlockScanOp>(&filtered[0], ctx()),
                       std::move(root_attrs));
     project.Open();
-    RowBlock block;
-    while (project.NextBatch(&block)) {
-      acc.AppendBlock(block.RowPtr(0), block.num_rows());
-    }
+    while (project.NextBatch(&drain)) acc.AppendBlock(drain);
   }
 
   std::vector<int> joined_tables = {0};  // indices into query.tables
@@ -199,7 +200,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
       }
     }
     auto new_scan = std::make_unique<ProjectOp>(
-        std::make_unique<TableScanOp>(&filtered[new_t], ctx()),
+        std::make_unique<RowBlockScanOp>(&filtered[new_t], ctx()),
         new_attrs);
     const int acc_key_col = col_index(acc_cols, acc_key[j]);
 
@@ -219,7 +220,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
       out_cols = acc_cols;
       for (int a : new_attrs) out_cols.push_back({new_t, a});
       join = std::make_unique<HashJoinOp>(
-          std::make_unique<TableScanOp>(&acc, ctx()), acc_key_col,
+          std::make_unique<RowBlockScanOp>(&acc, ctx()), acc_key_col,
           std::move(new_scan), /*build_col=*/0, ctx());
     }
 
@@ -235,7 +236,7 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
     if (keep_cols.empty()) {
       // Final step: only the cardinality is wanted.
       cardinality = CountRows(join.get());
-      acc = Table(0);
+      acc.Reset(0);
       acc_cols.clear();
     } else {
       std::vector<int> keep;
@@ -243,15 +244,15 @@ StatusOr<AnnotatedQueryPlan> Executor::Execute(
       for (const AttrCol& c : keep_cols) {
         keep.push_back(col_index(out_cols, c));
       }
-      Table next(static_cast<int>(keep_cols.size()));
+      // Swap (not move) so the displaced acc buffers become next's scratch
+      // on the following join step instead of being freed.
+      thread_local RowBlock next;
+      next.Reset(static_cast<int>(keep_cols.size()));
       ProjectOp project(std::move(join), std::move(keep));
       project.Open();
-      RowBlock block;
-      while (project.NextBatch(&block)) {
-        next.AppendBlock(block.RowPtr(0), block.num_rows());
-      }
-      cardinality = next.num_rows();
-      acc = std::move(next);
+      while (project.NextBatch(&drain)) next.AppendBlock(drain);
+      cardinality = static_cast<uint64_t>(next.num_rows());
+      std::swap(acc, next);
       acc_cols = std::move(keep_cols);
     }
     joined_tables.push_back(new_t);

@@ -32,17 +32,6 @@ void RunTasks(ExecContext* ctx, int count,
   wg.Wait();
 }
 
-// Fixed (platform-independent) integer mix for hash-partitioning join keys.
-// Only the distribution depends on it — results never do — but keeping it
-// deterministic keeps partition sizes reproducible for debugging.
-inline uint64_t MixKey(Value v) {
-  uint64_t x = static_cast<uint64_t>(v);
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 }  // namespace
 
 namespace internal {
@@ -265,8 +254,8 @@ bool Operator::Next(Row* out) {
     }
     shim_pos_ = 0;
   }
-  const Value* p = shim_.RowPtr(shim_pos_++);
-  out->assign(p, p + shim_.num_columns());
+  out->resize(shim_.num_columns());
+  shim_.CopyRowTo(shim_pos_++, out->data());
   return true;
 }
 
@@ -278,8 +267,8 @@ SourceScanOp::SourceScanOp(const TableSource* source, int relation,
     : source_(source),
       relation_(relation),
       num_columns_(num_columns),
-      filter_(std::move(filter)),
-      filter_is_true_(filter_.IsTrue()),
+      filter_(filter),
+      filter_is_true_(filter_.is_true()),
       ctx_(ctx) {}
 
 SourceScanOp::~SourceScanOp() = default;
@@ -288,19 +277,19 @@ void SourceScanOp::OpenImpl() {
   morsels_ = std::make_unique<internal::MorselPipeline>(
       ctx_, static_cast<int64_t>(source_->RowCount(relation_)), num_columns_,
       [this](int64_t begin, int64_t end, RowBlock* out) {
-        out->Reserve(end - begin);
-        if (filter_is_true_) {
-          source_->ScanRange(relation_, begin, end, [out](const Row& row) {
-            out->AppendRow(row.data());
-          });
-        } else {
-          source_->ScanRange(relation_, begin, end,
-                             [this, out](const Row& row) {
-                               if (filter_.Eval(row.data())) {
-                                 out->AppendRow(row.data());
-                               }
-                             });
+        source_->FillBlockRange(relation_, begin, end, out);
+        if (filter_is_true_) return;
+        // Mask the columns, then compact each one in place through the
+        // selection vector (ascending, so reads stay ahead of writes).
+        thread_local SelVector sel;
+        filter_.Select(*out, &sel);
+        const int64_t kept = static_cast<int64_t>(sel.size());
+        if (kept == out->num_rows()) return;
+        for (int c = 0; c < out->num_columns(); ++c) {
+          Value* col = out->MutableColumn(c);
+          kernels::Gather(col, sel.data(), kept, col);
         }
+        out->Truncate(kept);
       });
 }
 
@@ -315,11 +304,26 @@ void TableScanOp::OpenImpl() {
   morsels_ = std::make_unique<internal::MorselPipeline>(
       ctx_, static_cast<int64_t>(table_->num_rows()), table_->num_columns(),
       [this](int64_t begin, int64_t end, RowBlock* out) {
-        out->AppendRows(table_->RowPtr(begin), end - begin);
+        out->AppendRowMajor(table_->RowPtr(begin), end - begin);
       });
 }
 
 bool TableScanOp::NextBatch(RowBlock* out) { return morsels_->Next(out); }
+
+RowBlockScanOp::RowBlockScanOp(const RowBlock* block, ExecContext* ctx)
+    : block_(block), ctx_(ctx) {}
+
+RowBlockScanOp::~RowBlockScanOp() = default;
+
+void RowBlockScanOp::OpenImpl() {
+  morsels_ = std::make_unique<internal::MorselPipeline>(
+      ctx_, block_->num_rows(), block_->num_columns(),
+      [this](int64_t begin, int64_t end, RowBlock* out) {
+        out->AppendRange(*block_, begin, end - begin);
+      });
+}
+
+bool RowBlockScanOp::NextBatch(RowBlock* out) { return morsels_->Next(out); }
 
 GeneratorScanOp::GeneratorScanOp(const TupleGenerator* generator, int relation,
                                  int num_columns, ExecContext* ctx)
@@ -334,8 +338,7 @@ void GeneratorScanOp::OpenImpl() {
   morsels_ = std::make_unique<internal::MorselPipeline>(
       ctx_, static_cast<int64_t>(generator_->RowCount(relation_)),
       num_columns_, [this](int64_t begin, int64_t end, RowBlock* out) {
-        generator_->FillRange(relation_, begin, end,
-                              out->AppendUninitialized(end - begin));
+        generator_->FillBlockRange(relation_, begin, end, out);
       });
 }
 
@@ -346,11 +349,14 @@ bool GeneratorScanOp::NextBatch(RowBlock* out) { return morsels_->Next(out); }
 bool FilterOp::NextBatch(RowBlock* out) {
   out->Reset(child_->num_columns());
   while (child_->NextBatch(&in_)) {
-    for (int64_t r = 0; r < in_.num_rows(); ++r) {
-      const Value* row = in_.RowPtr(r);
-      if (predicate_.Eval(row)) out->AppendRow(row);
+    predicate_.Select(in_, &sel_);
+    const int64_t kept = static_cast<int64_t>(sel_.size());
+    if (kept == 0) continue;
+    out->ResizeUninitialized(kept);
+    for (int c = 0; c < in_.num_columns(); ++c) {
+      kernels::Gather(in_.Column(c), sel_.data(), kept, out->MutableColumn(c));
     }
-    if (!out->empty()) return true;
+    return true;
   }
   return false;
 }
@@ -360,12 +366,21 @@ bool ProjectOp::NextBatch(RowBlock* out) {
   out->Reset(num_cols);
   if (!child_->NextBatch(&in_)) return false;
   const int64_t rows = in_.num_rows();
-  Value* dst = out->AppendUninitialized(rows);
-  for (int64_t r = 0; r < rows; ++r) {
-    const Value* row = in_.RowPtr(r);
-    for (int c = 0; c < num_cols; ++c) dst[c] = row[columns_[c]];
-    dst += num_cols;
+  // Column moves: swap each projected buffer out of the owned input block;
+  // the output's previous buffer swaps back in, so both blocks keep their
+  // capacity. A source column projected twice copies on re-use.
+  std::vector<int> moved_to(in_.num_columns(), -1);
+  for (int c = 0; c < num_cols; ++c) {
+    const int src = columns_[c];
+    if (moved_to[src] < 0) {
+      std::swap(out->MutableColumnBuffer(c), in_.MutableColumnBuffer(src));
+      moved_to[src] = c;
+    } else {
+      const ValueBuffer& first = out->MutableColumnBuffer(moved_to[src]);
+      out->MutableColumnBuffer(c).assign(first.begin(), first.end());
+    }
   }
+  out->SetNumRows(rows);
   return true;
 }
 
@@ -382,13 +397,23 @@ bool LimitOp::NextBatch(RowBlock* out) {
 
 // --- HashJoinOp ----------------------------------------------------------
 
-namespace {
-
-inline int PartitionOf(Value key, int num_partitions) {
-  return static_cast<int>(MixKey(key) % static_cast<uint64_t>(num_partitions));
+void HashJoinOp::KeyMap::Init(int64_t rows) {
+  uint64_t cap = 8;
+  while (cap < static_cast<uint64_t>(rows) * 2) cap <<= 1;
+  slots.assign(cap, {});
+  mask = static_cast<uint32_t>(cap - 1);
 }
 
-}  // namespace
+HashJoinOp::KeySlot* HashJoinOp::KeyMap::FindOrInsert(Value key,
+                                                      uint64_t hash) {
+  uint32_t i = static_cast<uint32_t>(hash >> 32) & mask;
+  while (slots[i].len != 0) {
+    if (slots[i].key == key) return &slots[i];
+    i = (i + 1) & mask;
+  }
+  slots[i].key = key;
+  return &slots[i];
+}
 
 HashJoinOp::HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
                        std::unique_ptr<Operator> build, int build_col,
@@ -400,10 +425,10 @@ HashJoinOp::HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
       ctx_(ctx) {}
 
 HashJoinOp::HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
-                       const Table* build_table, int build_col,
+                       const RowBlock* build_block, int build_col,
                        ExecContext* ctx)
     : probe_(std::move(probe)),
-      build_table_(build_table),
+      build_block_(build_block),
       probe_col_(probe_col),
       build_col_(build_col),
       ctx_(ctx) {}
@@ -416,57 +441,69 @@ void HashJoinOp::OpenImpl() {
     build_->Open();
     build_rows_.Reset(build_->num_columns());
     RowBlock b;
-    while (build_->NextBatch(&b)) {
-      build_rows_.AppendRows(b.RowPtr(0), b.num_rows());
-    }
-    build_data_ = build_rows_.data().data();
-    build_num_rows_ = build_rows_.num_rows();
-  } else {
-    build_data_ = build_table_->num_rows() == 0 ? nullptr
-                                                : build_table_->RowPtr(0);
-    build_num_rows_ = static_cast<int64_t>(build_table_->num_rows());
+    while (build_->NextBatch(&b)) build_rows_.AppendBlock(b);
   }
+  const RowBlock& built = build_rows();
+  build_num_rows_ = built.num_rows();
   const int64_t n = build_num_rows_;
   HYDRA_CHECK_MSG(n < INT64_C(0xffffffff),
                   "build side too large for uint32 row ids");
+  // One kernel pass hashes the whole build key column; partition index and
+  // bucket index both come from the precomputed hash (low bits pick the
+  // partition, high bits the bucket — see KeyMap).
+  const Value* keys = built.Column(build_col_);
+  std::vector<uint64_t> hashes(n);
+  kernels::HashKeys(keys, n, hashes.data());
 
   // Hash-partitioned CSR build. Each partition runs a count pass (span
-  // lengths per key), assigns flat offsets, then a fill pass that places
-  // row ids in build-stream order — after which every span's `len` has
-  // regrown to its count. Two passes cost less than the heap allocation a
-  // per-key vector would need, and the flat layout probes cache-friendly.
+  // lengths per key), assigns span *end* offsets, then a reverse-order fill
+  // pass that places row ids back to front — after which every span's begin
+  // has walked down to its start and the ids sit in build-stream order.
+  // Two passes over a flat open-addressing map cost less than a node
+  // allocation per distinct key, and the flat layout probes cache-friendly.
   const bool parallel =
       ctx_ != nullptr && ctx_->parallelism() > 1 && n >= 1024;
   const int num_parts =
       parallel ? std::min(ctx_->parallelism(), 64) : 1;
   partitions_.assign(num_parts, {});
   partition_rows_.assign(num_parts, {});
-  // Builds partition `p` from any row-id sequence in build-stream order.
-  const auto build_partition = [this](
-                                   int p,
-                                   const std::function<void(
-                                       const std::function<void(uint32_t)>&)>&
-                                       for_each_row) {
-    auto& part = partitions_[p];
-    for_each_row([&](uint32_t r) { ++part[BuildRowPtr(r)[build_col_]].len; });
-    uint32_t offset = 0;
-    for (auto& [key, span] : part) {
-      span.begin = offset;
-      offset += span.len;
-      span.len = 0;  // reused as the fill cursor
-    }
-    auto& rows = partition_rows_[p];
-    rows.resize(offset);
-    for_each_row([&](uint32_t r) {
-      KeySpan& span = part[BuildRowPtr(r)[build_col_]];
-      rows[span.begin + span.len++] = r;
-    });
-  };
+  // Builds partition `p` from forward/reverse walks of its row ids (both in
+  // build-stream order / reversed build-stream order respectively). The
+  // walkers are generic callables so every per-row call inlines — a
+  // std::function here costs an indirect call per build row per pass.
+  // Pass 1 records each row's slot so the fill pass never re-probes.
+  std::vector<uint32_t> slot_of_row(static_cast<size_t>(n));
+  const auto build_partition =
+      [&](int p, int64_t row_count, const auto& forward, const auto& reverse) {
+        KeyMap& part = partitions_[p];
+        part.Init(row_count);
+        KeySlot* const base = part.slots.data();
+        forward([&](uint32_t r) {
+          KeySlot* slot = part.FindOrInsert(keys[r], hashes[r]);
+          ++slot->len;
+          slot_of_row[r] = static_cast<uint32_t>(slot - base);
+        });
+        uint32_t offset = 0;
+        for (KeySlot& slot : part.slots) {
+          if (slot.len == 0) continue;
+          offset += slot.len;
+          slot.begin = offset;  // one past the span end; fill walks it down
+        }
+        auto& rows = partition_rows_[p];
+        rows.resize(offset);
+        reverse([&](uint32_t r) {
+          rows[--base[slot_of_row[r]].begin] = r;
+        });
+      };
   if (num_parts == 1) {
-    partitions_[0].reserve(static_cast<size_t>(n) * 2);
-    build_partition(0, [n](const std::function<void(uint32_t)>& fn) {
-      for (int64_t r = 0; r < n; ++r) fn(static_cast<uint32_t>(r));
-    });
+    build_partition(
+        0, n,
+        [n](const auto& fn) {
+          for (int64_t r = 0; r < n; ++r) fn(static_cast<uint32_t>(r));
+        },
+        [n](const auto& fn) {
+          for (int64_t r = n - 1; r >= 0; --r) fn(static_cast<uint32_t>(r));
+        });
   } else {
     // buckets[chunk][partition] -> row ids, so total work stays O(n):
     // pass 1 has each chunk bucket its own rows by partition; pass 2 has
@@ -481,16 +518,26 @@ void HashJoinOp::OpenImpl() {
       const int64_t begin = c * chunk_rows;
       const int64_t end = std::min(n, begin + chunk_rows);
       for (int64_t r = begin; r < end; ++r) {
-        mine[PartitionOf(BuildRowPtr(r)[build_col_], num_parts)]
-            .push_back(static_cast<uint32_t>(r));
+        mine[hashes[r] % static_cast<uint64_t>(num_parts)].push_back(
+            static_cast<uint32_t>(r));
       }
     });
     RunTasks(ctx_, num_parts, [&](int p) {
+      int64_t row_count = 0;
+      for (int c = 0; c < num_chunks; ++c) {
+        row_count += static_cast<int64_t>(buckets[c][p].size());
+      }
       build_partition(
-          p, [&buckets, num_chunks, p](
-                 const std::function<void(uint32_t)>& fn) {
+          p, row_count,
+          [&buckets, num_chunks, p](const auto& fn) {
             for (int c = 0; c < num_chunks; ++c) {
               for (const uint32_t r : buckets[c][p]) fn(r);
+            }
+          },
+          [&buckets, num_chunks, p](const auto& fn) {
+            for (int c = num_chunks - 1; c >= 0; --c) {
+              const auto& ids = buckets[c][p];
+              for (size_t i = ids.size(); i > 0; --i) fn(ids[i - 1]);
             }
           });
     });
@@ -511,6 +558,14 @@ void HashJoinOp::JoinBatch(const RowBlock& in, RowBlock* out) const {
   const int probe_cols = in.num_columns();
   const int build_cols = build_width_();
   const int num_parts = static_cast<int>(partitions_.size());
+  const int64_t probe_n = in.num_rows();
+  const Value* keys = in.Column(probe_col_);
+  // The whole probe key column is hashed in one kernel pass per batch; the
+  // per-row loop only partitions and probes. thread_local scratch: probe
+  // batches are joined concurrently by the OrderedBatchMapper's workers.
+  thread_local std::vector<uint64_t> hashes;
+  hashes.resize(static_cast<size_t>(probe_n));
+  kernels::HashKeys(keys, probe_n, hashes.data());
   // Pass 1: resolve each probe row's span so the output can be sized in
   // one allocation (per-output-row growth dominated the join otherwise).
   struct Match {
@@ -518,28 +573,63 @@ void HashJoinOp::JoinBatch(const RowBlock& in, RowBlock* out) const {
     const uint32_t* row_ids;
     uint32_t len;
   };
-  std::vector<Match> matches;
-  matches.reserve(in.num_rows());
+  thread_local std::vector<Match> matches;
+  matches.clear();
+  matches.reserve(static_cast<size_t>(probe_n));
   int64_t total_rows = 0;
-  for (int64_t r = 0; r < in.num_rows(); ++r) {
-    const Value key = in.RowPtr(r)[probe_col_];
-    const int p = num_parts == 1 ? 0 : PartitionOf(key, num_parts);
-    const auto it = partitions_[p].find(key);
-    if (it == partitions_[p].end()) continue;
-    const KeySpan span = it->second;
-    matches.push_back({r, partition_rows_[p].data() + span.begin, span.len});
-    total_rows += span.len;
-  }
-  // Pass 2: fill.
-  Value* dst = out->AppendUninitialized(total_rows);
-  for (const Match& m : matches) {
-    const Value* probe_row = in.RowPtr(m.probe_row);
-    for (uint32_t i = 0; i < m.len; ++i) {
-      std::copy(probe_row, probe_row + probe_cols, dst);
-      const Value* build_row = BuildRowPtr(m.row_ids[i]);
-      std::copy(build_row, build_row + build_cols, dst + probe_cols);
-      dst += probe_cols + build_cols;
+  // The slot array exceeds cache for large build sides, so each probe's
+  // first bucket touch is a miss; prefetching a fixed distance ahead hides
+  // it behind the current row's work.
+  constexpr int64_t kPrefetchAhead = 16;
+  for (int64_t r = 0; r < probe_n; ++r) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (r + kPrefetchAhead < probe_n) {
+      const uint64_t ha = hashes[r + kPrefetchAhead];
+      const KeyMap& pa =
+          partitions_[num_parts == 1
+                          ? 0
+                          : static_cast<int>(
+                                ha % static_cast<uint64_t>(num_parts))];
+      __builtin_prefetch(&pa.slots[static_cast<uint32_t>(ha >> 32) & pa.mask]);
     }
+#endif
+    const uint64_t h = hashes[r];
+    const int p = num_parts == 1
+                      ? 0
+                      : static_cast<int>(h % static_cast<uint64_t>(num_parts));
+    const KeySlot* slot = partitions_[p].Find(keys[r], h);
+    if (slot == nullptr) continue;
+    matches.push_back(
+        {r, partition_rows_[p].data() + slot->begin, slot->len});
+    total_rows += slot->len;
+  }
+  // Flatten the match spans into per-output-row source indices once, so
+  // the per-column fill is a straight-line gather rather than a nested
+  // match-span walk repeated for every column.
+  thread_local std::vector<int32_t> probe_idx;
+  thread_local std::vector<uint32_t> build_idx;
+  probe_idx.resize(static_cast<size_t>(total_rows));
+  build_idx.resize(static_cast<size_t>(total_rows));
+  int64_t pos = 0;
+  for (const Match& m : matches) {
+    for (uint32_t i = 0; i < m.len; ++i) {
+      probe_idx[pos] = static_cast<int32_t>(m.probe_row);
+      build_idx[pos] = m.row_ids[i];
+      ++pos;
+    }
+  }
+  // Pass 2: fill column by column — probe values splat across their match
+  // runs, build values gather through the span row ids.
+  out->ResizeUninitialized(total_rows);
+  for (int c = 0; c < probe_cols; ++c) {
+    kernels::Gather(in.Column(c), probe_idx.data(), total_rows,
+                    out->MutableColumn(c));
+  }
+  const RowBlock& built = build_rows();
+  for (int c = 0; c < build_cols; ++c) {
+    const Value* src = built.Column(c);
+    Value* dst = out->MutableColumn(probe_cols + c);
+    for (int64_t i = 0; i < total_rows; ++i) dst[i] = src[build_idx[i]];
   }
 }
 
@@ -556,11 +646,20 @@ bool HashJoinOp::NextBatch(RowBlock* out) {
 
 void HashAggregateOp::AccumulateBatch(const RowBlock& in,
                                       GroupMap* groups) const {
+  // Hoist the column base pointers; the per-row loop then indexes straight
+  // into the contiguous buffers.
+  thread_local std::vector<const Value*> group_cols;
+  thread_local std::vector<const Value*> agg_cols;
+  group_cols.clear();
+  for (int c : group_by_) group_cols.push_back(in.Column(c));
+  agg_cols.clear();
+  for (const Aggregate& agg : aggregates_) {
+    agg_cols.push_back(agg.column >= 0 ? in.Column(agg.column) : nullptr);
+  }
   Row key;
   for (int64_t r = 0; r < in.num_rows(); ++r) {
-    const Value* row = in.RowPtr(r);
     key.clear();
-    for (int c : group_by_) key.push_back(row[c]);
+    for (const Value* col : group_cols) key.push_back(col[r]);
     auto [it, inserted] = groups->try_emplace(key);
     if (inserted) {
       it->second.reserve(aggregates_.size());
@@ -580,20 +679,19 @@ void HashAggregateOp::AccumulateBatch(const RowBlock& in,
       }
     }
     for (size_t a = 0; a < aggregates_.size(); ++a) {
-      const Aggregate& agg = aggregates_[a];
       int64_t& state = it->second[a];
-      switch (agg.kind) {
+      switch (aggregates_[a].kind) {
         case AggregateKind::kCount:
           ++state;
           break;
         case AggregateKind::kSum:
-          state += row[agg.column];
+          state += agg_cols[a][r];
           break;
         case AggregateKind::kMin:
-          state = std::min(state, row[agg.column]);
+          state = std::min(state, agg_cols[a][r]);
           break;
         case AggregateKind::kMax:
-          state = std::max(state, row[agg.column]);
+          state = std::max(state, agg_cols[a][r]);
           break;
       }
     }
@@ -664,11 +762,17 @@ void HashAggregateOp::OpenImpl() {
   }
 
   results_.Reset(num_columns());
-  results_.Reserve(static_cast<int64_t>(merged.size()));
+  results_.ResizeUninitialized(static_cast<int64_t>(merged.size()));
+  const int num_groups = static_cast<int>(group_by_.size());
+  int64_t r = 0;
   for (const auto& [key, values] : merged) {
-    Value* dst = results_.AppendRow();
-    std::copy(key.begin(), key.end(), dst);
-    std::copy(values.begin(), values.end(), dst + key.size());
+    for (int c = 0; c < num_groups; ++c) {
+      results_.MutableColumn(c)[r] = key[c];
+    }
+    for (size_t a = 0; a < values.size(); ++a) {
+      results_.MutableColumn(num_groups + static_cast<int>(a))[r] = values[a];
+    }
+    ++r;
   }
 }
 
@@ -679,7 +783,7 @@ bool HashAggregateOp::NextBatch(RowBlock* out) {
       1, ctx_ == nullptr ? ExecOptions{}.morsel_rows : ctx_->morsel_rows());
   const int64_t chunk = std::min(total - next_result_, batch_rows);
   out->Reset(num_columns());
-  out->AppendRows(results_.RowPtr(next_result_), chunk);
+  out->AppendRange(results_, next_result_, chunk);
   next_result_ += chunk;
   return true;
 }

@@ -4,12 +4,16 @@
 // SourceScanOp scans any TableSource — every operator above is oblivious to
 // where the rows come from.
 //
-// Operators exchange RowBlock batches (NextBatch); the row-at-a-time Next()
-// shim on the base class exists only for root consumers and tests. Leaves
-// fan morsels (fixed-size rank ranges of ScanRange/ScanBlocksRange) out over
-// an ExecContext's thread pool and emit the filled blocks in rank order, so
-// the concatenated row stream — and therefore every cardinality, aggregate
-// value, and root row order — is byte-identical at any thread count
+// Operators exchange columnar RowBlock batches (NextBatch); the hot loops —
+// predicate evaluation, join-key hashing, generator fills, projection — run
+// as per-column kernels (engine/kernels.h) over the blocks' contiguous
+// column buffers, with filters communicating through selection vectors.
+// The row-at-a-time Next() shim on the base class exists only for root
+// consumers and tests. Leaves fan morsels (fixed-size rank ranges of
+// ScanRange/FillBlockRange) out over an ExecContext's thread pool and emit
+// the filled blocks in rank order, so the concatenated row stream — and
+// therefore every cardinality, aggregate value, and root row order — is
+// byte-identical at any thread count and at either kernel dispatch path
 // (docs/engine.md).
 
 #ifndef HYDRA_ENGINE_OPERATORS_H_
@@ -17,110 +21,17 @@
 
 #include <map>
 #include <memory>
-#include <type_traits>
-#include <unordered_map>
 #include <vector>
 
 #include "common/cancel.h"
 #include "common/thread_pool.h"
+#include "engine/kernels.h"
+#include "engine/row_block.h"
 #include "engine/table.h"
 #include "hydra/tuple_generator.h"
 #include "query/predicate.h"
 
 namespace hydra {
-
-namespace internal {
-
-// Allocator whose default-construct leaves trivial types uninitialized, so
-// RowBlock::AppendUninitialized's resize() doesn't spend a memory pass
-// zeroing bytes the caller immediately overwrites (the dominant write on
-// the generator-fill and join-output paths).
-template <typename T>
-class DefaultInitAllocator : public std::allocator<T> {
- public:
-  template <typename U>
-  struct rebind {
-    using other = DefaultInitAllocator<U>;
-  };
-  using std::allocator<T>::allocator;
-
-  template <typename U>
-  void construct(U* ptr) noexcept(
-      std::is_nothrow_default_constructible<U>::value) {
-    ::new (static_cast<void*>(ptr)) U;
-  }
-  template <typename U, typename... Args>
-  void construct(U* ptr, Args&&... args) {
-    std::allocator_traits<std::allocator<T>>::construct(
-        static_cast<std::allocator<T>&>(*this), ptr,
-        std::forward<Args>(args)...);
-  }
-};
-
-}  // namespace internal
-
-// Flat row-major value storage with uninitialized growth.
-using ValueBuffer = std::vector<Value, internal::DefaultInitAllocator<Value>>;
-
-// A batch of rows in flat row-major storage: the unit of data flow between
-// operators and of morsel-parallel work in the leaves.
-class RowBlock {
- public:
-  RowBlock() = default;
-  explicit RowBlock(int num_columns) : num_columns_(num_columns) {}
-
-  // Re-types the block and drops its rows.
-  void Reset(int num_columns) {
-    num_columns_ = num_columns;
-    data_.clear();
-  }
-  void Clear() { data_.clear(); }
-
-  int num_columns() const { return num_columns_; }
-  int64_t num_rows() const {
-    return num_columns_ == 0
-               ? 0
-               : static_cast<int64_t>(data_.size()) / num_columns_;
-  }
-  bool empty() const { return data_.empty(); }
-
-  void Reserve(int64_t rows) { data_.reserve(rows * num_columns_); }
-  // Appends an uninitialized row; the caller writes its num_columns() values
-  // through the returned pointer.
-  Value* AppendRow() {
-    data_.resize(data_.size() + num_columns_);
-    return data_.data() + data_.size() - num_columns_;
-  }
-  void AppendRow(const Value* row) {
-    data_.insert(data_.end(), row, row + num_columns_);
-  }
-  // Appends `n` contiguous row-major rows in one insertion.
-  void AppendRows(const Value* rows, int64_t n) {
-    data_.insert(data_.end(), rows, rows + n * num_columns_);
-  }
-  // Appends `rows` uninitialized rows; the caller fills the returned
-  // pointer's rows * num_columns() values (e.g. TupleGenerator::FillRange).
-  Value* AppendUninitialized(int64_t rows) {
-    const size_t old_size = data_.size();
-    data_.resize(old_size + rows * num_columns_);
-    return data_.data() + old_size;
-  }
-  // Drops all rows past the first `rows`.
-  void Truncate(int64_t rows) { data_.resize(rows * num_columns_); }
-
-  const Value* RowPtr(int64_t row) const {
-    return data_.data() + row * num_columns_;
-  }
-  Value At(int64_t row, int col) const {
-    return data_[row * num_columns_ + col];
-  }
-
-  const ValueBuffer& data() const { return data_; }
-
- private:
-  int num_columns_ = 0;
-  ValueBuffer data_;
-};
 
 // Knobs of the parallel engine, threaded from the workload drivers down to
 // the morsel sources.
@@ -225,7 +136,10 @@ class Operator {
 
 // Leaf: morsel-driven scan over any TableSource (a materialized Database or
 // a TupleGenerator), with an optional pushed-down filter evaluated inside
-// the morsel workers — the executor's scan+filter unit of parallelism.
+// the morsel workers — the executor's scan+filter unit of parallelism. The
+// workers fill their morsel columnar (FillBlockRange), run the compiled
+// predicate over the columns, and compact in place through the selection
+// vector.
 class SourceScanOp : public Operator {
  public:
   SourceScanOp(const TableSource* source, int relation, int num_columns,
@@ -243,14 +157,14 @@ class SourceScanOp : public Operator {
   const TableSource* source_;
   int relation_;
   int num_columns_;
-  DnfPredicate filter_;
+  kernels::BlockPredicate filter_;
   bool filter_is_true_;
   ExecContext* ctx_;
   std::unique_ptr<internal::MorselPipeline> morsels_;
 };
 
-// Leaf: scans an in-memory table in row order (morsel workers memcpy their
-// rank range).
+// Leaf: scans an in-memory row-major table (morsel workers transpose their
+// rank range into the block's columns).
 class TableScanOp : public Operator {
  public:
   explicit TableScanOp(const Table* table, ExecContext* ctx = nullptr);
@@ -268,9 +182,29 @@ class TableScanOp : public Operator {
   std::unique_ptr<internal::MorselPipeline> morsels_;
 };
 
+// Leaf: scans an already-columnar RowBlock (the executor's intermediate
+// results); morsel workers copy their rank range column by column.
+class RowBlockScanOp : public Operator {
+ public:
+  explicit RowBlockScanOp(const RowBlock* block, ExecContext* ctx = nullptr);
+  ~RowBlockScanOp() override;
+
+  bool NextBatch(RowBlock* out) override;
+  int num_columns() const override { return block_->num_columns(); }
+
+ protected:
+  void OpenImpl() override;
+
+ private:
+  const RowBlock* block_;
+  ExecContext* ctx_;
+  std::unique_ptr<internal::MorselPipeline> morsels_;
+};
+
 // Leaf: generates tuples on demand from a database summary (dynamic
 // regeneration; no storage touched). Morsel workers generate disjoint rank
-// ranges concurrently via ScanBlocksRange.
+// ranges concurrently via FillBlockRange — per-column constant splats and
+// PK iota runs.
 class GeneratorScanOp : public Operator {
  public:
   GeneratorScanOp(const TupleGenerator* generator, int relation,
@@ -291,11 +225,15 @@ class GeneratorScanOp : public Operator {
   std::unique_ptr<internal::MorselPipeline> morsels_;
 };
 
-// σ: keeps rows satisfying a DNF predicate.
+// σ: keeps rows satisfying a DNF predicate. The predicate is compiled to
+// column kernels once at construction; each batch is masked column-wise and
+// gathered through the selection vector. The input block and the selection
+// vector are owned by the operator and keep their capacity across
+// NextBatch calls.
 class FilterOp : public Operator {
  public:
   FilterOp(std::unique_ptr<Operator> child, DnfPredicate predicate)
-      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+      : child_(std::move(child)), predicate_(predicate) {}
 
   bool NextBatch(RowBlock* out) override;
   int num_columns() const override { return child_->num_columns(); }
@@ -305,11 +243,15 @@ class FilterOp : public Operator {
 
  private:
   std::unique_ptr<Operator> child_;
-  DnfPredicate predicate_;
+  kernels::BlockPredicate predicate_;
   RowBlock in_;
+  SelVector sel_;
 };
 
-// π: emits a subset/permutation of the child's columns.
+// π: emits a subset/permutation of the child's columns. Columnar layout
+// makes this a column *move*: each projected column's buffer is swapped out
+// of the owned input block (the output's previous buffer swaps back in, so
+// both blocks reuse their capacity); only duplicated source columns copy.
 class ProjectOp : public Operator {
  public:
   ProjectOp(std::unique_ptr<Operator> child, std::vector<int> columns)
@@ -333,17 +275,18 @@ class ProjectOp : public Operator {
 // probe columns followed by build columns. Handles duplicate keys on both
 // sides. With a parallel context the build is hash-partitioned across the
 // pool and probe batches are joined concurrently against the then-read-only
-// table, emitted in probe order.
+// table, emitted in probe order. Probe batches hash their whole key column
+// in one kernel pass before touching the hash table.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
              std::unique_ptr<Operator> build, int build_col,
              ExecContext* ctx = nullptr);
-  // Build side given as an already-materialized table (the engine's
-  // row-major layout): hashes it in place instead of streaming and copying
-  // it through an operator. `build_table` must outlive the op.
+  // Build side given as an already-materialized columnar block (the
+  // executor's intermediate layout): hashed in place instead of streaming
+  // through an operator. `build_block` must outlive the op.
   HashJoinOp(std::unique_ptr<Operator> probe, int probe_col,
-             const Table* build_table, int build_col,
+             const RowBlock* build_block, int build_col,
              ExecContext* ctx = nullptr);
   ~HashJoinOp() override;
 
@@ -356,39 +299,58 @@ class HashJoinOp : public Operator {
   void OpenImpl() override;
 
  private:
+  // Open-addressing key -> row-span map with power-of-two capacity and
+  // linear probing; len == 0 marks an empty slot (every present key spans
+  // >= 1 row). The bucket comes from the *high* hash bits — the partition
+  // index consumed the low bits — which keeps probe chains short.
+  struct KeySlot {
+    Value key = 0;
+    uint32_t begin = 0;
+    uint32_t len = 0;
+  };
+  struct KeyMap {
+    std::vector<KeySlot> slots;
+    uint32_t mask = 0;
+
+    void Init(int64_t distinct_upper_bound);
+    KeySlot* FindOrInsert(Value key, uint64_t hash);
+    const KeySlot* Find(Value key, uint64_t hash) const {
+      uint32_t i = static_cast<uint32_t>(hash >> 32) & mask;
+      while (slots[i].len != 0) {
+        if (slots[i].key == key) return &slots[i];
+        i = (i + 1) & mask;
+      }
+      return nullptr;
+    }
+  };
+
   // Joins one probe batch against the (read-only) build table. Safe to call
   // concurrently from morsel workers.
   void JoinBatch(const RowBlock& in, RowBlock* out) const;
 
   int build_width_() const {
-    return build_ != nullptr ? build_->num_columns()
-                             : build_table_->num_columns();
+    return build_block_ != nullptr ? build_block_->num_columns()
+                                   : build_->num_columns();
   }
-  // First value of build row `r` (drained block or in-place table).
-  const Value* BuildRowPtr(int64_t r) const {
-    return build_data_ + r * build_width_();
+  const RowBlock& build_rows() const {
+    return build_block_ != nullptr ? *build_block_ : build_rows_;
   }
 
   std::unique_ptr<Operator> probe_;
-  std::unique_ptr<Operator> build_;          // null in table-build mode
-  const Table* build_table_ = nullptr;       // null in operator-build mode
+  std::unique_ptr<Operator> build_;           // null in block-build mode
+  const RowBlock* build_block_ = nullptr;     // null in operator-build mode
   int probe_col_;
   int build_col_;
   ExecContext* ctx_;
-  // All build rows, row-major, in build-stream order (operator-build mode
-  // drains the child here; table-build mode points straight at the table).
+  // All build rows, columnar, in build-stream order (operator-build mode
+  // drains the child here; block-build mode points straight at the block).
   RowBlock build_rows_;
-  const Value* build_data_ = nullptr;
   int64_t build_num_rows_ = 0;
   // CSR hash table: partition p maps key -> a span of partition_rows_[p]
   // holding that key's build row indices in build-stream order. A key's
   // rows live in exactly one partition; the flat per-partition row array
   // avoids a heap allocation per distinct key.
-  struct KeySpan {
-    uint32_t begin = 0;
-    uint32_t len = 0;
-  };
-  std::vector<std::unordered_map<Value, KeySpan>> partitions_;
+  std::vector<KeyMap> partitions_;
   std::vector<std::vector<uint32_t>> partition_rows_;
   std::unique_ptr<internal::OrderedBatchMapper> probe_mapper_;
   RowBlock probe_in_;

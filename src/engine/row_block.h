@@ -1,0 +1,174 @@
+// Columnar batch storage: the unit of data flow between operators.
+//
+// A RowBlock holds up to a few thousand rows in column-major vectors — one
+// contiguous Value array per column — so the hot loops (predicate masks,
+// join-key hashing, generator fills, projection) run as tight per-column
+// kernels over sequential memory instead of striding through row-major rows
+// (docs/engine.md). Logical row order is unchanged: row r is the r-th
+// element of every column, and every consumer-visible stream remains
+// byte-identical to the former row-major engine.
+//
+// Filters communicate through selection vectors (SelVector): a list of
+// passing row indices produced by the predicate kernels and consumed by
+// per-column gathers (GatherBlock).
+
+#ifndef HYDRA_ENGINE_ROW_BLOCK_H_
+#define HYDRA_ENGINE_ROW_BLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace hydra {
+
+namespace internal {
+
+// Allocator whose default-construct leaves trivial types uninitialized, so
+// ResizeUninitialized's resize() doesn't spend a memory pass zeroing bytes
+// the caller immediately overwrites (the dominant write on the generator-
+// fill and join-output paths).
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  using std::allocator<T>::allocator;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible<U>::value) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    std::allocator_traits<std::allocator<T>>::construct(
+        static_cast<std::allocator<T>&>(*this), ptr,
+        std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace internal
+
+// Flat value storage with uninitialized growth.
+using ValueBuffer = std::vector<Value, internal::DefaultInitAllocator<Value>>;
+
+// Selection vector: row indices (into one RowBlock) in ascending order.
+using SelVector = std::vector<int32_t>;
+
+// A batch of rows in column-major storage: one contiguous buffer per column.
+class RowBlock {
+ public:
+  RowBlock() = default;
+  explicit RowBlock(int num_columns) { Reset(num_columns); }
+
+  // Re-types the block and drops its rows. Column buffers keep their
+  // capacity — including buffers beyond the new width, which stay pooled
+  // for a later wider Reset — so a block cycled through operators of
+  // varying widths allocates each column once and reuses it from then on.
+  void Reset(int num_columns) {
+    if (static_cast<size_t>(num_columns) > cols_.size()) {
+      cols_.resize(num_columns);
+    }
+    width_ = num_columns;
+    for (int c = 0; c < width_; ++c) cols_[c].clear();
+    num_rows_ = 0;
+  }
+  void Clear() {
+    for (int c = 0; c < width_; ++c) cols_[c].clear();
+    num_rows_ = 0;
+  }
+
+  int num_columns() const { return width_; }
+  int64_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  void Reserve(int64_t rows) {
+    for (int c = 0; c < width_; ++c) cols_[c].reserve(rows);
+  }
+  // Grows (or shrinks) every column to exactly `rows` values without
+  // initializing new cells; the caller fills them through MutableColumn.
+  void ResizeUninitialized(int64_t rows) {
+    for (int c = 0; c < width_; ++c) cols_[c].resize(rows);
+    num_rows_ = rows;
+  }
+  // Drops all rows past the first `rows`.
+  void Truncate(int64_t rows) {
+    if (rows >= num_rows_) return;
+    for (int c = 0; c < width_; ++c) cols_[c].resize(rows);
+    num_rows_ = rows;
+  }
+
+  const Value* Column(int c) const { return cols_[c].data(); }
+  Value* MutableColumn(int c) { return cols_[c].data(); }
+  // Direct buffer access, for column moves (projection swaps buffers
+  // instead of copying values). The caller must keep all columns the same
+  // length and finish with SetNumRows.
+  ValueBuffer& MutableColumnBuffer(int c) { return cols_[c]; }
+  // Declares the row count after direct column-buffer writes/swaps.
+  void SetNumRows(int64_t rows) { num_rows_ = rows; }
+
+  Value At(int64_t row, int col) const { return cols_[col][row]; }
+
+  // Appends `n` row-major rows (n * num_columns() values), transposing into
+  // the columns — the bridge from row-major storage (Table) and the
+  // row-at-a-time shim.
+  void AppendRowMajor(const Value* rows, int64_t n) {
+    const int w = num_columns();
+    const int64_t base = num_rows_;
+    ResizeUninitialized(base + n);
+    // Tiled transpose: each tile of source rows is re-read once per column,
+    // so keep the tile small enough to survive in L1 across all w passes.
+    constexpr int64_t kTileRows = 256;
+    for (int64_t t = 0; t < n; t += kTileRows) {
+      const int64_t tn = std::min(kTileRows, n - t);
+      for (int c = 0; c < w; ++c) {
+        Value* dst = cols_[c].data() + base + t;
+        const Value* src = rows + t * w + c;
+        for (int64_t r = 0; r < tn; ++r) dst[r] = src[r * w];
+      }
+    }
+  }
+
+  // Appends all rows of `other` (same width) — per-column contiguous copy.
+  void AppendBlock(const RowBlock& other) {
+    const int64_t base = num_rows_;
+    ResizeUninitialized(base + other.num_rows_);
+    for (int c = 0; c < num_columns(); ++c) {
+      Value* dst = cols_[c].data() + base;
+      const Value* src = other.cols_[c].data();
+      std::copy(src, src + other.num_rows_, dst);
+    }
+  }
+
+  // Appends rows [begin, begin + n) of `other` (same width).
+  void AppendRange(const RowBlock& other, int64_t begin, int64_t n) {
+    const int64_t base = num_rows_;
+    ResizeUninitialized(base + n);
+    for (int c = 0; c < num_columns(); ++c) {
+      const Value* src = other.cols_[c].data() + begin;
+      std::copy(src, src + n, cols_[c].data() + base);
+    }
+  }
+
+  // Writes row `row` into `dst` (num_columns() values, row-major).
+  void CopyRowTo(int64_t row, Value* dst) const {
+    for (int c = 0; c < num_columns(); ++c) dst[c] = cols_[c][row];
+  }
+
+ private:
+  // cols_ may hold more buffers than width_ (see Reset); only the first
+  // width_ are live.
+  std::vector<ValueBuffer> cols_;
+  int width_ = 0;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_ENGINE_ROW_BLOCK_H_

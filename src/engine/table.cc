@@ -1,5 +1,6 @@
 #include "engine/table.h"
 
+#include <mutex>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -46,6 +47,12 @@ uint64_t Database::RowCount(int relation) const {
   return tables_[relation].num_rows();
 }
 
+void TableSource::FillBlockRange(int relation, int64_t begin, int64_t end,
+                                 RowBlock* out) const {
+  ScanRange(relation, begin, end,
+            [out](const Row& row) { out->AppendRowMajor(row.data(), 1); });
+}
+
 void Database::Scan(int relation,
                     const std::function<void(const Row&)>& fn) const {
   ScanRange(relation, 0, static_cast<int64_t>(tables_[relation].num_rows()),
@@ -66,6 +73,42 @@ void Database::ScanRange(int relation, int64_t begin, int64_t end,
     row.assign(p, p + t.num_columns());
     fn(row);
   }
+}
+
+void Database::FillBlockRange(int relation, int64_t begin, int64_t end,
+                              RowBlock* out) const {
+  const Table& t = tables_[relation];
+  const int64_t rows = static_cast<int64_t>(t.num_rows());
+  HYDRA_CHECK_MSG(begin >= 0 && begin <= end && end <= rows,
+                  "scan range [" << begin << ", " << end
+                                 << ") out of bounds for relation "
+                                 << relation);
+  // Serve from the columnar mirror: a per-call transpose would redo the
+  // same work for every query that scans this relation. The mirror only
+  // ever appends (tables are append-only), so refresh = transpose the tail.
+  std::shared_lock<std::shared_mutex> read(columnar_->mu);
+  if (static_cast<size_t>(relation) >= columnar_->blocks.size() ||
+      columnar_->blocks[relation].num_rows() != rows) {
+    read.unlock();
+    {
+      std::unique_lock<std::shared_mutex> write(columnar_->mu);
+      if (columnar_->blocks.size() != tables_.size()) {
+        columnar_->blocks.resize(tables_.size());
+      }
+      RowBlock& mirror = columnar_->blocks[relation];
+      if (mirror.num_columns() != t.num_columns() ||
+          mirror.num_rows() > rows) {
+        mirror.Reset(t.num_columns());
+      }
+      if (mirror.num_rows() < rows) {
+        mirror.Reserve(rows);
+        mirror.AppendRowMajor(t.RowPtr(mirror.num_rows()),
+                              rows - mirror.num_rows());
+      }
+    }
+    read.lock();
+  }
+  out->AppendRange(columnar_->blocks[relation], begin, end - begin);
 }
 
 Status Database::CheckReferentialIntegrity() const {

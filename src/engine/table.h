@@ -12,10 +12,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "engine/row_block.h"
 
 namespace hydra {
 
@@ -83,6 +86,13 @@ class TableSource {
   // may be scanned concurrently.
   virtual void ScanRange(int relation, int64_t begin, int64_t end,
                          const std::function<void(const Row&)>& fn) const = 0;
+  // Appends the rank range [begin, end) to `out` (already Reset to the
+  // relation's width) in columnar form — the engine's batch scan entry
+  // point. The base implementation transposes through ScanRange; sources
+  // with a cheaper columnar path (constant-run generators, contiguous
+  // storage) override it. Same range semantics as ScanRange.
+  virtual void FillBlockRange(int relation, int64_t begin, int64_t end,
+                              RowBlock* out) const;
 };
 
 // A fully-materialized database: one Table per schema relation.
@@ -104,13 +114,28 @@ class Database : public TableSource {
             const std::function<void(const Row&)>& fn) const override;
   void ScanRange(int relation, int64_t begin, int64_t end,
                  const std::function<void(const Row&)>& fn) const override;
+  void FillBlockRange(int relation, int64_t begin, int64_t end,
+                      RowBlock* out) const override;
 
   // Verifies that every FK value appears as a PK of the target relation.
   Status CheckReferentialIntegrity() const;
 
  private:
+  // Lazily built column-major mirror of the row-major tables, so repeated
+  // batch scans (e.g. one per workload query) pay the transpose once
+  // instead of per FillBlockRange call. Guarded by a reader/writer lock:
+  // morsel workers scan under shared locks; a stale mirror (table grew
+  // since the last build) is refreshed under the exclusive lock. Held by
+  // pointer so Database stays movable.
+  struct ColumnarMirror {
+    std::shared_mutex mu;
+    std::vector<RowBlock> blocks;
+  };
+
   Schema schema_;
   std::vector<Table> tables_;
+  mutable std::unique_ptr<ColumnarMirror> columnar_ =
+      std::make_unique<ColumnarMirror>();
 };
 
 }  // namespace hydra

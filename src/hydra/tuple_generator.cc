@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "engine/kernels.h"
 #include "storage/disk_table.h"
 
 namespace hydra {
@@ -140,6 +141,34 @@ void TupleGenerator::FillRange(int relation, int64_t begin, int64_t end,
       });
 }
 
+void TupleGenerator::FillBlockRange(int relation, int64_t begin, int64_t end,
+                                    RowBlock* out) const {
+  const RelationSummary& rs = summary_.relations[relation];
+  const int pk_attr = pk_attr_[relation];
+  const int64_t base = out->num_rows();
+  out->ResizeUninitialized(base + (end - begin));
+  int64_t offset = base;
+  ForEachSummaryRun(
+      relation, begin, end, [&](int i, int64_t pk, int64_t stop) {
+        // One summary run = one constant splat per summary attribute, an
+        // iota run for the PK (splatted attributes the PK shadows are
+        // overwritten, mirroring FillRow), and zeros for uncovered columns.
+        const SolutionRow& srow = rs.rows[i];
+        const int64_t n = stop - pk;
+        for (size_t a = 0; a < rs.attr_indices.size(); ++a) {
+          kernels::FillConst(out->MutableColumn(rs.attr_indices[a]) + offset,
+                             n, srow.values[a]);
+        }
+        if (pk_attr >= 0) {
+          kernels::FillIota(out->MutableColumn(pk_attr) + offset, n, pk);
+        }
+        for (int a : uncovered_attrs_[relation]) {
+          kernels::FillConst(out->MutableColumn(a) + offset, n, 0);
+        }
+        offset += n;
+      });
+}
+
 void TupleGenerator::GetTuple(int relation, int64_t r, Row* out) const {
   const RelationSummary& rs = summary_.relations[relation];
   HYDRA_CHECK_MSG(r >= 0 && r < rs.TotalCount(),
@@ -201,6 +230,42 @@ int64_t TupleGenerator::Cursor::Fill(int64_t max_rows, Value* dst) {
                   sizeof(Value) * width);
     }
   }
+  return written;
+}
+
+int64_t TupleGenerator::Cursor::FillBlock(int64_t max_rows, RowBlock* out) {
+  const RelationSummary& rs = generator_->summary_.relations[relation_];
+  const int pk_attr = generator_->pk_attr_[relation_];
+  const int64_t end = std::min(total_, next_ + std::max<int64_t>(0, max_rows));
+  const int64_t base = out->num_rows();
+  out->ResizeUninitialized(base + (end - next_));
+  int64_t written = 0;
+  while (next_ < end) {
+    // Same run-boundary cancellation quantum as Fill().
+    if (cancel_ != nullptr && cancel_->cancelled()) break;
+    while (rs.prefix_counts[summary_row_] + rs.rows[summary_row_].count <=
+           next_) {
+      ++summary_row_;
+    }
+    const int64_t stop = std::min(
+        end, rs.prefix_counts[summary_row_] + rs.rows[summary_row_].count);
+    const SolutionRow& srow = rs.rows[summary_row_];
+    const int64_t n = stop - next_;
+    const int64_t offset = base + written;
+    for (size_t a = 0; a < rs.attr_indices.size(); ++a) {
+      kernels::FillConst(out->MutableColumn(rs.attr_indices[a]) + offset, n,
+                         srow.values[a]);
+    }
+    if (pk_attr >= 0) {
+      kernels::FillIota(out->MutableColumn(pk_attr) + offset, n, next_);
+    }
+    for (int a : generator_->uncovered_attrs_[relation_]) {
+      kernels::FillConst(out->MutableColumn(a) + offset, n, 0);
+    }
+    next_ = stop;
+    written += n;
+  }
+  out->Truncate(base + written);  // cancelled mid-grant: drop the unwritten tail
   return written;
 }
 

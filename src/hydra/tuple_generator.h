@@ -51,6 +51,13 @@ class TupleGenerator : public TableSource {
   void ScanRange(int relation, int64_t begin, int64_t end,
                  const std::function<void(const Row&)>& fn) const override;
   uint64_t RowCount(int relation) const override;
+  // Columnar generation of the rank range [begin, end), appended to `out`
+  // (already Reset to the relation's width). All tuples of a summary run
+  // share their attribute values, so each run is a per-column constant splat
+  // plus an iota run for the PK — no row-major intermediate at all. Emits
+  // exactly the ScanRange() rows.
+  void FillBlockRange(int relation, int64_t begin, int64_t end,
+                      RowBlock* out) const override;
 
   // Batched generation in PK order: invokes `fn` with contiguous row-major
   // blocks of up to `block_rows` rows (width = the relation's attribute
@@ -102,6 +109,12 @@ class TupleGenerator : public TableSource {
     // run boundary — a shorter (possibly empty) prefix, position() still
     // exact, so a resumed or retried fill continues byte-identically.
     int64_t Fill(int64_t max_rows, Value* dst);
+
+    // Columnar variant of Fill(): appends up to `max_rows` rows to `out`
+    // (already Reset to the relation's width) as per-column constant splats
+    // and PK iota runs, and advances. Same return value, cancellation, and
+    // resumption contract as Fill(); the emitted row stream is identical.
+    int64_t FillBlock(int64_t max_rows, RowBlock* out);
 
     // Failure domain: non-owning; the scope must stay alive across Fill().
     // Null (the default) disables polling entirely.

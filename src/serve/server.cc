@@ -187,6 +187,7 @@ StatusOr<uint64_t> RegenServer::OpenCursor(uint64_t session_id,
                          ? width
                          : static_cast<int>(spec.projection.size());
   cursor.spec = std::move(spec);
+  cursor.filter = kernels::BlockPredicate(cursor.spec.filter);
   std::lock_guard<std::mutex> lock(session->mu);
   const uint64_t cursor_id = session->next_cursor_id++;
   session->cursors.emplace(cursor_id, std::move(cursor));
@@ -237,23 +238,40 @@ StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
       // runs) simply generates a shorter prefix; the next admission check
       // reports why. Content stays a deterministic prefix of the stream.
       cursor.gen_cursor->set_cancel(&scope);
-      const int64_t generated = cursor.gen_cursor->Fill(
-          morsel, cursor.scratch.AppendUninitialized(morsel));
+      const int64_t generated =
+          cursor.gen_cursor->FillBlock(morsel, &cursor.scratch);
       cursor.gen_cursor->set_cancel(nullptr);
-      cursor.scratch.Truncate(generated);
       cursor.next_rank = cursor.gen_cursor->position();
-      const bool unfiltered = cursor.spec.filter.IsTrue();
+      if (generated == 0) return;
       const auto& projection = cursor.spec.projection;
-      for (int64_t r = 0; r < generated; ++r) {
-        const Value* row = cursor.scratch.RowPtr(r);
-        if (!unfiltered && !cursor.spec.filter.Eval(row)) continue;
-        if (projection.empty()) {
-          out->AppendRow(row);
+      if (cursor.filter.is_true() && projection.empty()) {
+        // Identity grant: move the generated columns into the output (the
+        // output's previous buffers swap back, so both reuse capacity).
+        for (int c = 0; c < cursor.source_width; ++c) {
+          std::swap(out->MutableColumnBuffer(c),
+                    cursor.scratch.MutableColumnBuffer(c));
+        }
+        out->SetNumRows(generated);
+        cursor.scratch.Clear();
+        return;
+      }
+      int64_t kept = generated;
+      const int32_t* sel = nullptr;
+      if (!cursor.filter.is_true()) {
+        cursor.filter.Select(cursor.scratch, &cursor.sel);
+        kept = static_cast<int64_t>(cursor.sel.size());
+        if (kept == 0) return;
+        sel = cursor.sel.data();
+      }
+      out->ResizeUninitialized(kept);
+      for (int c = 0; c < cursor.out_width; ++c) {
+        const Value* src =
+            cursor.scratch.Column(projection.empty() ? c : projection[c]);
+        Value* dst = out->MutableColumn(c);
+        if (sel != nullptr) {
+          kernels::Gather(src, sel, kept, dst);
         } else {
-          Value* dst = out->AppendRow();
-          for (size_t c = 0; c < projection.size(); ++c) {
-            dst[c] = row[projection[c]];
-          }
+          std::copy(src, src + kept, dst);
         }
       }
     }, scope);

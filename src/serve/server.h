@@ -148,6 +148,10 @@ class RegenServer {
     int64_t end_rank = 0;
     int source_width = 0;
     int out_width = 0;
+    // The spec's filter compiled to column kernels once at OpenCursor; every
+    // grant evaluates it over the generated columns via a selection vector.
+    kernels::BlockPredicate filter;
+    SelVector sel;     // per-grant selection scratch, capacity reused
     RowBlock scratch;  // source-width generation buffer, reused per morsel
     // Streaming state over the *currently resident* generator, kept across
     // grants so consecutive batches resume in O(1) (no per-batch

@@ -55,6 +55,16 @@ uint64_t HashValues(uint64_t h, const Value* v, int64_t n) {
   return h;
 }
 
+// Hashes a block's logical rows in row-major order (layout-independent).
+uint64_t HashBlock(uint64_t h, const RowBlock& block) {
+  Row row(block.num_columns());
+  for (int64_t r = 0; r < block.num_rows(); ++r) {
+    block.CopyRowTo(r, row.data());
+    h = HashValues(h, row.data(), block.num_columns());
+  }
+  return h;
+}
+
 bool IsCleanFailure(const Status& s) {
   switch (s.code()) {
     case StatusCode::kCancelled:
@@ -135,8 +145,7 @@ ItemResult RunItem(RegenServer& server, const ToyEnvironment& env, int c) {
       auto more = server.NextBatch(*sid, *cid, &block);
       if (!more.ok()) return fail(more.status());
       if (!*more) break;
-      h = HashValues(h, block.RowPtr(0),
-                     block.num_rows() * block.num_columns());
+      h = HashBlock(h, block);
     }
   } else if (kind == 1) {
     const int rel = env.schema.RelationIndex(c % 2 == 0 ? "S" : "T");

@@ -28,7 +28,11 @@ std::pair<int, std::vector<Value>> Drain(Operator* op) {
   std::vector<Value> values;
   RowBlock block;
   while (op->NextBatch(&block)) {
-    values.insert(values.end(), block.data().begin(), block.data().end());
+    for (int64_t r = 0; r < block.num_rows(); ++r) {
+      const size_t base = values.size();
+      values.resize(base + block.num_columns());
+      block.CopyRowTo(r, values.data() + base);
+    }
   }
   return {op->num_columns(), std::move(values)};
 }
@@ -241,6 +245,88 @@ TEST(MorselEdgeCaseTest, MorselBoundaryMidJoinProbe) {
     ExecContext ctx(ExecOptions{threads, 2});
     EXPECT_EQ(run(&ctx), sequential) << threads << " threads";
   }
+}
+
+TEST(SelectionVectorTest, FilterEdgeCases) {
+  // The selection-vector path through FilterOp: empty input, all-pass,
+  // all-fail, and batches of exactly one row (morsel_rows = 1) must all
+  // produce the sequential stream.
+  Table empty(2);
+  Table t(2);
+  for (int64_t i = 0; i < 23; ++i) t.AppendRow({i, 100 + i});
+  const auto filter_drain = [](const Table* table, DnfPredicate pred,
+                               ExecContext* ctx) {
+    FilterOp op(std::make_unique<TableScanOp>(table, ctx), std::move(pred));
+    return Drain(&op).second;
+  };
+  std::vector<Value> all_rows;
+  for (int64_t i = 0; i < 23; ++i) {
+    all_rows.push_back(i);
+    all_rows.push_back(100 + i);
+  }
+  std::vector<Value> some_rows;
+  for (int64_t i = 5; i < 9; ++i) {
+    some_rows.push_back(i);
+    some_rows.push_back(100 + i);
+  }
+  ExecContext single_row_morsels(ExecOptions{4, 1});
+  for (ExecContext* ctx :
+       std::initializer_list<ExecContext*>{nullptr, &single_row_morsels}) {
+    EXPECT_TRUE(
+        filter_drain(&empty, PredicateOf(AtomRange(0, 0, 100)), ctx).empty());
+    // All-pass: every row survives, in order.
+    EXPECT_EQ(filter_drain(&t, PredicateOf(AtomRange(0, 0, 100)), ctx),
+              all_rows);
+    // All-fail: nothing survives.
+    EXPECT_TRUE(
+        filter_drain(&t, PredicateOf(AtomRange(0, 500, 600)), ctx).empty());
+    // Partial: a contiguous band in the middle.
+    EXPECT_EQ(filter_drain(&t, PredicateOf(AtomRange(0, 5, 9)), ctx),
+              some_rows);
+  }
+}
+
+TEST(CrossLayoutIdentityTest, ScalarVsSimdAcrossThreadsAndMorsels) {
+  // The dispatch contract: the filter+join pipeline's row stream is
+  // byte-identical between the scalar and SIMD kernel paths, at every
+  // {num_threads, morsel_rows} combination.
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto result = hydra.Regenerate(env.ccs);
+  ASSERT_TRUE(result.ok());
+  auto db = MaterializeDatabase(result->summary);
+  ASSERT_TRUE(db.ok());
+  const Schema& schema = env.schema;
+  const int s = schema.RelationIndex("S");
+  const int r = schema.RelationIndex("R");
+  const int a = schema.relation(s).AttrIndex("A");
+  const int sfk = schema.relation(r).AttrIndex("S_fk");
+  const int spk = schema.relation(s).PrimaryKeyIndex();
+
+  const auto run = [&](ExecContext* ctx) {
+    auto s_scan = std::make_unique<TableScanOp>(&db->table(s), ctx);
+    auto s_filtered = std::make_unique<FilterOp>(
+        std::move(s_scan), PredicateOf(AtomRange(a, 20, 60)));
+    HashJoinOp join(std::make_unique<TableScanOp>(&db->table(r), ctx), sfk,
+                    std::move(s_filtered), spk, ctx);
+    return Drain(&join);
+  };
+
+  kernels::SetSimdEnabled(true);
+  const auto baseline = run(nullptr);
+  ASSERT_GT(baseline.second.size(), 0u);
+  for (const bool simd : {false, true}) {
+    kernels::SetSimdEnabled(simd);
+    for (const int threads : {1, 2, 8}) {
+      for (const int64_t morsel : {311, 4096}) {
+        ExecContext ctx(ExecOptions{threads, morsel});
+        EXPECT_EQ(run(&ctx), baseline)
+            << (simd ? kernels::SimdLevelName() : "scalar") << " x " << threads
+            << " threads x morsel " << morsel;
+      }
+    }
+  }
+  kernels::SetSimdEnabled(true);
 }
 
 TEST(MorselEdgeCaseTest, LimitStopsEarlyOverParallelLeaf) {

@@ -162,7 +162,11 @@ TEST(BatchContractTest, NextShimMatchesNextBatchConcatenation) {
   RowBlock block;
   while (scan.NextBatch(&block)) {
     EXPECT_GT(block.num_rows(), 0) << "NextBatch must not emit empty batches";
-    batched.insert(batched.end(), block.data().begin(), block.data().end());
+    for (int64_t r = 0; r < block.num_rows(); ++r) {
+      const size_t base = batched.size();
+      batched.resize(base + block.num_columns());
+      block.CopyRowTo(r, batched.data() + base);
+    }
   }
 
   scan.Open();

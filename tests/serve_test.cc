@@ -46,6 +46,26 @@ uint64_t HashString(uint64_t h, const std::string& s) {
   return h;
 }
 
+// Hashes a block's logical rows in row-major order: layout-independent, so
+// the serving contract is over the row stream, not the storage layout.
+uint64_t HashBlock(uint64_t h, const RowBlock& block) {
+  Row row(block.num_columns());
+  for (int64_t r = 0; r < block.num_rows(); ++r) {
+    block.CopyRowTo(r, row.data());
+    h = HashValues(h, row.data(), block.num_columns());
+  }
+  return h;
+}
+
+// Appends a block's rows to `out` in row-major order.
+void AppendRows(const RowBlock& block, std::vector<Value>* out) {
+  for (int64_t r = 0; r < block.num_rows(); ++r) {
+    const size_t base = out->size();
+    out->resize(base + block.num_columns());
+    block.CopyRowTo(r, out->data() + base);
+  }
+}
+
 class ServeTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -110,8 +130,7 @@ uint64_t RunItem(RegenServer& server, const ToyEnvironment& env, int c,
       auto more = server.NextBatch(*sid, *cid, &block);
       if (!more.ok()) return fail(more.status());
       if (!*more) break;
-      h = HashValues(h, block.RowPtr(0),
-                     block.num_rows() * block.num_columns());
+      h = HashBlock(h, block);
     }
   } else if (kind == 1) {
     const int rel = env.schema.RelationIndex(c % 2 == 0 ? "S" : "T");
@@ -220,7 +239,7 @@ TEST_F(ServeTest, CursorStreamMatchesGeneratorScan) {
     auto more = server.NextBatch(*sid, *cid, &block);
     ASSERT_TRUE(more.ok());
     if (!*more) break;
-    served.insert(served.end(), block.data().begin(), block.data().end());
+    AppendRows(block, &served);
   }
 
   TupleGenerator gen(summary_);
@@ -263,7 +282,7 @@ TEST_F(ServeTest, CursorSurvivesEvictionAndReload) {
   for (int i = 0; i < 3; ++i) {
     auto more = server.NextBatch(*alpha, *cursor, &block);
     ASSERT_TRUE(more.ok() && *more);
-    served.insert(served.end(), block.data().begin(), block.data().end());
+    AppendRows(block, &served);
   }
 
   // Traffic on the other summary evicts alpha's (unpinned between calls).
@@ -280,7 +299,7 @@ TEST_F(ServeTest, CursorSurvivesEvictionAndReload) {
     auto more = server.NextBatch(*alpha, *cursor, &block);
     ASSERT_TRUE(more.ok());
     if (!*more) break;
-    served.insert(served.end(), block.data().begin(), block.data().end());
+    AppendRows(block, &served);
   }
   EXPECT_EQ(served, expected);
   EXPECT_GE(server.stats().cache_misses, 3u);  // alpha, beta, alpha again
@@ -302,8 +321,7 @@ TEST_F(ServeTest, CursorReopensAtSavedRank) {
   for (int i = 0; i < 5; ++i) {
     auto more = server.NextBatch(*sid, *cid, &block);
     ASSERT_TRUE(more.ok() && *more);
-    first_half.insert(first_half.end(), block.data().begin(),
-                      block.data().end());
+    AppendRows(block, &first_half);
   }
   auto rank = server.CursorRank(*sid, *cid);
   ASSERT_TRUE(rank.ok());
@@ -322,7 +340,7 @@ TEST_F(ServeTest, CursorReopensAtSavedRank) {
     auto more = server.NextBatch(*sid2, *cid2, &block);
     ASSERT_TRUE(more.ok());
     if (!*more) break;
-    resumed.insert(resumed.end(), block.data().begin(), block.data().end());
+    AppendRows(block, &resumed);
   }
 
   std::vector<Value> expected;
