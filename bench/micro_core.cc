@@ -116,6 +116,48 @@ BENCHMARK(BM_SimplexFeasibility)
     ->Args({100000, 50, 0})
     ->Args({100000, 50, 1});
 
+// A/B for the striped candidate-list refill (SimplexOptions::
+// pricing_threads): the same wide, shallow LP — the DataSynth grid regime
+// where the fresh-block scan dominates — solved with a sequential scan and
+// with the block striped over 2/4 workers. The pivot path is bit-identical
+// at every setting (the stripes merge in column order), so any delta is
+// pure scan throughput. Args: {vars, rows, pricing_threads}.
+void BM_SimplexParallelPricing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  Rng rng(3);
+  std::vector<int64_t> witness(n);
+  for (int j = 0; j < n; ++j) witness[j] = rng.NextInt(0, 1000000);
+  LpProblem p;
+  p.AddVariables(n);
+  for (int i = 0; i < m; ++i) {
+    LpConstraint c;
+    int64_t rhs = 0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBool(0.3)) {
+        c.AddTerm(j, 1.0);
+        rhs += witness[j];
+      }
+    }
+    c.rhs = static_cast<double>(rhs);
+    p.AddConstraint(std::move(c));
+  }
+  SimplexOptions options;
+  options.pricing_threads = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    auto sol = SolveFeasibility(p, options);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["vars"] = n;
+  state.counters["threads"] = options.pricing_threads;
+}
+BENCHMARK(BM_SimplexParallelPricing)
+    ->Args({100000, 50, 1})
+    ->Args({100000, 50, 2})
+    ->Args({100000, 50, 4})
+    ->Args({400000, 30, 1})
+    ->Args({400000, 30, 4});
+
 // Re-solving an LP seeded with its own exported basis vs solving it cold
 // — the warm-start chain case in src/hydra/regenerator.cc, where
 // consecutive views formulate near-identical LPs.
@@ -383,6 +425,67 @@ void BM_GeneratorFill(benchmark::State& state) {
   kernels::SetSimdEnabled(true);
 }
 BENCHMARK(BM_GeneratorFill)->Arg(0)->Arg(1);
+
+// The shared-scan multicast core (src/serve/scan_group.h): one generator
+// pass fills a chunk-sized block, then every co-resident member derives its
+// own bytes from it with its compiled predicate over the chunk slice plus a
+// Gather. shared=0 is the unicast baseline — each member runs its own
+// generation pass before filtering — so the ratio is the multicast win at
+// that fan-out. Args: {members, shared, simd}.
+void BM_SharedFanout(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const bool shared = state.range(1) != 0;
+  kernels::SetSimdEnabled(state.range(2) != 0);
+  ToyEnvironment env = MakeToyEnvironment();
+  HydraRegenerator hydra(env.schema);
+  auto result = hydra.Regenerate(env.ccs);
+  HYDRA_CHECK_MSG(result.ok(), result.status().ToString());
+  TupleGenerator gen(result->summary);
+  const int r = env.schema.RelationIndex("R");
+  const int width = env.schema.relation(r).num_attributes();
+  const int64_t chunk = std::min<int64_t>(
+      16384, static_cast<int64_t>(gen.RowCount(r)));
+  // Per-member filters over the S_fk column, each selecting a different
+  // slice of the domain — the members genuinely differ.
+  std::vector<kernels::BlockPredicate> filters;
+  std::vector<RowBlock> outs;
+  for (int c = 0; c < members; ++c) {
+    const int64_t lo = (c * 53) % 500;
+    filters.emplace_back(
+        PredicateOf(AtomRange(/*column=*/1, lo, lo + 250)));
+    outs.emplace_back(width);
+  }
+  RowBlock block(width);
+  SelVector sel;
+  for (auto _ : state) {
+    if (shared) {
+      block.Reset(width);
+      gen.FillBlockRange(r, 0, chunk, &block);
+    }
+    for (int c = 0; c < members; ++c) {
+      if (!shared) {
+        block.Reset(width);
+        gen.FillBlockRange(r, 0, chunk, &block);
+      }
+      filters[c].SelectRange(block, 0, chunk, &sel);
+      const int64_t kept = static_cast<int64_t>(sel.size());
+      outs[c].ResizeUninitialized(kept);
+      for (int col = 0; col < width; ++col) {
+        kernels::Gather(block.Column(col), sel.data(), kept,
+                        outs[c].MutableColumn(col));
+      }
+      benchmark::DoNotOptimize(outs[c].Column(0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * members * chunk);
+  kernels::SetSimdEnabled(true);
+}
+BENCHMARK(BM_SharedFanout)
+    ->Args({8, 0, 1})
+    ->Args({8, 1, 1})
+    ->Args({32, 0, 1})
+    ->Args({32, 1, 1})
+    ->Args({32, 1, 0});
 
 // Bridges google-benchmark runs into the JsonReporter trajectory records:
 // one {name, seconds-per-iteration, iterations} record per run.

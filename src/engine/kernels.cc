@@ -267,9 +267,9 @@ void MaskOr(uint8_t* a, const uint8_t* b, int64_t n) {
   MaskOrScalar(a, b, n);
 }
 
-void MaskToSel(const uint8_t* mask, int64_t n, SelVector* sel) {
+void MaskToSel(const uint8_t* mask, int64_t n, SelVector* sel, int32_t base) {
   for (int64_t i = 0; i < n; ++i) {
-    if (mask[i]) sel->push_back(static_cast<int32_t>(i));
+    if (mask[i]) sel->push_back(base + static_cast<int32_t>(i));
   }
 }
 
@@ -328,12 +328,19 @@ void AtomMask(const Value* col, int64_t n, const std::vector<Interval>& ivs,
 }  // namespace
 
 void BlockPredicate::Select(const RowBlock& block, SelVector* sel) const {
+  SelectRange(block, 0, block.num_rows(), sel);
+}
+
+void BlockPredicate::SelectRange(const RowBlock& block, int64_t begin,
+                                 int64_t end, SelVector* sel) const {
   sel->clear();
-  const int64_t n = block.num_rows();
-  if (n == 0 || is_false()) return;
+  const int64_t n = end - begin;
+  if (n <= 0 || is_false()) return;
   if (is_true_) {
     sel->resize(n);
-    for (int64_t i = 0; i < n; ++i) (*sel)[i] = static_cast<int32_t>(i);
+    for (int64_t i = 0; i < n; ++i) {
+      (*sel)[i] = static_cast<int32_t>(begin + i);
+    }
     return;
   }
   // thread_local scratch: Select is const and runs concurrently on morsel
@@ -346,10 +353,10 @@ void BlockPredicate::Select(const RowBlock& block, SelVector* sel) const {
   conj_mask.resize(n);
   atom_mask.resize(n);
   for (const std::vector<AtomPlan>& conj : conjuncts_) {
-    AtomMask(block.Column(conj[0].column), n, conj[0].intervals,
+    AtomMask(block.Column(conj[0].column) + begin, n, conj[0].intervals,
              conj_mask.data());
     for (size_t a = 1; a < conj.size(); ++a) {
-      AtomMask(block.Column(conj[a].column), n, conj[a].intervals,
+      AtomMask(block.Column(conj[a].column) + begin, n, conj[a].intervals,
                atom_mask.data());
       MaskAnd(conj_mask.data(), atom_mask.data(), n);
     }
@@ -357,7 +364,8 @@ void BlockPredicate::Select(const RowBlock& block, SelVector* sel) const {
     MaskOr(total_mask.data(), conj_mask.data(), n);
   }
   sel->reserve(n);
-  MaskToSel(single ? conj_mask.data() : total_mask.data(), n, sel);
+  MaskToSel(single ? conj_mask.data() : total_mask.data(), n, sel,
+            static_cast<int32_t>(begin));
 }
 
 }  // namespace kernels

@@ -63,8 +63,11 @@ void IntervalMaskOr(const Value* col, int64_t n, Value lo, Value hi,
 void MaskAnd(uint8_t* a, const uint8_t* b, int64_t n);
 void MaskOr(uint8_t* a, const uint8_t* b, int64_t n);
 
-// Appends the indices with mask[i] != 0 to *sel (not cleared), ascending.
-void MaskToSel(const uint8_t* mask, int64_t n, SelVector* sel);
+// Appends base + the indices with mask[i] != 0 to *sel (not cleared),
+// ascending. `base` shifts the emitted indices so a mask computed over a
+// sub-range of a block selects into the full block's row space.
+void MaskToSel(const uint8_t* mask, int64_t n, SelVector* sel,
+               int32_t base = 0);
 
 // dst[i] = src[sel[i]]. In-place compaction (dst == src) is allowed because
 // selection vectors are ascending: sel[i] >= i, so reads stay ahead of
@@ -111,6 +114,14 @@ class BlockPredicate {
   // Clears *sel and fills it with the indices of `block`'s passing rows,
   // ascending. Every atom's column index must be < block.num_columns().
   void Select(const RowBlock& block, SelVector* sel) const;
+
+  // Select() restricted to rows [begin, end): masks are evaluated over the
+  // sub-range only, and the emitted indices stay absolute (in [begin, end)),
+  // so gathers against the full block's columns work unchanged. The passing
+  // set equals Select() intersected with [begin, end) — the shared-scan fan
+  // path filters its slice of a group chunk without copying it first.
+  void SelectRange(const RowBlock& block, int64_t begin, int64_t end,
+                   SelVector* sel) const;
 
  private:
   struct AtomPlan {

@@ -1,0 +1,229 @@
+#include "serve/scan_group.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/failpoint.h"
+
+namespace hydra {
+
+// Fires as a producer claims a shared chunk, before the generation pass:
+// error(...) fails that member's request cleanly and resets the slot so the
+// waiting members re-elect a producer; delay(ms) holds the slot in its
+// loading state, stretching how long the group's waiters park.
+HYDRA_FAILPOINT_DEFINE(g_fp_shared_chunk, "serve/shared_chunk");
+
+ScanGroup::ScanGroup(int64_t chunk_rows, int num_slots)
+    : chunk_rows_(std::max<int64_t>(1, chunk_rows)),
+      slots_(std::max(1, num_slots)) {}
+
+// How long a producer paces the frontier for a slow in-window member
+// before evicting the chunk out from under it (degrading that member to a
+// catch-up refill). The costs are asymmetric: an expired grace costs the
+// straggler one bounded chunk_rows refill later, while pacing stalls every
+// frontier member for the full wait — so the grace is sized to ride out a
+// briefly descheduled client thread, not a wedged one.
+constexpr auto kEvictGrace = std::chrono::milliseconds(15);
+
+uint64_t ScanGroup::Join(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t member = next_member_++;
+  members_.emplace(member, Member{session_id, -1});
+  return member;
+}
+
+void ScanGroup::Leave(uint64_t member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.erase(member);
+}
+
+int ScanGroup::member_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(members_.size());
+}
+
+std::vector<uint64_t> ScanGroup::PeerSessions(uint64_t self_session) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> peers;
+  for (const auto& [member, state] : members_) {
+    if (state.session == self_session) continue;
+    if (std::find(peers.begin(), peers.end(), state.session) == peers.end()) {
+      peers.push_back(state.session);
+    }
+  }
+  return peers;
+}
+
+bool ScanGroup::NeededLocked(int64_t chunk, uint64_t self) const {
+  // Members below the window are stragglers regenerating their own missed
+  // chunks; holding the frontier for them would stall the group behind an
+  // entire catch-up, so only in-window members pace eviction.
+  const int64_t window = top_chunk_ - static_cast<int64_t>(slots_.size());
+  for (const auto& [member, state] : members_) {
+    if (member == self) continue;
+    if (state.pos >= window && state.pos < chunk) return true;
+  }
+  return false;
+}
+
+void ScanGroup::AdvanceMemberLocked(uint64_t member, int64_t chunk) {
+  const auto it = members_.find(member);
+  if (it == members_.end() || chunk <= it->second.pos) return;
+  it->second.pos = chunk;
+  published_cv_.notify_all();
+}
+
+bool ScanGroup::TryAcquireResident(uint64_t member, int64_t chunk,
+                                   ChunkResult* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) {
+    if (slot.chunk != chunk || slot.loading) continue;
+    slot.stamp = ++stamp_counter_;
+    AdvanceMemberLocked(member, chunk);
+    result->block = slot.block;
+    result->produced = false;
+    result->catch_up = false;
+    return true;
+  }
+  return false;
+}
+
+Status ScanGroup::AcquireChunk(uint64_t member, int64_t chunk,
+                               const CancelScope& scope,
+                               const std::function<Status(RowBlock*)>& fill,
+                               ChunkResult* result) {
+  const auto evict_deadline = std::chrono::steady_clock::now() + kEvictGrace;
+  Slot* claimed = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      HYDRA_RETURN_IF_ERROR(scope.Check());
+      Slot* hit = nullptr;
+      for (Slot& slot : slots_) {
+        if (slot.chunk == chunk) {
+          hit = &slot;
+          break;
+        }
+      }
+      if (hit != nullptr) {
+        if (!hit->loading) {
+          hit->stamp = ++stamp_counter_;
+          AdvanceMemberLocked(member, chunk);
+          result->block = hit->block;
+          result->produced = false;
+          result->catch_up = false;
+          return Status::OK();
+        }
+        // Another member is generating this chunk right now: park until it
+        // publishes (or fails, resetting the slot — then re-elect). The
+        // periodic timeout bounds how stale a tripped cancel goes unseen.
+        published_cv_.wait_for(lock, std::chrono::milliseconds(10));
+        continue;
+      }
+      // Miss: claim an idle slot as producer — an empty one, else the
+      // least-recently-used slot whose chunk no in-window member still
+      // needs. Evicting a needed chunk would only push that member into a
+      // catch-up refill of the very same ranks, so while every idle slot
+      // is needed the producer waits, pacing the frontier to the slowest
+      // in-window member — until the grace deadline, after which the LRU
+      // needed slot goes anyway (a stalled member degrades to catch-up
+      // instead of wedging the group). With every slot mid-load, wait for
+      // one to settle rather than grow the ring.
+      Slot* victim = nullptr;
+      Slot* needed_lru = nullptr;
+      for (Slot& slot : slots_) {
+        if (slot.loading) continue;
+        if (slot.chunk == -1) {
+          victim = &slot;
+          break;
+        }
+        if (NeededLocked(slot.chunk, member)) {
+          if (needed_lru == nullptr || slot.stamp < needed_lru->stamp) {
+            needed_lru = &slot;
+          }
+        } else if (victim == nullptr || slot.stamp < victim->stamp) {
+          victim = &slot;
+        }
+      }
+      if (victim == nullptr && needed_lru != nullptr &&
+          std::chrono::steady_clock::now() >= evict_deadline) {
+        victim = needed_lru;
+      }
+      if (victim == nullptr) {
+        published_cv_.wait_for(lock, std::chrono::milliseconds(10));
+        continue;
+      }
+      victim->chunk = chunk;
+      victim->loading = true;
+      victim->block = nullptr;
+      claimed = victim;
+      break;
+    }
+  }
+  // Produce outside the lock: other members keep hitting resident chunks
+  // (and other producers keep filling other slots) while this one runs.
+  Status status;
+  if (g_fp_shared_chunk.armed()) status = g_fp_shared_chunk.Fire();
+  auto block = std::make_shared<RowBlock>();
+  if (status.ok()) status = fill(block.get());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status.ok()) {
+    // Failed fill: free the slot so the waiters re-elect a producer; this
+    // member's request reports the error.
+    claimed->chunk = -1;
+    claimed->loading = false;
+    published_cv_.notify_all();
+    return status;
+  }
+  claimed->block = std::move(block);
+  claimed->loading = false;
+  claimed->stamp = ++stamp_counter_;
+  AdvanceMemberLocked(member, chunk);
+  result->block = claimed->block;
+  result->produced = true;
+  result->catch_up = chunk < top_chunk_;
+  top_chunk_ = std::max(top_chunk_, chunk);
+  published_cv_.notify_all();
+  return Status::OK();
+}
+
+ScanGroupRegistry::ScanGroupRegistry(int64_t chunk_rows, int num_slots)
+    : chunk_rows_(chunk_rows), num_slots_(num_slots) {}
+
+std::shared_ptr<ScanGroup> ScanGroupRegistry::Join(
+    const std::string& summary_id, int relation, uint64_t session_id,
+    uint64_t* member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& group = groups_[{summary_id, relation}];
+  if (group == nullptr) {
+    group = std::make_shared<ScanGroup>(chunk_rows_, num_slots_);
+  }
+  *member = group->Join(session_id);
+  const uint64_t fanout = static_cast<uint64_t>(group->member_count());
+  if (fanout == 2) ++groups_formed_;
+  peak_fanout_ = std::max(peak_fanout_, fanout);
+  return group;
+}
+
+void ScanGroupRegistry::Leave(const std::string& summary_id, int relation,
+                              const std::shared_ptr<ScanGroup>& group,
+                              uint64_t member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  group->Leave(member);
+  if (group->member_count() == 0) {
+    const auto it = groups_.find({summary_id, relation});
+    if (it != groups_.end() && it->second == group) groups_.erase(it);
+  }
+}
+
+uint64_t ScanGroupRegistry::groups_formed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return groups_formed_;
+}
+
+uint64_t ScanGroupRegistry::peak_fanout() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_fanout_;
+}
+
+}  // namespace hydra

@@ -1,0 +1,164 @@
+// Scan groups — shared-scan multicast regeneration (docs/serve.md).
+//
+// When many cursors stream the same (summary, relation), running one
+// generation pass per cursor is pure waste: the paper's rank-addressed
+// determinism means every cursor would generate the very same rows. A
+// ScanGroup collapses that work: members share a small ring of columnar
+// chunks, each covering one batch_rows-aligned rank range, and the first
+// member to need a chunk generates it once (single-flight) while the rest
+// wait and then fan out of the shared block with their own filter and
+// projection kernels. Because generation is a pure function of (summary
+// bytes, rank range), a cached chunk never goes stale — not across summary
+// eviction and reload, not across generator instances — so the ring needs
+// no invalidation protocol at all.
+//
+// Rank alignment is what keeps member streams byte-identical to their solo
+// runs: chunk k covers exactly [k*chunk_rows, (k+1)*chunk_rows), any
+// cursor's position falls inside exactly one chunk, and batch boundaries
+// were never contractual (only the concatenated stream is). A late joiner
+// whose rank trails the group simply generates its own missed chunks —
+// each a bounded chunk_rows pass, counted as catch-up — until it reaches
+// ranks the ring still holds.
+//
+// Lock order: a ScanGroup's mutex is taken after the owning session's lock
+// and is never held across generation (the producer releases it around the
+// fill) or across any scheduler call.
+
+#ifndef HYDRA_SERVE_SCAN_GROUP_H_
+#define HYDRA_SERVE_SCAN_GROUP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "engine/row_block.h"
+
+namespace hydra {
+
+class ScanGroup {
+ public:
+  ScanGroup(int64_t chunk_rows, int num_slots);
+
+  ScanGroup(const ScanGroup&) = delete;
+  ScanGroup& operator=(const ScanGroup&) = delete;
+
+  // What AcquireChunk hands back: the shared block plus how it was served.
+  struct ChunkResult {
+    std::shared_ptr<const RowBlock> block;
+    // This call generated the chunk (false: served from the ring — one
+    // generation pass saved for this member).
+    bool produced = false;
+    // The produced chunk trails the group's frontier: a late joiner's
+    // bounded catch-up pass.
+    bool catch_up = false;
+  };
+
+  // Membership. Join returns a member token; Leave is idempotent on it.
+  // One session may hold several memberships (one per cursor).
+  uint64_t Join(uint64_t session_id);
+  void Leave(uint64_t member);
+  int member_count() const;
+  // Distinct session ids of current members, excluding `self_session` —
+  // the sessions a shared generation pass also served, for fairness
+  // accounting.
+  std::vector<uint64_t> PeerSessions(uint64_t self_session) const;
+
+  // Returns the shared block for chunk index `chunk` (ranks
+  // [chunk*chunk_rows, ...)) on behalf of `member`. Single-flight: the
+  // first caller to miss claims the producer role and runs `fill` outside
+  // the group lock; concurrent callers of the same chunk block until it
+  // publishes, polling `scope` so a cancelled waiter leaves without
+  // disturbing the group. A failed fill resets the slot and wakes the
+  // waiters, which re-elect a producer among themselves.
+  //
+  // Eviction is position-aware: a resident chunk that a near-frontier
+  // member has yet to consume is not evicted while any other idle slot
+  // will do, and when every idle slot is still needed the producer waits —
+  // pacing the frontier to the slowest in-window member — rather than
+  // thrash the ring into one generation pass per member. The wait is
+  // bounded (kEvictGraceMs): a member that stalls inside the window
+  // degrades to catch-up refills instead of wedging the group, and members
+  // already further behind than one ring never pace anyone.
+  Status AcquireChunk(uint64_t member, int64_t chunk, const CancelScope& scope,
+                      const std::function<Status(RowBlock*)>& fill,
+                      ChunkResult* result);
+
+  // Non-blocking probe: when `chunk` is resident (published, not mid-load)
+  // hands it back exactly like a hit in AcquireChunk — LRU touch, member
+  // position advance — and returns true. Returns false otherwise without
+  // waiting, claiming, or producing anything.
+  bool TryAcquireResident(uint64_t member, int64_t chunk, ChunkResult* result);
+
+  int64_t chunk_rows() const { return chunk_rows_; }
+
+ private:
+  struct Slot {
+    int64_t chunk = -1;  // -1 = empty
+    bool loading = false;
+    std::shared_ptr<const RowBlock> block;
+    uint64_t stamp = 0;  // LRU clock
+  };
+  struct Member {
+    uint64_t session = 0;
+    int64_t pos = -1;  // highest chunk this member has acquired
+  };
+
+  // True when a member other than `self` still needs `chunk`: it has only
+  // consumed up to pos < chunk and sits within one ring of the frontier,
+  // so the ring — not a catch-up refill — is how it should get there.
+  bool NeededLocked(int64_t chunk, uint64_t self) const;
+  // Records that `member` acquired `chunk`; wakes paced producers whose
+  // eviction this advance may have unblocked.
+  void AdvanceMemberLocked(uint64_t member, int64_t chunk);
+
+  const int64_t chunk_rows_;
+  mutable std::mutex mu_;
+  std::condition_variable published_cv_;
+  std::vector<Slot> slots_;
+  uint64_t stamp_counter_ = 0;
+  int64_t top_chunk_ = -1;  // highest chunk ever published (the frontier)
+  std::map<uint64_t, Member> members_;  // member token -> position
+  uint64_t next_member_ = 1;
+};
+
+// The server-wide registry: one ScanGroup per (summary id, relation) with
+// live members. Groups are created on first join and destroyed when the
+// last member leaves; the formed/peak counters survive their groups.
+class ScanGroupRegistry {
+ public:
+  ScanGroupRegistry(int64_t chunk_rows, int num_slots);
+
+  // Joins (creating if absent) the group for (summary_id, relation);
+  // returns the group and writes the member token.
+  std::shared_ptr<ScanGroup> Join(const std::string& summary_id, int relation,
+                                  uint64_t session_id, uint64_t* member);
+  // Leaves `group`; erases it from the registry once empty.
+  void Leave(const std::string& summary_id, int relation,
+             const std::shared_ptr<ScanGroup>& group, uint64_t member);
+
+  // Groups that ever reached two concurrent members (a second cursor
+  // actually shared a scan).
+  uint64_t groups_formed() const;
+  // Most members any group ever had.
+  uint64_t peak_fanout() const;
+
+ private:
+  const int64_t chunk_rows_;
+  const int num_slots_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, std::shared_ptr<ScanGroup>> groups_;
+  uint64_t groups_formed_ = 0;
+  uint64_t peak_fanout_ = 0;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_SERVE_SCAN_GROUP_H_

@@ -68,6 +68,20 @@ void FairScheduler::GrantLocked() {
   while (inflight_ < max_inflight_ && !waiting_.empty()) {
     auto it = waiting_.lower_bound(rr_next_);
     if (it == waiting_.end()) it = waiting_.begin();  // wrap the rotation
+    // Shared-work debt: a session that consumed another member's generation
+    // pass yields one turn per debt unit — but only while someone else is
+    // actually waiting (debt shifts priority, it never idles the window).
+    // Each skip repays a unit, so this loop terminates: total debt is
+    // finite and capped.
+    if (waiting_.size() > 1) {
+      const auto debt = debt_.find(it->first);
+      if (debt != debt_.end() && debt->second > 0) {
+        if (--debt->second == 0) debt_.erase(debt);
+        ++debt_skips_;
+        rr_next_ = it->first + 1;
+        continue;
+      }
+    }
     Ticket* ticket = it->second.front();
     it->second.pop_front();
     if (it->second.empty()) waiting_.erase(it);
@@ -93,6 +107,22 @@ void FairScheduler::RemoveTicketLocked(Ticket* ticket) {
   if (it->second.empty()) waiting_.erase(it);
 }
 
+void FairScheduler::Charge(uint64_t session, int units) {
+  if (units <= 0) return;
+  // Cap: with a huge fan-out a member could otherwise be buried under more
+  // debt than it can repay before the group moves on.
+  constexpr int kMaxDebt = 64;
+  std::lock_guard<std::mutex> lock(mu_);
+  int& debt = debt_[session];
+  debt = std::min(debt + units, kMaxDebt);
+  charged_ += static_cast<uint64_t>(units);
+}
+
+void FairScheduler::ForgetSession(uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  debt_.erase(session);
+}
+
 void FairScheduler::Kick() {
   std::lock_guard<std::mutex> lock(mu_);
   granted_cv_.notify_all();
@@ -107,6 +137,16 @@ void FairScheduler::Drain() {
 uint64_t FairScheduler::admission_waits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return admission_waits_;
+}
+
+uint64_t FairScheduler::charged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_;
+}
+
+uint64_t FairScheduler::debt_skips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return debt_skips_;
 }
 
 uint64_t FairScheduler::shed() const {

@@ -55,6 +55,18 @@ class FairScheduler {
   Status Admit(uint64_t session, const std::function<void()>& fn,
                const CancelScope& cancel = {});
 
+  // Fairness accounting for shared work: records that `session` was served
+  // `units` grants' worth of work it did not pay admission for (a shared
+  // scan pass another member produced). Each debt unit makes the rotation
+  // skip one of the session's turns — but only while some other session is
+  // waiting, so debt throttles relative priority, never absolute progress.
+  // Debt is capped (kMaxDebt) so a long-running group cannot bury a member.
+  void Charge(uint64_t session, int units);
+
+  // Drops any outstanding debt of `session` (the server calls it when the
+  // session closes, so the map stays bounded by live sessions).
+  void ForgetSession(uint64_t session);
+
   // Wakes every waiter so it re-evaluates its CancelScope. Call after
   // cancelling tokens that queued waiters are watching.
   void Kick();
@@ -68,6 +80,10 @@ class FairScheduler {
   int max_queued() const { return max_queued_; }
   // Grants that found the window full and had to queue.
   uint64_t admission_waits() const;
+  // Debt units recorded by Charge().
+  uint64_t charged() const;
+  // Turns the rotation skipped to repay debt.
+  uint64_t debt_skips() const;
   // Requests fast-rejected by the queue-depth bound.
   uint64_t shed() const;
   // Waiters queued right now (the shedding signal OpenSession consults).
@@ -98,6 +114,11 @@ class FairScheduler {
   int inflight_ = 0;
   uint64_t admission_waits_ = 0;
   uint64_t shed_ = 0;
+  // session -> outstanding shared-work debt (absent = 0), capped per
+  // session so totals stay finite and GrantLocked always terminates.
+  std::map<uint64_t, int> debt_;
+  uint64_t charged_ = 0;
+  uint64_t debt_skips_ = 0;
 };
 
 }  // namespace hydra

@@ -34,6 +34,21 @@ struct ServeOptions {
   // Morsel size inside engine pipelines (ExecOptions::morsel_rows).
   int64_t morsel_rows = 4096;
 
+  // --- shared scan (docs/serve.md) ---------------------------------------
+  // Multicast regeneration: cursors over the same (summary, relation) form
+  // a scan group, and while a group has >= 2 members each grant serves the
+  // member from a shared batch_rows-aligned chunk — one generation pass per
+  // chunk feeds every member instead of one pass per member. Streams stay
+  // byte-identical to their solo runs (fan-out is the member's own
+  // filter/projection over the shared block). Off = every cursor generates
+  // privately, the pre-shared-scan behavior.
+  bool shared_scan = true;
+  // Resident chunks per scan group (the shared-chunk ring). Members whose
+  // ranks fall within this many chunks of each other share every pass; a
+  // straggler farther behind regenerates its own chunks (bounded catch-up)
+  // until it re-enters the window.
+  int shared_scan_chunks = 4;
+
   // --- failure domain (docs/robustness.md) -------------------------------
   // Load shedding: admission requests beyond this many queued waiters are
   // fast-rejected with kResourceExhausted instead of queueing unboundedly,
@@ -71,6 +86,17 @@ struct ServeStats {
   uint64_t lookups_served = 0;
   uint64_t queries_served = 0;  // full engine pipelines
   uint64_t admission_waits = 0;  // grants that queued behind a full window
+  // Shared scan.
+  uint64_t scan_groups_formed = 0;  // groups that reached >= 2 members
+  uint64_t peak_group_fanout = 0;   // most members any group ever had
+  uint64_t shared_chunk_fills = 0;  // generation passes into shared chunks
+  uint64_t shared_chunk_hits = 0;   // member grants served from a resident
+                                    // chunk — generation passes saved
+  uint64_t catch_up_batches = 0;    // chunk fills behind the group frontier
+                                    // (late joiners regenerating their
+                                    // missed prefix)
+  uint64_t shared_charges = 0;      // fairness debt units charged to members
+                                    // a shared pass served
   // Failure domain.
   uint64_t load_retries = 0;      // transient summary-load attempts retried
   uint64_t shed_requests = 0;     // admissions/opens rejected by shedding

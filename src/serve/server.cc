@@ -40,7 +40,9 @@ RegenServer::RegenServer(ServeOptions options)
     : options_(options),
       store_(options.cache_bytes, ResolveRetryPolicy(options)),
       scheduler_(ResolveInflight(options, ResolvePoolThreads(options)),
-                 options.max_queued) {
+                 options.max_queued),
+      scan_groups_(std::max<int64_t>(1, options.batch_rows),
+                   options.shared_scan_chunks) {
   if (options_.batch_rows < 1) options_.batch_rows = 1;
   const int threads = ResolvePoolThreads(options_);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -115,6 +117,16 @@ Status RegenServer::CloseSession(uint64_t session_id) {
   // shared_ptr keeps the Session alive until that waiter unwinds.
   session->server_cancel.Cancel();
   scheduler_.Kick();
+  scheduler_.ForgetSession(session_id);
+  // Detach every cursor from its scan group so groups never count a closed
+  // session among their members (taking session->mu may briefly wait out an
+  // in-flight grant — bounded work, and the cancel above already tripped).
+  {
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    for (auto& [cursor_id, cursor] : session->cursors) {
+      DetachCursor(*session, cursor);
+    }
+  }
   return Status::OK();
 }
 
@@ -178,6 +190,7 @@ StatusOr<uint64_t> RegenServer::OpenCursor(uint64_t session_id,
   const int64_t rows =
       static_cast<int64_t>(lease.generator().RowCount(spec.relation));
   Cursor cursor;
+  cursor.relation_rows = rows;
   cursor.end_rank =
       spec.end_rank < 0 ? rows : std::min<int64_t>(spec.end_rank, rows);
   cursor.next_rank =
@@ -189,6 +202,14 @@ StatusOr<uint64_t> RegenServer::OpenCursor(uint64_t session_id,
   cursor.spec = std::move(spec);
   cursor.filter = kernels::BlockPredicate(cursor.spec.filter);
   std::lock_guard<std::mutex> lock(session->mu);
+  if (options_.shared_scan) {
+    // Every cursor joins the (summary, relation) scan group; grants only
+    // take the shared path while the group has a second member, so a lone
+    // cursor still serves through the private streaming path.
+    cursor.group = scan_groups_.Join(session->summary_id,
+                                     cursor.spec.relation, session->id,
+                                     &cursor.member);
+  }
   const uint64_t cursor_id = session->next_cursor_id++;
   session->cursors.emplace(cursor_id, std::move(cursor));
   return cursor_id;
@@ -212,14 +233,36 @@ StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
   const CancelScope scope = SessionScope(*session);
   Status status = Status::OK();
   while (out->empty() && cursor.next_rank < cursor.end_rank && status.ok()) {
+    // Multicast fast path: a resident shared chunk is consumed without an
+    // admission grant (see TrySharedFastPath) — the producing member's
+    // grant covered the generation and charged every peer for it. Misses
+    // and degraded grants fall through to admitted work below.
+    if (cursor.group != nullptr && scope.Check().ok() &&
+        cursor.group->member_count() >= 2 &&
+        EffectiveBatchRows() == options_.batch_rows &&
+        TrySharedFastPath(cursor, out)) {
+      continue;
+    }
     const Status admitted = scheduler_.Admit(session->id, [&] {
       StatusOr<SummaryLease> lease = store_.Acquire(session->summary_id);
       if (!lease.ok()) {
         status = lease.status();
         return;
       }
-      const int64_t morsel = std::min<int64_t>(
-          EffectiveBatchRows(), cursor.end_rank - cursor.next_rank);
+      const int64_t effective = EffectiveBatchRows();
+      // Multicast path: while the scan group has company and the grant is
+      // not degraded, serve this member from the group's shared chunk (one
+      // generation pass per chunk across all members). Degraded grants
+      // bypass sharing — their morsels are smaller than a chunk — and
+      // re-engage at full batch size; a group that shrank back to one
+      // member quietly resumes the cheaper private path below.
+      if (cursor.group != nullptr && effective == options_.batch_rows &&
+          cursor.group->member_count() >= 2) {
+        status = SharedGrant(*session, cursor, lease->generator(), scope, out);
+        return;
+      }
+      const int64_t morsel =
+          std::min<int64_t>(effective, cursor.end_rank - cursor.next_rank);
       cursor.scratch.Reset(cursor.source_width);
       // Reuse the streaming cursor while the same generator instance is
       // resident; after an eviction the lease hands back a different
@@ -277,12 +320,111 @@ StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
     }, scope);
     if (status.ok()) status = admitted;
   }
+  // A member that ends in cancel/deadline detaches here: the group's other
+  // members keep sharing undisturbed, and this cursor — were it somehow
+  // resumed — would stream privately.
+  if (IsTerminalSignal(status)) DetachCursor(*session, cursor);
   HYDRA_RETURN_IF_ERROR(TallyTerminal(status));
   if (out->empty()) return false;
   batches_served_.fetch_add(1, std::memory_order_relaxed);
   rows_served_.fetch_add(static_cast<uint64_t>(out->num_rows()),
                          std::memory_order_relaxed);
   return true;
+}
+
+bool RegenServer::TrySharedFastPath(Cursor& cursor, RowBlock* out) {
+  const int64_t chunk_rows = cursor.group->chunk_rows();
+  const int64_t chunk = cursor.next_rank / chunk_rows;
+  ScanGroup::ChunkResult result;
+  if (!cursor.group->TryAcquireResident(cursor.member, chunk, &result)) {
+    return false;
+  }
+  shared_chunk_hits_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t base = chunk * chunk_rows;
+  const int64_t chunk_end =
+      std::min(base + chunk_rows, cursor.relation_rows);
+  FanOutShared(cursor, *result.block, base, chunk_end, out);
+  return true;
+}
+
+Status RegenServer::SharedGrant(Session& session, Cursor& cursor,
+                                const TupleGenerator& generator,
+                                const CancelScope& scope, RowBlock* out) {
+  const int64_t chunk_rows = cursor.group->chunk_rows();
+  const int64_t chunk = cursor.next_rank / chunk_rows;
+  const int64_t base = chunk * chunk_rows;
+  const int64_t chunk_end =
+      std::min(base + chunk_rows, cursor.relation_rows);
+  ScanGroup::ChunkResult result;
+  HYDRA_RETURN_IF_ERROR(cursor.group->AcquireChunk(
+      cursor.member, chunk, scope,
+      [&](RowBlock* block) {
+        // The chunk is a pure function of (summary bytes, rank range):
+        // chunk-aligned, member-independent, valid across evictions and
+        // generator instances, so every member fans out byte-identically
+        // to its solo stream.
+        block->Reset(cursor.source_width);
+        generator.FillBlockRange(cursor.spec.relation, base, chunk_end, block);
+        return Status::OK();
+      },
+      &result));
+  if (result.produced) {
+    shared_chunk_fills_.fetch_add(1, std::memory_order_relaxed);
+    if (result.catch_up) {
+      catch_up_batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Fairness: this one admission generated work every member consumes,
+    // so every peer session is charged a turn of the rotation.
+    for (const uint64_t peer : cursor.group->PeerSessions(session.id)) {
+      scheduler_.Charge(peer, 1);
+    }
+  } else {
+    shared_chunk_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  FanOutShared(cursor, *result.block, base, chunk_end, out);
+  return Status::OK();
+}
+
+// Fan this member's slice [next_rank, limit) out of the shared block with
+// its own filter/projection kernels. The private streaming cursor is now
+// stale; a later private grant rebuilds it at next_rank (rank mismatch).
+void RegenServer::FanOutShared(Cursor& cursor, const RowBlock& block,
+                               int64_t base, int64_t chunk_end, RowBlock* out) {
+  const int64_t limit = std::min(cursor.end_rank, chunk_end);
+  const int64_t lo = cursor.next_rank - base;
+  const int64_t hi = limit - base;
+  cursor.next_rank = limit;
+  const auto& projection = cursor.spec.projection;
+  if (cursor.filter.is_true() && projection.empty()) {
+    out->AppendRange(block, lo, hi - lo);
+    return;
+  }
+  int64_t kept = hi - lo;
+  const int32_t* sel = nullptr;
+  if (!cursor.filter.is_true()) {
+    cursor.filter.SelectRange(block, lo, hi, &cursor.sel);
+    kept = static_cast<int64_t>(cursor.sel.size());
+    if (kept == 0) return;  // all filtered: next grant advances
+    sel = cursor.sel.data();
+  }
+  out->ResizeUninitialized(kept);
+  for (int c = 0; c < cursor.out_width; ++c) {
+    const Value* src = block.Column(projection.empty() ? c : projection[c]);
+    Value* dst = out->MutableColumn(c);
+    if (sel != nullptr) {
+      kernels::Gather(src, sel, kept, dst);
+    } else {
+      std::copy(src + lo, src + hi, dst);
+    }
+  }
+}
+
+void RegenServer::DetachCursor(Session& session, Cursor& cursor) {
+  if (cursor.group == nullptr) return;
+  scan_groups_.Leave(session.summary_id, cursor.spec.relation, cursor.group,
+                     cursor.member);
+  cursor.group = nullptr;
+  cursor.member = 0;
 }
 
 StatusOr<int64_t> RegenServer::CursorRank(uint64_t session_id,
@@ -299,9 +441,10 @@ Status RegenServer::CloseCursor(uint64_t session_id, uint64_t cursor_id) {
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                          FindSession(session_id));
   std::lock_guard<std::mutex> lock(session->mu);
-  if (session->cursors.erase(cursor_id) == 0) {
-    return Status::NotFound("no such cursor");
-  }
+  const auto it = session->cursors.find(cursor_id);
+  if (it == session->cursors.end()) return Status::NotFound("no such cursor");
+  DetachCursor(*session, it->second);
+  session->cursors.erase(it);
   return Status::OK();
 }
 
@@ -408,6 +551,12 @@ ServeStats RegenServer::stats() const {
   s.lookups_served = lookups_served_.load(std::memory_order_relaxed);
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
   s.admission_waits = scheduler_.admission_waits();
+  s.scan_groups_formed = scan_groups_.groups_formed();
+  s.peak_group_fanout = scan_groups_.peak_fanout();
+  s.shared_chunk_fills = shared_chunk_fills_.load(std::memory_order_relaxed);
+  s.shared_chunk_hits = shared_chunk_hits_.load(std::memory_order_relaxed);
+  s.catch_up_batches = catch_up_batches_.load(std::memory_order_relaxed);
+  s.shared_charges = scheduler_.charged();
   s.load_retries = store.load_retries;
   s.shed_requests =
       scheduler_.shed() + opens_shed_.load(std::memory_order_relaxed);

@@ -46,6 +46,7 @@
 #include "engine/operators.h"
 #include "query/predicate.h"
 #include "query/query.h"
+#include "serve/scan_group.h"
 #include "serve/scheduler.h"
 #include "serve/serve_options.h"
 #include "serve/summary_store.h"
@@ -146,6 +147,9 @@ class RegenServer {
     CursorSpec spec;
     int64_t next_rank = 0;
     int64_t end_rank = 0;
+    // Row count of the relation, fixed by the summary at OpenCursor; lets
+    // the shared fast path bound its chunk without acquiring a lease.
+    int64_t relation_rows = 0;
     int source_width = 0;
     int out_width = 0;
     // The spec's filter compiled to column kernels once at OpenCursor; every
@@ -160,6 +164,14 @@ class RegenServer {
     // rank mismatch (external reposition) rebuilds it via Seek.
     std::unique_ptr<TupleGenerator::Cursor> gen_cursor;
     const TupleGenerator* gen_instance = nullptr;
+    // Shared-scan membership (docs/serve.md): non-null while this cursor is
+    // a member of its (summary, relation) scan group. Grants fan out of the
+    // group's shared chunks whenever the group has >= 2 members and the
+    // grant is not degraded; otherwise the private path above serves as
+    // before. Membership ends at CloseCursor/CloseSession or on a terminal
+    // cancel/deadline — a detached member never disturbs the group.
+    std::shared_ptr<ScanGroup> group;
+    uint64_t member = 0;
   };
   struct Session {
     uint64_t id = 0;
@@ -188,11 +200,37 @@ class RegenServer {
   int64_t EffectiveBatchRows();
   // Counts a request that ended with kCancelled/kDeadlineExceeded.
   Status TallyTerminal(Status status);
+  // One shared-scan grant: acquires (generating at most once across the
+  // group) the chunk covering cursor.next_rank and fans this member's rows
+  // out of it. Runs inside an admission grant; session.mu held.
+  Status SharedGrant(Session& session, Cursor& cursor,
+                     const TupleGenerator& generator, const CancelScope& scope,
+                     RowBlock* out);
+  // Admission-free multicast serve: when the chunk covering
+  // cursor.next_rank is already resident in the group's ring, fans this
+  // member's rows out of it and returns true — without a scheduler grant
+  // or a summary lease. The generation work was the producer's admission
+  // (and was charged to every peer), so a consumer replaying it from
+  // memory must not also queue behind the producers: routing hits through
+  // admission lets paced producers hold every inflight slot while the
+  // member they are pacing on waits for one, convoying the whole group on
+  // the eviction grace. Returns false on a miss (or an in-flight load):
+  // the caller takes the admitted path. session.mu held.
+  bool TrySharedFastPath(Cursor& cursor, RowBlock* out);
+  // Fans cursor's rows in [next_rank, min(end_rank, chunk_end)) out of the
+  // shared chunk `block` (covering ranks [base, chunk_end)) through the
+  // cursor's own filter and projection, advancing next_rank. session.mu
+  // held.
+  void FanOutShared(Cursor& cursor, const RowBlock& block, int64_t base,
+                    int64_t chunk_end, RowBlock* out);
+  // Ends the cursor's group membership, if any. session.mu held.
+  void DetachCursor(Session& session, Cursor& cursor);
 
   ServeOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when serving sequentially
   SummaryStore store_;
   FairScheduler scheduler_;
+  ScanGroupRegistry scan_groups_;
 
   std::mutex mu_;  // guards sessions_ / next_session_id_
   std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
@@ -206,6 +244,9 @@ class RegenServer {
   std::atomic<uint64_t> opens_shed_{0};
   std::atomic<uint64_t> degraded_batches_{0};
   std::atomic<uint64_t> cancelled_requests_{0};
+  std::atomic<uint64_t> shared_chunk_fills_{0};
+  std::atomic<uint64_t> shared_chunk_hits_{0};
+  std::atomic<uint64_t> catch_up_batches_{0};
 };
 
 }  // namespace hydra

@@ -288,6 +288,136 @@ TEST_F(ChaosServeTest, ExhaustedRetriesSurfaceTheTransientError) {
   EXPECT_EQ(server.stats().load_retries, 1u);
 }
 
+// ---- shared-scan faults ---------------------------------------------------
+
+TEST_F(ChaosServeTest, SharedChunkFaultFailsOnlyTheProducingGrant) {
+  // serve/shared_chunk fires as a producer claims a group chunk, before any
+  // generation: the requesting member sees the clean injected error, the
+  // slot resets, and the very next grant (failpoint exhausted) re-produces
+  // the same chunk — both members' streams stay byte-identical.
+  ServeOptions options;
+  options.num_threads = 1;
+  options.batch_rows = 8192;
+  RegenServer server(options);
+  ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
+  auto sid = server.OpenSession("alpha");
+  ASSERT_TRUE(sid.ok());
+  CursorSpec spec;
+  spec.relation = env_.schema.RelationIndex("R");
+  auto a = server.OpenCursor(*sid, spec);
+  auto b = server.OpenCursor(*sid, spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  ASSERT_TRUE(
+      Failpoint::ArmFromString("serve/shared_chunk=error(UNAVAILABLE,times=1)")
+          .ok());
+  RowBlock block;
+  auto faulted = server.NextBatch(*sid, *a, &block);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kUnavailable);
+
+  // The fault consumed no ranks: both cursors stream to completion and
+  // match the direct generator scan.
+  uint64_t h_a = kFnvSeed, h_b = kFnvSeed;
+  for (;;) {
+    bool more_a = false, more_b = false;
+    auto batch_a = server.NextBatch(*sid, *a, &block);
+    ASSERT_TRUE(batch_a.ok()) << batch_a.status().ToString();
+    more_a = *batch_a;
+    if (more_a) h_a = HashBlock(h_a, block);
+    auto batch_b = server.NextBatch(*sid, *b, &block);
+    ASSERT_TRUE(batch_b.ok()) << batch_b.status().ToString();
+    more_b = *batch_b;
+    if (more_b) h_b = HashBlock(h_b, block);
+    if (!more_a && !more_b) break;
+  }
+  Failpoint::DisarmAll();
+  EXPECT_EQ(h_a, h_b);
+
+  TupleGenerator gen(summary_);
+  uint64_t expected = kFnvSeed;
+  gen.Scan(spec.relation, [&](const Row& r) {
+    expected = HashValues(expected, r.data(), static_cast<int64_t>(r.size()));
+  });
+  EXPECT_EQ(h_a, expected);
+}
+
+TEST_F(ChaosServeTest, SharedScanSurvivesSeededChunkFaultSchedule) {
+  // Probabilistic chunk faults + grant delays over a many-member group:
+  // every member either finishes byte-identically to the fault-free stream
+  // (retrying clean transient errors) or fails cleanly — and the group
+  // machinery (slot re-election after a failed producer) never wedges.
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("HYDRA_CHAOS_SEED=" + std::to_string(seed));
+  ServeOptions options;
+  options.num_threads = 4;
+  options.batch_rows = 1024;
+  RegenServer server(options);
+  ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
+
+  // Fault-free reference stream hash (identity scan over R).
+  uint64_t reference = kFnvSeed;
+  {
+    TupleGenerator gen(summary_);
+    gen.Scan(env_.schema.RelationIndex("R"), [&](const Row& r) {
+      reference =
+          HashValues(reference, r.data(), static_cast<int64_t>(r.size()));
+    });
+  }
+
+  ASSERT_TRUE(Failpoint::ArmFromString(
+                  "serve/shared_chunk=error(UNAVAILABLE,p=0.1,seed=" +
+                  std::to_string(seed) +
+                  ");serve/grant=delay(1,p=0.05,seed=" +
+                  std::to_string(seed + 1) + ")")
+                  .ok());
+  constexpr int kMembers = 6;
+  std::vector<uint64_t> hashes(kMembers, 0);
+  std::vector<std::string> errors(kMembers);
+  std::vector<std::thread> members;
+  for (int t = 0; t < kMembers; ++t) {
+    members.emplace_back([&, t] {
+      auto sid = server.OpenSession("alpha");
+      if (!sid.ok()) {
+        errors[t] = sid.status().ToString();
+        return;
+      }
+      CursorSpec spec;
+      spec.relation = env_.schema.RelationIndex("R");
+      auto cid = server.OpenCursor(*sid, spec);
+      if (!cid.ok()) {
+        errors[t] = cid.status().ToString();
+        return;
+      }
+      uint64_t h = kFnvSeed;
+      RowBlock block;
+      for (;;) {
+        auto more = server.NextBatch(*sid, *cid, &block);
+        if (!more.ok()) {
+          // Injected chunk faults are transient: retry the same batch (a
+          // failed producer consumed no ranks). Anything unclean aborts.
+          if (more.status().code() == StatusCode::kUnavailable) continue;
+          errors[t] = more.status().ToString();
+          return;
+        }
+        if (!*more) break;
+        h = HashBlock(h, block);
+      }
+      hashes[t] = h;
+      (void)server.CloseSession(*sid);
+    });
+  }
+  for (std::thread& th : members) th.join();
+  Failpoint::DisarmAll();
+  for (int t = 0; t < kMembers; ++t) {
+    ASSERT_EQ(errors[t], "") << "member " << t;
+    EXPECT_EQ(hashes[t], reference) << "member " << t << " diverged";
+  }
+  const ServeStats stats = server.stats();
+  EXPECT_GE(stats.peak_group_fanout, 2u);
+  EXPECT_GT(stats.shared_chunk_fills, 0u);
+}
+
 // ---- cancellation and deadlines -------------------------------------------
 
 TEST_F(ChaosServeTest, CancelledSessionStopsWithinOneBatch) {

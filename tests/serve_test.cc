@@ -370,6 +370,324 @@ TEST_F(ServeTest, ExecuteQueryMatchesDirectExecutor) {
   }
 }
 
+// ---- shared scans ---------------------------------------------------------
+//
+// Multicast contract (docs/serve.md): cursors co-resident on one
+// (summary, relation) share generation passes, but every member's stream
+// stays byte-identical to the stream a lone cursor with the same spec would
+// produce — whatever the member mix, join order, batch size, cancellations,
+// or evictions.
+
+// Client c's cursor spec over R: specs deliberately differ per member
+// (group keying is (summary, relation) only; filters/projections/ranges are
+// per-member) so fan-out correctness is exercised, not just block reuse.
+CursorSpec SharedSpec(const ToyEnvironment& env, int c) {
+  CursorSpec spec;
+  spec.relation = env.schema.RelationIndex("R");
+  switch (c % 3) {
+    case 0:
+      break;  // identity scan, all columns
+    case 1:
+      spec.filter = PredicateOf(AtomRange(/*column=*/1, 40 + c, 400 + c));
+      spec.projection = {0, 1};
+      break;
+    default:
+      spec.projection = {2};
+      break;
+  }
+  spec.begin_rank = (c % 4) * 777;
+  spec.end_rank = 80000 - (c % 5) * 333;
+  return spec;
+}
+
+// Streams client c's cursor to completion on its own session.
+uint64_t RunSharedClient(RegenServer& server, const ToyEnvironment& env,
+                         int c, std::string* error) {
+  const auto fail = [&](const Status& s) {
+    *error = "client " + std::to_string(c) + ": " + s.ToString();
+    return uint64_t{0};
+  };
+  auto sid = server.OpenSession("alpha");
+  if (!sid.ok()) return fail(sid.status());
+  auto cid = server.OpenCursor(*sid, SharedSpec(env, c));
+  if (!cid.ok()) return fail(cid.status());
+  uint64_t h = kFnvSeed;
+  RowBlock block;
+  for (;;) {
+    auto more = server.NextBatch(*sid, *cid, &block);
+    if (!more.ok()) return fail(more.status());
+    if (!*more) break;
+    h = HashBlock(h, block);
+  }
+  EXPECT_TRUE(server.CloseSession(*sid).ok());
+  return h;
+}
+
+TEST_F(ServeTest, SharedScanStreamsIdenticalToSolo) {
+  constexpr int kSpecs = 12;
+  // Solo reference: sharing disabled, one client at a time.
+  std::vector<uint64_t> reference(kSpecs);
+  {
+    ServeOptions options;
+    options.shared_scan = false;
+    RegenServer server(options);
+    RegisterBoth(server);
+    for (int c = 0; c < kSpecs; ++c) {
+      std::string error;
+      reference[c] = RunSharedClient(server, env_, c, &error);
+      ASSERT_EQ(error, "");
+    }
+  }
+
+  struct Config {
+    int threads;
+    int clients;
+    int64_t batch_rows;
+  };
+  for (const Config& config : std::vector<Config>{
+           {1, 4, 512}, {4, 8, 1000}, {8, 12, 4096}, {2, 6, 257}}) {
+    ServeOptions options;
+    options.num_threads = config.threads;
+    options.batch_rows = config.batch_rows;
+    RegenServer server(options);
+    RegisterBoth(server);
+    std::vector<uint64_t> hashes(kSpecs, 0);
+    std::vector<std::string> errors(kSpecs);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < config.clients; ++t) {
+      threads.emplace_back([&, t] {
+        for (int c = t; c < kSpecs; c += config.clients) {
+          hashes[c] = RunSharedClient(server, env_, c, &errors[c]);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    for (const std::string& e : errors) EXPECT_EQ(e, "");
+    EXPECT_EQ(hashes, reference)
+        << "multicast diverged at threads=" << config.threads
+        << " clients=" << config.clients << " batch=" << config.batch_rows;
+    const ServeStats stats = server.stats();
+    EXPECT_GE(stats.scan_groups_formed, 1u);
+    EXPECT_GE(stats.peak_group_fanout, 2u);
+    EXPECT_GT(stats.shared_chunk_fills, 0u);
+  }
+}
+
+TEST_F(ServeTest, TwoCursorsShareOneGenerationPass) {
+  // Deterministic accounting: two cursors on one session, interleaved
+  // batch-by-batch — the follower must ride the leader's chunks (one fill,
+  // one hit per chunk) and both streams must equal the generator scan.
+  ServeOptions options;
+  options.num_threads = 1;
+  options.batch_rows = 8192;
+  RegenServer server(options);
+  RegisterBoth(server);
+  const int r = env_.schema.RelationIndex("R");
+  auto sid = server.OpenSession("alpha");
+  ASSERT_TRUE(sid.ok());
+  CursorSpec spec;
+  spec.relation = r;
+  auto a = server.OpenCursor(*sid, spec);
+  auto b = server.OpenCursor(*sid, spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<Value> rows_a, rows_b;
+  RowBlock block;
+  for (;;) {
+    auto more_a = server.NextBatch(*sid, *a, &block);
+    ASSERT_TRUE(more_a.ok());
+    if (*more_a) AppendRows(block, &rows_a);
+    auto more_b = server.NextBatch(*sid, *b, &block);
+    ASSERT_TRUE(more_b.ok());
+    if (*more_b) AppendRows(block, &rows_b);
+    if (!*more_a && !*more_b) break;
+  }
+  EXPECT_EQ(rows_a, rows_b);
+  std::vector<Value> expected;
+  TupleGenerator gen(summary_);
+  gen.Scan(r, [&](const Row& row) {
+    expected.insert(expected.end(), row.begin(), row.end());
+  });
+  EXPECT_EQ(rows_a, expected);
+  const ServeStats stats = server.stats();
+  const uint64_t chunks = (80000 + 8192 - 1) / 8192;
+  EXPECT_EQ(stats.scan_groups_formed, 1u);
+  EXPECT_EQ(stats.peak_group_fanout, 2u);
+  EXPECT_EQ(stats.shared_chunk_fills, chunks);
+  EXPECT_EQ(stats.shared_chunk_hits, chunks);
+  EXPECT_EQ(stats.catch_up_batches, 0u);
+}
+
+TEST_F(ServeTest, LateJoinerCatchesUpWithoutDisturbingTheGroup) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.batch_rows = 4096;  // default shared_scan_chunks = 4 slots
+  RegenServer server(options);
+  RegisterBoth(server);
+  const int r = env_.schema.RelationIndex("R");
+  auto sid = server.OpenSession("alpha");
+  ASSERT_TRUE(sid.ok());
+  CursorSpec spec;
+  spec.relation = r;
+  auto a = server.OpenCursor(*sid, spec);
+  ASSERT_TRUE(a.ok());
+  std::vector<Value> rows_a, rows_b;
+  RowBlock block;
+  // The early cursor runs alone (private path) well past the slot ring.
+  for (int i = 0; i < 8; ++i) {
+    auto more = server.NextBatch(*sid, *a, &block);
+    ASSERT_TRUE(more.ok() && *more);
+    AppendRows(block, &rows_a);
+  }
+  // A latecomer joins at rank 0: its catch-up chunks are behind the
+  // group frontier and long since outside the ring, so they regenerate —
+  // counted as catch-up batches — while the leader streams on unperturbed.
+  auto b = server.OpenCursor(*sid, spec);
+  ASSERT_TRUE(b.ok());
+  for (;;) {
+    auto more_a = server.NextBatch(*sid, *a, &block);
+    ASSERT_TRUE(more_a.ok());
+    if (*more_a) AppendRows(block, &rows_a);
+    auto more_b = server.NextBatch(*sid, *b, &block);
+    ASSERT_TRUE(more_b.ok());
+    if (*more_b) AppendRows(block, &rows_b);
+    if (!*more_a && !*more_b) break;
+  }
+  EXPECT_EQ(rows_a, rows_b);
+  std::vector<Value> expected;
+  TupleGenerator gen(summary_);
+  gen.Scan(r, [&](const Row& row) {
+    expected.insert(expected.end(), row.begin(), row.end());
+  });
+  EXPECT_EQ(rows_a, expected);
+  EXPECT_GT(server.stats().catch_up_batches, 0u);
+}
+
+TEST_F(ServeTest, MemberCancelDetachesWithoutDisturbingTheGroup) {
+  ServeOptions options;
+  options.num_threads = 4;
+  options.batch_rows = 2048;
+  RegenServer server(options);
+  RegisterBoth(server);
+
+  // Solo reference for spec 0.
+  std::vector<uint64_t> reference(3);
+  {
+    ServeOptions solo;
+    solo.shared_scan = false;
+    RegenServer ref_server(solo);
+    RegisterBoth(ref_server);
+    for (int c = 0; c < 3; ++c) {
+      std::string error;
+      reference[c] = RunSharedClient(ref_server, env_, c, &error);
+      ASSERT_EQ(error, "");
+    }
+  }
+
+  // Three members; the middle one is cancelled mid-stream and must unwind
+  // with kCancelled while the survivors finish byte-identically.
+  std::atomic<uint64_t> victim_sid{0};
+  std::atomic<int> victim_batches{0};
+  std::atomic<bool> cancel_issued{false};
+  std::vector<uint64_t> hashes(3, 0);
+  std::vector<std::string> errors(3);
+  Status victim_status;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&, c] {
+      if (c != 1) {
+        hashes[c] = RunSharedClient(server, env_, c, &errors[c]);
+        return;
+      }
+      auto sid = server.OpenSession("alpha");
+      ASSERT_TRUE(sid.ok());
+      victim_sid.store(*sid);
+      auto cid = server.OpenCursor(*sid, SharedSpec(env_, 1));
+      ASSERT_TRUE(cid.ok());
+      RowBlock block;
+      for (;;) {
+        // Pause after the second batch until the cancel has landed, so the
+        // terminal kCancelled is observed mid-stream deterministically.
+        if (victim_batches.load() == 2) {
+          while (!cancel_issued.load()) {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+          }
+        }
+        auto more = server.NextBatch(*sid, *cid, &block);
+        if (!more.ok()) {
+          victim_status = more.status();
+          break;
+        }
+        if (!*more) break;
+        victim_batches.fetch_add(1);
+      }
+      EXPECT_TRUE(server.CloseSession(*sid).ok());
+    });
+  }
+  while (victim_batches.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_TRUE(server.CancelSession(victim_sid.load()).ok());
+  cancel_issued.store(true);
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(victim_status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(hashes[0], reference[0]);
+  EXPECT_EQ(hashes[2], reference[2]);
+  EXPECT_GE(server.stats().cancelled_requests, 1u);
+}
+
+TEST_F(ServeTest, SharedScanSurvivesEvictionMidGroup) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = summary_bytes_ + 64;  // room for one summary only
+  options.batch_rows = 4096;
+  RegenServer server(options);
+  RegisterBoth(server);
+  const int r = env_.schema.RelationIndex("R");
+  auto sid = server.OpenSession("alpha");
+  ASSERT_TRUE(sid.ok());
+  CursorSpec spec;
+  spec.relation = r;
+  auto a = server.OpenCursor(*sid, spec);
+  auto b = server.OpenCursor(*sid, spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<Value> rows_a, rows_b;
+  RowBlock block;
+  const auto step = [&](uint64_t cid, std::vector<Value>* rows, bool* more) {
+    auto batch = server.NextBatch(*sid, cid, &block);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    *more = *batch;
+    if (*more) AppendRows(block, rows);
+  };
+  bool more_a = true;
+  bool more_b = true;
+  for (int i = 0; i < 3; ++i) {
+    step(*a, &rows_a, &more_a);
+    step(*b, &rows_b, &more_b);
+  }
+  // Foreign traffic evicts alpha's summary out from under the live group.
+  auto beta = server.OpenSession("beta");
+  ASSERT_TRUE(beta.ok());
+  auto beta_cursor = server.OpenCursor(*beta, spec);
+  ASSERT_TRUE(beta_cursor.ok());
+  auto beta_batch = server.NextBatch(*beta, *beta_cursor, &block);
+  ASSERT_TRUE(beta_batch.ok() && *beta_batch);
+  EXPECT_GE(server.stats().evictions, 1u);
+  // The group's chunks are pure functions of (summary bytes, rank range):
+  // reload is invisible, streams stay byte-identical.
+  for (;;) {
+    step(*a, &rows_a, &more_a);
+    step(*b, &rows_b, &more_b);
+    if (!more_a && !more_b) break;
+  }
+  EXPECT_EQ(rows_a, rows_b);
+  std::vector<Value> expected;
+  TupleGenerator gen(summary_);
+  gen.Scan(r, [&](const Row& row) {
+    expected.insert(expected.end(), row.begin(), row.end());
+  });
+  EXPECT_EQ(rows_a, expected);
+}
+
 // ---- summary store --------------------------------------------------------
 
 TEST_F(ServeTest, StoreEvictsLeastRecentlyUsed) {
@@ -566,6 +884,65 @@ TEST(FairSchedulerTest, DeadlineExpiryRejectsQueuedWaiter) {
   EXPECT_EQ(admitted.code(), StatusCode::kDeadlineExceeded);
   gate.unlock();
   holder.join();
+}
+
+TEST(FairSchedulerTest, ChargedDebtYieldsTurnsWithoutIdling) {
+  // Shared-scan accounting: a session charged for a generation pass it got
+  // for free yields its next turn to a waiting peer — but debt must never
+  // idle the window when the debtor is the only waiter.
+  FairScheduler scheduler(/*max_inflight=*/1);
+
+  // Alone in the queue, a debtor is granted immediately despite its debt.
+  scheduler.Charge(7, 2);
+  EXPECT_EQ(scheduler.charged(), 2u);
+  bool ran = false;
+  ASSERT_TRUE(scheduler.Admit(7, [&] { ran = true; }).ok());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(scheduler.debt_skips(), 0u);
+
+  // Wedge the window, queue the debtor (7) and a peer (8), then release:
+  // the rotation reaches 7 first, spends one debt unit skipping it, and
+  // grants 8 — so 8 finishes before 7.
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> holding{false};
+  std::thread holder([&] {
+    ASSERT_TRUE(scheduler
+                    .Admit(5,
+                           [&] {
+                             holding.store(true);
+                             gate.lock();
+                             gate.unlock();
+                           })
+                    .ok());
+  });
+  while (!holding.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  std::mutex order_mu;
+  std::vector<uint64_t> order;
+  const auto client = [&](uint64_t session) {
+    ASSERT_TRUE(scheduler
+                    .Admit(session,
+                           [&, session] {
+                             std::lock_guard<std::mutex> lock(order_mu);
+                             order.push_back(session);
+                           })
+                    .ok());
+  };
+  std::thread t7([&] { client(7); });
+  std::thread t8([&] { client(8); });
+  while (scheduler.queued() < 2) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  gate.unlock();
+  holder.join();
+  t7.join();
+  t8.join();
+  EXPECT_EQ(order, (std::vector<uint64_t>{8, 7}));
+  EXPECT_EQ(scheduler.debt_skips(), 1u);
+  // The remaining debt unit is dropped with the session.
+  scheduler.ForgetSession(7);
 }
 
 // ---- error paths ----------------------------------------------------------

@@ -23,12 +23,19 @@ Rules:
     every bench — including the normalization record — equally is
     invisible in this mode, and the normalization record itself always
     compares as 1.0.
+  * --normalize may repeat. The first entry is the run-wide divisor (so a
+    single entry keeps the historical global behavior); each additional
+    entry overrides the divisor for its own FILE. Use a per-file override
+    when a file's records are only meaningful as ratios against a sibling
+    record — e.g. per-client serve latencies against the single-client
+    stream of the same run — rather than against the run-wide anchor.
 
 Typical usage:
   python3 tools/compare_bench.py --baseline bench/baselines --current build
   python3 tools/compare_bench.py --baseline bench/baselines --current build --update
   python3 tools/compare_bench.py --baseline bench/baselines --current build \
-      --normalize BENCH_fig14_materialization.json:datasynth_sf32
+      --normalize BENCH_fig14_materialization.json:datasynth_sf32 \
+      --normalize BENCH_fig_serve.json:serve_shared_c1
 """
 
 import argparse
@@ -63,9 +70,12 @@ def main():
     parser.add_argument("--min-seconds", type=float, default=0.01,
                         help="records faster than this in the baseline are "
                              "reported but never fail (timer noise)")
-    parser.add_argument("--normalize", metavar="FILE:RECORD", default=None,
-                        help="divide all seconds by this record's seconds "
-                             "within the same run (cross-machine comparison)")
+    parser.add_argument("--normalize", metavar="FILE:RECORD",
+                        action="append", default=None,
+                        help="divide seconds by this record's seconds within "
+                             "the same run (cross-machine comparison); the "
+                             "first entry applies run-wide, repeats override "
+                             "the divisor for their own FILE")
     parser.add_argument("--update", action="store_true",
                         help="copy current records over the baseline instead "
                              "of comparing")
@@ -91,21 +101,34 @@ def main():
               "run with --update to create them")
         return 1
 
-    def normalizer(directory):
-        """Returns the per-run divisor from --normalize, or 1.0."""
-        if args.normalize is None:
-            return 1.0
-        fname, _, record = args.normalize.partition(":")
-        path = os.path.join(directory, fname)
-        if not os.path.exists(path):
-            return None
-        return load_records(path).get(record)
+    def divisors(directory):
+        """Returns (run-wide divisor, {fname: override}) from --normalize.
 
-    norm_base = normalizer(args.baseline)
-    norm_cur = normalizer(args.current)
-    if args.normalize is not None and (not norm_base or not norm_cur):
-        print(f"normalization record {args.normalize} missing or zero in "
-              "baseline or current run")
+        None signals a missing/zero normalization record (an error: a gate
+        that silently fell back to absolute seconds would pass or fail on
+        runner speed).
+        """
+        if not args.normalize:
+            return 1.0, {}
+        default = None
+        per_file = {}
+        for entry in args.normalize:
+            fname, _, record = entry.partition(":")
+            path = os.path.join(directory, fname)
+            value = (load_records(path).get(record)
+                     if os.path.exists(path) else None)
+            if not value:
+                print(f"normalization record {entry} missing or zero in "
+                      f"{directory}")
+                return None
+            per_file[fname] = value
+            if default is None:
+                default = value
+        return default, per_file
+
+    base_norm = divisors(args.baseline)
+    cur_norm = divisors(args.current)
+    if base_norm is None or cur_norm is None:
         return 1
 
     current_names = {os.path.basename(p) for p in current_files}
@@ -118,6 +141,8 @@ def main():
             continue
         baseline_raw = load_records(base_path)
         current_raw = load_records(os.path.join(args.current, fname))
+        norm_base = base_norm[1].get(fname, base_norm[0])
+        norm_cur = cur_norm[1].get(fname, cur_norm[0])
         for name, base_raw_secs in sorted(baseline_raw.items()):
             if name not in current_raw:
                 regressions.append(f"{fname}:{name} missing from current run")

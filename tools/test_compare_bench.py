@@ -146,6 +146,51 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("missing", out)
 
+    def test_per_file_normalization_override(self):
+        # Two entries: the first is the run-wide divisor, the second scopes
+        # to BENCH_b.json. b's records gate as ratios against b's own
+        # anchor, so a uniform 4x slowdown confined to b still passes while
+        # a's gating stays pinned to a's anchor.
+        write_bench(self.baseline, "BENCH_a.json", {"anchor": 1.0, "r1": 2.0})
+        write_bench(self.baseline, "BENCH_b.json", {"solo": 1.0, "c32": 3.0})
+        write_bench(self.current, "BENCH_a.json", {"anchor": 1.0, "r1": 2.0})
+        write_bench(self.current, "BENCH_b.json", {"solo": 4.0, "c32": 12.0})
+        code, out = self.compare(
+            "--normalize", "BENCH_a.json:anchor",
+            "--normalize", "BENCH_b.json:solo")
+        self.assertEqual(code, 0, out)
+
+        # A relative regression inside b (c32 worsens against b's solo
+        # stream) fails even though a is untouched.
+        write_bench(self.current, "BENCH_b.json", {"solo": 4.0, "c32": 20.0})
+        code, out = self.compare(
+            "--normalize", "BENCH_a.json:anchor",
+            "--normalize", "BENCH_b.json:solo")
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("c32", out)
+
+    def test_first_normalize_entry_is_run_wide_default(self):
+        # A file without its own entry divides by the first entry's record:
+        # b regressing against a's anchor fails even with a per-file entry
+        # present for a different file.
+        write_bench(self.baseline, "BENCH_a.json", {"anchor": 1.0})
+        write_bench(self.baseline, "BENCH_b.json", {"r": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"anchor": 1.0})
+        write_bench(self.current, "BENCH_b.json", {"r": 2.0})
+        code, out = self.compare("--normalize", "BENCH_a.json:anchor")
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+
+    def test_per_file_normalization_missing_record_fails(self):
+        write_bench(self.baseline, "BENCH_a.json", {"anchor": 1.0, "r1": 1.0})
+        write_bench(self.current, "BENCH_a.json", {"anchor": 1.0, "r1": 1.0})
+        code, out = self.compare(
+            "--normalize", "BENCH_a.json:anchor",
+            "--normalize", "BENCH_b.json:absent")
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing", out)
+
     def test_tolerance_env_override(self):
         write_bench(self.baseline, "BENCH_a.json", {"r1": 1.0})
         write_bench(self.current, "BENCH_a.json", {"r1": 1.4})
