@@ -37,11 +37,14 @@ Status FairScheduler::Admit(uint64_t session, const std::function<void()>& fn,
     GrantLocked();
     if (!ticket.granted) {
       ++admission_waits_;
-      // Deadlines are not hooked into the cv, so poll: granted_cv_ wakes on
-      // grants and Kick(); the periodic timeout bounds how stale an expired
-      // deadline can go unnoticed.
+      // Deadlines and token-bucket refills are not hooked into the cv, so
+      // poll: granted_cv_ wakes on grants and Kick(); the periodic timeout
+      // bounds how stale an expired deadline can go unnoticed, and the
+      // re-grant attempt lets a queue where every session is rate-limited
+      // make progress once a bucket refills.
       while (!ticket.granted && !cancel.cancelled()) {
         granted_cv_.wait_for(lock, std::chrono::milliseconds(10));
+        if (!ticket.granted) GrantLocked();
       }
       if (!ticket.granted) {
         // Cancelled while queued: withdraw the ticket and report why.
@@ -65,15 +68,16 @@ Status FairScheduler::Admit(uint64_t session, const std::function<void()>& fn,
 
 void FairScheduler::GrantLocked() {
   bool granted_any = false;
+  const auto now = std::chrono::steady_clock::now();
   while (inflight_ < max_inflight_ && !waiting_.empty()) {
     auto it = waiting_.lower_bound(rr_next_);
     if (it == waiting_.end()) it = waiting_.begin();  // wrap the rotation
-    // Shared-work debt: a session that consumed another member's generation
-    // pass yields one turn per debt unit — but only while someone else is
-    // actually waiting (debt shifts priority, it never idles the window).
-    // Each skip repays a unit, so this loop terminates: total debt is
-    // finite and capped.
     if (waiting_.size() > 1) {
+      // Shared-work debt: a session that consumed another member's
+      // generation pass yields one turn per debt unit — but only while
+      // someone else is actually waiting (debt shifts priority, it never
+      // idles the window). Each skip repays a unit, so this loop
+      // terminates: total debt is finite and capped.
       const auto debt = debt_.find(it->first);
       if (debt != debt_.end() && debt->second > 0) {
         if (--debt->second == 0) debt_.erase(debt);
@@ -81,6 +85,48 @@ void FairScheduler::GrantLocked() {
         rr_next_ = it->first + 1;
         continue;
       }
+      // Priority weighting: every visit deposits the session's priority as
+      // credit; a grant costs the highest priority among waiting sessions.
+      // A priority-p session therefore covers the cost on every visit when
+      // p == maxp, and every maxp/p-th visit otherwise — p grants per peer
+      // grant, without ever starving anyone (credit accrues each skip, so
+      // a grant is always at most kMaxPriority rotations away). With all
+      // priorities equal this degenerates to the plain rotation.
+      int maxp = 1;
+      for (const auto& entry : waiting_) {
+        const auto qit = qos_.find(entry.first);
+        if (qit != qos_.end()) maxp = std::max(maxp, qit->second.priority);
+      }
+      if (maxp > 1) {
+        QosState& qos = qos_[it->first];
+        qos.credit += std::max(1, qos.priority);
+        if (qos.credit < maxp) {
+          ++priority_skips_;
+          rr_next_ = it->first + 1;
+          continue;
+        }
+        qos.credit -= maxp;
+      }
+    }
+    // Rate limit: an overdrawn bucket defers the session's grant to any
+    // non-throttled waiter (the probe bypasses the credit bookkeeping —
+    // deferral is already the stronger penalty). When every waiting
+    // session is throttled the window goes intentionally idle; Admit's
+    // poll loop re-grants once a bucket refills.
+    if (ThrottledLocked(it->first, now)) {
+      ++rate_deferrals_;
+      bool found = false;
+      auto probe = it;
+      for (size_t i = 1; i < waiting_.size(); ++i) {
+        ++probe;
+        if (probe == waiting_.end()) probe = waiting_.begin();
+        if (!ThrottledLocked(probe->first, now)) {
+          it = probe;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
     }
     Ticket* ticket = it->second.front();
     it->second.pop_front();
@@ -107,6 +153,51 @@ void FairScheduler::RemoveTicketLocked(Ticket* ticket) {
   if (it->second.empty()) waiting_.erase(it);
 }
 
+void FairScheduler::RefillLocked(QosState& qos,
+                                 std::chrono::steady_clock::time_point now) {
+  if (qos.rate <= 0) return;
+  const double elapsed =
+      std::chrono::duration<double>(now - qos.last_refill).count();
+  if (elapsed <= 0) return;
+  // Burst allowance: one second of credit, so a fresh or long-idle session
+  // may serve a rate-sized burst before throttling engages.
+  const double burst = static_cast<double>(qos.rate);
+  qos.tokens = std::min(burst, qos.tokens + elapsed * burst);
+  qos.last_refill = now;
+}
+
+bool FairScheduler::ThrottledLocked(uint64_t session,
+                                    std::chrono::steady_clock::time_point now) {
+  const auto it = qos_.find(session);
+  if (it == qos_.end() || it->second.rate <= 0) return false;
+  RefillLocked(it->second, now);
+  return it->second.tokens <= 0;
+}
+
+void FairScheduler::SetSessionQos(uint64_t session, SessionQos qos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QosState& state = qos_[session];
+  state.priority =
+      std::min(kMaxPriority, std::max(1, qos.priority));
+  state.rate = std::max<int64_t>(0, qos.rate_rows_per_sec);
+  state.tokens = static_cast<double>(state.rate);  // start with full burst
+  state.last_refill = std::chrono::steady_clock::now();
+}
+
+void FairScheduler::SpendTokens(uint64_t session, int64_t rows) {
+  if (rows <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = qos_.find(session);
+  if (it == qos_.end() || it->second.rate <= 0) return;
+  RefillLocked(it->second, std::chrono::steady_clock::now());
+  it->second.tokens -= static_cast<double>(rows);
+}
+
+bool FairScheduler::SessionThrottled(uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ThrottledLocked(session, std::chrono::steady_clock::now());
+}
+
 void FairScheduler::Charge(uint64_t session, int units) {
   if (units <= 0) return;
   // Cap: with a huge fan-out a member could otherwise be buried under more
@@ -121,6 +212,7 @@ void FairScheduler::Charge(uint64_t session, int units) {
 void FairScheduler::ForgetSession(uint64_t session) {
   std::lock_guard<std::mutex> lock(mu_);
   debt_.erase(session);
+  qos_.erase(session);
 }
 
 void FairScheduler::Kick() {
@@ -147,6 +239,16 @@ uint64_t FairScheduler::charged() const {
 uint64_t FairScheduler::debt_skips() const {
   std::lock_guard<std::mutex> lock(mu_);
   return debt_skips_;
+}
+
+uint64_t FairScheduler::priority_skips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return priority_skips_;
+}
+
+uint64_t FairScheduler::rate_deferrals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_deferrals_;
 }
 
 uint64_t FairScheduler::shed() const {

@@ -11,6 +11,20 @@
 // admitted concurrently never exceeds max_inflight, no matter how many
 // clients are connected.
 //
+// QoS (docs/serve.md): each session may carry a SessionQos, set at
+// OpenSession. `priority` weights the rotation — while several sessions
+// contend, a priority-p session earns p grants for every one a priority-1
+// peer earns (a credit scheme: each rotation visit deposits the session's
+// priority, a grant costs the highest waiting priority, and a visit whose
+// balance can't cover the cost yields the turn). `rate_rows_per_sec`
+// token-buckets the session's served rows: the server deposits a spend
+// after each batch, and while the bucket is overdrawn the rotation defers
+// the session's grants. Priority (like shared-scan debt) shifts *relative*
+// standing only — a low-priority session still runs whenever nobody else
+// is waiting — but a rate limit is absolute: a throttled session waits for
+// its refill even with the window idle. Default QoS (priority 1, no rate)
+// reproduces plain round-robin exactly.
+//
 // Failure domain (docs/robustness.md): Admit returns a Status. A request
 // whose CancelScope trips while it waits leaves the queue with
 // kCancelled / kDeadlineExceeded; when `max_queued` > 0, a request arriving
@@ -26,6 +40,7 @@
 #ifndef HYDRA_SERVE_SCHEDULER_H_
 #define HYDRA_SERVE_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,8 +53,19 @@
 
 namespace hydra {
 
+// Per-session scheduling knobs (see the QoS block above). Defaults are the
+// unweighted, unlimited behavior.
+struct SessionQos {
+  int priority = 1;               // clamped to [1, kMaxPriority]
+  int64_t rate_rows_per_sec = 0;  // 0 = unlimited
+};
+
 class FairScheduler {
  public:
+  // Priorities above this clamp down; bounds how long the rotation can
+  // favor one session before every waiter gets a turn.
+  static constexpr int kMaxPriority = 8;
+
   // max_queued: waiters allowed in the admission queue before new requests
   // are shed with kResourceExhausted; 0 = unbounded.
   explicit FairScheduler(int max_inflight, int max_queued = 0);
@@ -55,6 +81,23 @@ class FairScheduler {
   Status Admit(uint64_t session, const std::function<void()>& fn,
                const CancelScope& cancel = {});
 
+  // Installs `session`'s QoS (priority clamped to [1, kMaxPriority]); the
+  // token bucket starts with one second of burst credit. Absent sessions
+  // run at the defaults.
+  void SetSessionQos(uint64_t session, SessionQos qos);
+
+  // Deducts `rows` from the session's token bucket (no-op when the session
+  // has no rate limit). The server calls it after serving a batch, so one
+  // oversized batch overdraws the bucket and the session pauses until the
+  // refill catches up — average throughput converges on the configured
+  // rate without splitting batches.
+  void SpendTokens(uint64_t session, int64_t rows);
+
+  // True while the session's token bucket is overdrawn. The server gates
+  // admission-free serving (the shared-scan fast path) on this so a rate
+  // limit holds even for work that never queues.
+  bool SessionThrottled(uint64_t session);
+
   // Fairness accounting for shared work: records that `session` was served
   // `units` grants' worth of work it did not pay admission for (a shared
   // scan pass another member produced). Each debt unit makes the rotation
@@ -63,8 +106,9 @@ class FairScheduler {
   // Debt is capped (kMaxDebt) so a long-running group cannot bury a member.
   void Charge(uint64_t session, int units);
 
-  // Drops any outstanding debt of `session` (the server calls it when the
-  // session closes, so the map stays bounded by live sessions).
+  // Drops any outstanding debt and QoS state of `session` (the server
+  // calls it when the session closes, so the maps stay bounded by live
+  // sessions).
   void ForgetSession(uint64_t session);
 
   // Wakes every waiter so it re-evaluates its CancelScope. Call after
@@ -84,6 +128,10 @@ class FairScheduler {
   uint64_t charged() const;
   // Turns the rotation skipped to repay debt.
   uint64_t debt_skips() const;
+  // Turns yielded to a higher-priority session (QoS weighting).
+  uint64_t priority_skips() const;
+  // Grants deferred because the session's token bucket was overdrawn.
+  uint64_t rate_deferrals() const;
   // Requests fast-rejected by the queue-depth bound.
   uint64_t shed() const;
   // Waiters queued right now (the shedding signal OpenSession consults).
@@ -94,12 +142,28 @@ class FairScheduler {
     uint64_t session = 0;
     bool granted = false;
   };
+  struct QosState {
+    int priority = 1;
+    int64_t rate = 0;   // rows/sec; 0 = unlimited
+    double tokens = 0;  // may go negative (post-paid batches)
+    // Rotation credit for priority weighting; see GrantLocked.
+    int credit = 0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
 
-  // Grants free slots to waiting tickets in round-robin session order.
-  // Caller holds mu_; notifies when any ticket was granted.
+  // Grants free slots to waiting tickets in round-robin session order,
+  // modulated by debt, priority credit, and rate limits. Caller holds mu_;
+  // notifies when any ticket was granted.
   void GrantLocked();
   // Removes a not-yet-granted ticket whose owner is abandoning the wait.
   void RemoveTicketLocked(Ticket* ticket);
+  // Tops up the bucket from elapsed time (capped at one second of burst).
+  static void RefillLocked(QosState& qos,
+                           std::chrono::steady_clock::time_point now);
+  // True if `session` has a rate limit and its bucket is overdrawn at
+  // `now`. Caller holds mu_.
+  bool ThrottledLocked(uint64_t session,
+                       std::chrono::steady_clock::time_point now);
 
   const int max_inflight_;
   const int max_queued_;
@@ -117,8 +181,14 @@ class FairScheduler {
   // session -> outstanding shared-work debt (absent = 0), capped per
   // session so totals stay finite and GrantLocked always terminates.
   std::map<uint64_t, int> debt_;
+  // session -> QoS state (absent = defaults). Entries are created by
+  // SetSessionQos and by the credit/bucket bookkeeping, erased by
+  // ForgetSession.
+  std::map<uint64_t, QosState> qos_;
   uint64_t charged_ = 0;
   uint64_t debt_skips_ = 0;
+  uint64_t priority_skips_ = 0;
+  uint64_t rate_deferrals_ = 0;
 };
 
 }  // namespace hydra

@@ -1,0 +1,73 @@
+#include "serve/serve_api.h"
+
+#include <utility>
+
+namespace hydra {
+
+ServeErrorCode ToServeErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return ServeErrorCode::kOk;
+    case StatusCode::kInvalidArgument:
+      return ServeErrorCode::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return ServeErrorCode::kNotFound;
+    case StatusCode::kFailedPrecondition:
+      return ServeErrorCode::kFailedPrecondition;
+    case StatusCode::kOutOfRange:
+      return ServeErrorCode::kOutOfRange;
+    case StatusCode::kResourceExhausted:
+      return ServeErrorCode::kResourceExhausted;
+    case StatusCode::kInternal:
+      return ServeErrorCode::kInternal;
+    case StatusCode::kUnimplemented:
+      return ServeErrorCode::kUnimplemented;
+    case StatusCode::kIoError:
+      return ServeErrorCode::kIoError;
+    case StatusCode::kCancelled:
+      return ServeErrorCode::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return ServeErrorCode::kDeadlineExceeded;
+    case StatusCode::kUnavailable:
+      return ServeErrorCode::kUnavailable;
+  }
+  return ServeErrorCode::kInternal;
+}
+
+StatusCode ToStatusCode(uint16_t wire_code) {
+  switch (static_cast<ServeErrorCode>(wire_code)) {
+    case ServeErrorCode::kOk:
+      return StatusCode::kOk;
+    case ServeErrorCode::kInvalidArgument:
+      return StatusCode::kInvalidArgument;
+    case ServeErrorCode::kNotFound:
+      return StatusCode::kNotFound;
+    case ServeErrorCode::kFailedPrecondition:
+      return StatusCode::kFailedPrecondition;
+    case ServeErrorCode::kOutOfRange:
+      return StatusCode::kOutOfRange;
+    case ServeErrorCode::kResourceExhausted:
+      return StatusCode::kResourceExhausted;
+    case ServeErrorCode::kInternal:
+      return StatusCode::kInternal;
+    case ServeErrorCode::kUnimplemented:
+      return StatusCode::kUnimplemented;
+    case ServeErrorCode::kIoError:
+      return StatusCode::kIoError;
+    case ServeErrorCode::kCancelled:
+      return StatusCode::kCancelled;
+    case ServeErrorCode::kDeadlineExceeded:
+      return StatusCode::kDeadlineExceeded;
+    case ServeErrorCode::kUnavailable:
+      return StatusCode::kUnavailable;
+  }
+  return StatusCode::kInternal;
+}
+
+Status StatusFromWire(uint16_t wire_code, std::string message) {
+  const StatusCode code = ToStatusCode(wire_code);
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, std::move(message));
+}
+
+}  // namespace hydra

@@ -97,6 +97,12 @@ struct ServeStats {
                                     // missed prefix)
   uint64_t shared_charges = 0;      // fairness debt units charged to members
                                     // a shared pass served
+  // QoS (docs/serve.md): per-session priority + rate limit, set at
+  // OpenSession (OpenSessionRequest) and enforced by the FairScheduler.
+  uint64_t priority_skips = 0;    // rotation turns yielded to a
+                                  // higher-priority session
+  uint64_t rate_deferrals = 0;    // grants deferred by a drained
+                                  // token bucket
   // Failure domain.
   uint64_t load_retries = 0;      // transient summary-load attempts retried
   uint64_t shed_requests = 0;     // admissions/opens rejected by shedding

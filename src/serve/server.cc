@@ -60,8 +60,8 @@ Status RegenServer::RegisterSummary(const std::string& id,
   return store_.Register(id, path);
 }
 
-StatusOr<uint64_t> RegenServer::OpenSession(const std::string& summary_id,
-                                            SessionOptions session_options) {
+StatusOr<SessionHandle> RegenServer::OpenSession(
+    const OpenSessionRequest& request) {
   if (shutting_down()) {
     return Status::Unavailable("server is shutting down");
   }
@@ -81,33 +81,42 @@ StatusOr<uint64_t> RegenServer::OpenSession(const std::string& summary_id,
   }
   // Load (or touch) the summary now so registration errors and corrupt
   // files fail the open, not the first batch.
-  HYDRA_ASSIGN_OR_RETURN(const SummaryLease lease, store_.Acquire(summary_id));
+  HYDRA_ASSIGN_OR_RETURN(const SummaryLease lease,
+                         store_.Acquire(request.summary_id));
   (void)lease;
   auto session = std::make_shared<Session>();
-  session->summary_id = summary_id;
+  session->summary_id = request.summary_id;
   session->slot = std::make_unique<ExecContext>(
       ExecOptions{options_.query_parallelism, options_.morsel_rows},
       pool_.get(), options_.query_parallelism);
-  session->user_cancel = std::move(session_options.cancel);
-  session->deadline = session_options.deadline_ms > 0
-                          ? Deadline::After(session_options.deadline_ms)
+  session->user_cancel = request.cancel;
+  session->deadline = request.deadline_ms > 0
+                          ? Deadline::After(request.deadline_ms)
                           : Deadline::Infinite();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (shutting_down()) {
-    // Shutdown raced the open: refuse rather than admit a session the
-    // drain pass will never see.
-    return Status::Unavailable("server is shutting down");
+  SessionHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down()) {
+      // Shutdown raced the open: refuse rather than admit a session the
+      // drain pass will never see.
+      return Status::Unavailable("server is shutting down");
+    }
+    session->id = next_session_id_++;
+    handle.id = session->id;
+    sessions_.emplace(session->id, session);
   }
-  session->id = next_session_id_++;
-  sessions_.emplace(session->id, session);
-  return session->id;
+  // QoS rides on the open frame: install before the first request can
+  // queue. Defaults (priority 1, no rate) are a no-op in the scheduler.
+  scheduler_.SetSessionQos(
+      handle.id, SessionQos{request.priority, request.rate_limit_rows_per_sec});
+  return handle;
 }
 
-Status RegenServer::CloseSession(uint64_t session_id) {
+Status RegenServer::CloseSession(SessionHandle session_handle) {
   std::shared_ptr<Session> session;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = sessions_.find(session_id);
+    const auto it = sessions_.find(session_handle.id);
     if (it == sessions_.end()) return Status::NotFound("no such session");
     session = it->second;
     sessions_.erase(it);
@@ -117,7 +126,7 @@ Status RegenServer::CloseSession(uint64_t session_id) {
   // shared_ptr keeps the Session alive until that waiter unwinds.
   session->server_cancel.Cancel();
   scheduler_.Kick();
-  scheduler_.ForgetSession(session_id);
+  scheduler_.ForgetSession(session_handle.id);
   // Detach every cursor from its scan group so groups never count a closed
   // session among their members (taking session->mu may briefly wait out an
   // in-flight grant — bounded work, and the cancel above already tripped).
@@ -130,9 +139,9 @@ Status RegenServer::CloseSession(uint64_t session_id) {
   return Status::OK();
 }
 
-Status RegenServer::CancelSession(uint64_t session_id) {
+Status RegenServer::CancelSession(SessionHandle session_handle) {
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
-                         FindSession(session_id));
+                         FindSession(session_handle.id));
   session->server_cancel.Cancel();
   scheduler_.Kick();
   return Status::OK();
@@ -166,10 +175,10 @@ StatusOr<std::shared_ptr<RegenServer::Session>> RegenServer::FindSession(
   return it->second;
 }
 
-StatusOr<uint64_t> RegenServer::OpenCursor(uint64_t session_id,
-                                           CursorSpec spec) {
+StatusOr<CursorHandle> RegenServer::OpenCursor(SessionHandle session_handle,
+                                               CursorSpec spec) {
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
-                         FindSession(session_id));
+                         FindSession(session_handle.id));
   HYDRA_ASSIGN_OR_RETURN(const SummaryLease lease,
                          store_.Acquire(session->summary_id));
   const Schema& schema = lease.summary().schema;
@@ -210,19 +219,24 @@ StatusOr<uint64_t> RegenServer::OpenCursor(uint64_t session_id,
                                      cursor.spec.relation, session->id,
                                      &cursor.member);
   }
-  const uint64_t cursor_id = session->next_cursor_id++;
-  session->cursors.emplace(cursor_id, std::move(cursor));
-  return cursor_id;
+  CursorHandle handle;
+  handle.id = session->next_cursor_id++;
+  session->cursors.emplace(handle.id, std::move(cursor));
+  return handle;
 }
 
-StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
-                                      RowBlock* out) {
+StatusOr<BatchResult> RegenServer::NextBatch(SessionHandle session_handle,
+                                             CursorHandle cursor_handle,
+                                             RowBlock&& reuse) {
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
-                         FindSession(session_id));
+                         FindSession(session_handle.id));
   std::lock_guard<std::mutex> lock(session->mu);
-  const auto it = session->cursors.find(cursor_id);
+  const auto it = session->cursors.find(cursor_handle.id);
   if (it == session->cursors.end()) return Status::NotFound("no such cursor");
   Cursor& cursor = it->second;
+  BatchResult result;
+  result.rows = std::move(reuse);
+  RowBlock* out = &result.rows;
   out->Reset(cursor.out_width);
 
   // One admission grant per source morsel: a selective filter costs several
@@ -236,10 +250,13 @@ StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
     // Multicast fast path: a resident shared chunk is consumed without an
     // admission grant (see TrySharedFastPath) — the producing member's
     // grant covered the generation and charged every peer for it. Misses
-    // and degraded grants fall through to admitted work below.
+    // and degraded grants fall through to admitted work below. A session
+    // whose token bucket is overdrawn is kept off the fast path too:
+    // admission-free serving must not outrun the rate limit.
     if (cursor.group != nullptr && scope.Check().ok() &&
         cursor.group->member_count() >= 2 &&
         EffectiveBatchRows() == options_.batch_rows &&
+        !scheduler_.SessionThrottled(session->id) &&
         TrySharedFastPath(cursor, out)) {
       continue;
     }
@@ -325,11 +342,18 @@ StatusOr<bool> RegenServer::NextBatch(uint64_t session_id, uint64_t cursor_id,
   // resumed — would stream privately.
   if (IsTerminalSignal(status)) DetachCursor(*session, cursor);
   HYDRA_RETURN_IF_ERROR(TallyTerminal(status));
-  if (out->empty()) return false;
+  result.rank = cursor.next_rank;
+  if (out->empty()) {
+    result.done = true;
+    return result;
+  }
   batches_served_.fetch_add(1, std::memory_order_relaxed);
   rows_served_.fetch_add(static_cast<uint64_t>(out->num_rows()),
                          std::memory_order_relaxed);
-  return true;
+  // Post-paid rate accounting: the batch that overdraws the bucket still
+  // serves; the *next* grant waits for the refill.
+  scheduler_.SpendTokens(session->id, out->num_rows());
+  return result;
 }
 
 bool RegenServer::TrySharedFastPath(Cursor& cursor, RowBlock* out) {
@@ -427,33 +451,35 @@ void RegenServer::DetachCursor(Session& session, Cursor& cursor) {
   cursor.member = 0;
 }
 
-StatusOr<int64_t> RegenServer::CursorRank(uint64_t session_id,
-                                          uint64_t cursor_id) {
+StatusOr<int64_t> RegenServer::CursorRank(SessionHandle session_handle,
+                                          CursorHandle cursor_handle) {
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
-                         FindSession(session_id));
+                         FindSession(session_handle.id));
   std::lock_guard<std::mutex> lock(session->mu);
-  const auto it = session->cursors.find(cursor_id);
+  const auto it = session->cursors.find(cursor_handle.id);
   if (it == session->cursors.end()) return Status::NotFound("no such cursor");
   return it->second.next_rank;
 }
 
-Status RegenServer::CloseCursor(uint64_t session_id, uint64_t cursor_id) {
+Status RegenServer::CloseCursor(SessionHandle session_handle,
+                                CursorHandle cursor_handle) {
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
-                         FindSession(session_id));
+                         FindSession(session_handle.id));
   std::lock_guard<std::mutex> lock(session->mu);
-  const auto it = session->cursors.find(cursor_id);
+  const auto it = session->cursors.find(cursor_handle.id);
   if (it == session->cursors.end()) return Status::NotFound("no such cursor");
   DetachCursor(*session, it->second);
   session->cursors.erase(it);
   return Status::OK();
 }
 
-Status RegenServer::Lookup(uint64_t session_id, int relation, int64_t pk,
-                           Row* out) {
+StatusOr<Row> RegenServer::Lookup(SessionHandle session_handle, int relation,
+                                  int64_t pk) {
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
-                         FindSession(session_id));
+                         FindSession(session_handle.id));
   std::lock_guard<std::mutex> lock(session->mu);
   const CancelScope scope = SessionScope(*session);
+  Row out;
   Status status = Status::OK();
   const Status admitted = scheduler_.Admit(session->id, [&] {
     StatusOr<SummaryLease> lease = store_.Acquire(session->summary_id);
@@ -471,18 +497,19 @@ Status RegenServer::Lookup(uint64_t session_id, int relation, int64_t pk,
       status = Status::OutOfRange("lookup pk out of range");
       return;
     }
-    lease->generator().GetTuple(relation, pk, out);
+    lease->generator().GetTuple(relation, pk, &out);
   }, scope);
   if (status.ok()) status = admitted;
   HYDRA_RETURN_IF_ERROR(TallyTerminal(status));
   lookups_served_.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
+  scheduler_.SpendTokens(session->id, 1);
+  return out;
 }
 
-StatusOr<AnnotatedQueryPlan> RegenServer::ExecuteQuery(uint64_t session_id,
-                                                       const Query& query) {
+StatusOr<AnnotatedQueryPlan> RegenServer::ExecuteQuery(
+    SessionHandle session_handle, const Query& query) {
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
-                         FindSession(session_id));
+                         FindSession(session_handle.id));
   std::lock_guard<std::mutex> lock(session->mu);
   const CancelScope scope = SessionScope(*session);
   StatusOr<AnnotatedQueryPlan> result =
@@ -557,6 +584,8 @@ ServeStats RegenServer::stats() const {
   s.shared_chunk_hits = shared_chunk_hits_.load(std::memory_order_relaxed);
   s.catch_up_batches = catch_up_batches_.load(std::memory_order_relaxed);
   s.shared_charges = scheduler_.charged();
+  s.priority_skips = scheduler_.priority_skips();
+  s.rate_deferrals = scheduler_.rate_deferrals();
   s.load_retries = store.load_retries;
   s.shed_requests =
       scheduler_.shed() + opens_shed_.load(std::memory_order_relaxed);

@@ -8,17 +8,25 @@
 // pool). Nothing is materialized — every served row is generated on demand
 // from the summary, the paper's Section 6 `datagen` path made multi-tenant.
 //
+// API contract (serve_api.h): this class and the TCP front end
+// (src/net/) expose the same typed surface — SessionHandle/CursorHandle,
+// OpenSessionRequest, BatchResult — so an in-process embedder and a wire
+// client are interchangeable, and every error maps to a stable
+// ServeErrorCode the wire transmits verbatim.
+//
 // Determinism contract: a cursor's concatenated row stream is a pure
 // function of (summary file, CursorSpec) — identical across any
 // {num_threads, max_inflight, cache_bytes, batch_rows} configuration, any
 // interleaving with other sessions, and across evictions: cursors address
 // the rank space, so a cursor whose summary was evicted and reloaded (or a
-// brand-new cursor opened at CursorRank()) continues byte-identically.
+// brand-new cursor opened at BatchResult::rank) continues byte-identically.
 //
 // Threading: the server is thread-safe; each session is a single-client
 // object (concurrent calls into one session serialize on its lock). All
 // work is admission-controlled by the FairScheduler, so total concurrent
-// work never exceeds ServeOptions::max_inflight.
+// work never exceeds ServeOptions::max_inflight. Per-session QoS
+// (OpenSessionRequest::priority / rate_limit_rows_per_sec) weights and
+// paces that admission; see scheduler.h.
 //
 // Failure domain (docs/robustness.md): every request observes the
 // session's CancelScope — the client's own CancelToken, the per-session
@@ -48,32 +56,11 @@
 #include "query/query.h"
 #include "serve/scan_group.h"
 #include "serve/scheduler.h"
+#include "serve/serve_api.h"
 #include "serve/serve_options.h"
 #include "serve/summary_store.h"
 
 namespace hydra {
-
-// What a cursor streams: the rank range [begin_rank, end_rank) of one
-// relation, filtered by a pushed-down predicate over the relation's
-// attributes, projected to `projection` (empty = all attributes).
-struct CursorSpec {
-  int relation = -1;
-  DnfPredicate filter = DnfPredicate::True();
-  std::vector<int> projection;
-  int64_t begin_rank = 0;
-  int64_t end_rank = -1;  // -1 = the relation's row count
-};
-
-// Per-session failure-domain knobs, all optional.
-struct SessionOptions {
-  // Wall-clock budget for the whole session; 0 = none. Requests past the
-  // deadline fail with kDeadlineExceeded.
-  int64_t deadline_ms = 0;
-  // Caller-owned cancellation handle: Cancel() makes every subsequent (and
-  // every queued) request of this session fail with kCancelled. The server
-  // shares ownership, so the caller may drop it any time.
-  std::shared_ptr<CancelToken> cancel;
-};
 
 class RegenServer {
  public:
@@ -87,19 +74,19 @@ class RegenServer {
   // first use; see SummaryStore).
   Status RegisterSummary(const std::string& id, const std::string& path);
 
-  // Opens a session against a registered summary. Validates that the
-  // summary loads (so a corrupt file fails here, not mid-stream). Fails
-  // with kUnavailable after Shutdown() and with kResourceExhausted when the
-  // server is shedding (session cap reached or admission queue full).
-  StatusOr<uint64_t> OpenSession(const std::string& summary_id,
-                                 SessionOptions session_options = {});
-  Status CloseSession(uint64_t session_id);
+  // Opens a session against a registered summary and installs the
+  // request's deadline and QoS. Validates that the summary loads (so a
+  // corrupt file fails here, not mid-stream). Fails with kUnavailable
+  // after Shutdown() and with kResourceExhausted when the server is
+  // shedding (session cap reached or admission queue full).
+  StatusOr<SessionHandle> OpenSession(const OpenSessionRequest& request);
+  Status CloseSession(SessionHandle session);
 
   // Trips the session's server-side cancel flag: every queued and future
   // request of the session fails with kCancelled; in-flight work stops
   // within one admission grant. The session stays open (CloseSession still
   // applies) so the client can observe the terminal error.
-  Status CancelSession(uint64_t session_id);
+  Status CancelSession(SessionHandle session);
 
   // Graceful drain: new opens fail with kUnavailable, every session is
   // cancelled, queued admissions are woken to leave, and the call blocks
@@ -111,30 +98,32 @@ class RegenServer {
   }
 
   // Opens a cursor; the spec is validated against the summary's schema.
-  StatusOr<uint64_t> OpenCursor(uint64_t session_id, CursorSpec spec);
+  StatusOr<CursorHandle> OpenCursor(SessionHandle session, CursorSpec spec);
 
-  // Fills `out` with the next non-empty batch and returns true, or returns
-  // false (out empty) at end of stream. Each admitted grant generates at
-  // most ServeOptions::batch_rows source ranks, so selective filters cost
-  // several grants — between which other sessions interleave — rather than
-  // one unbounded one. Batch boundaries are an implementation detail; only
-  // the concatenated stream is contractual.
-  StatusOr<bool> NextBatch(uint64_t session_id, uint64_t cursor_id,
-                           RowBlock* out);
+  // Next batch of the cursor's stream: non-empty rows mid-stream, or
+  // done=true (empty rows) at end of stream; rank is the resume token
+  // after the batch. Pass the previous result's rows back as `reuse` to
+  // recycle its buffers. Each admitted grant generates at most
+  // ServeOptions::batch_rows source ranks, so selective filters cost
+  // several grants — between which other sessions interleave — rather
+  // than one unbounded one. Batch boundaries are an implementation
+  // detail; only the concatenated stream is contractual.
+  StatusOr<BatchResult> NextBatch(SessionHandle session, CursorHandle cursor,
+                                  RowBlock&& reuse = RowBlock());
 
   // Rank of the next row the cursor would emit — the resume token: a new
   // cursor opened with begin_rank = CursorRank() continues the stream.
-  StatusOr<int64_t> CursorRank(uint64_t session_id, uint64_t cursor_id);
-  Status CloseCursor(uint64_t session_id, uint64_t cursor_id);
+  StatusOr<int64_t> CursorRank(SessionHandle session, CursorHandle cursor);
+  Status CloseCursor(SessionHandle session, CursorHandle cursor);
 
   // Point lookup: the tuple whose PK is `pk` (PK values are ranks).
-  Status Lookup(uint64_t session_id, int relation, int64_t pk, Row* out);
+  StatusOr<Row> Lookup(SessionHandle session, int relation, int64_t pk);
 
   // Full engine pipeline over the session's virtual database: executes
   // `query` with the morsel-driven executor on this session's scheduler
   // slot (ExecContext external-slot mode over the shared pool) and returns
   // the annotated plan. Results are identical at any server configuration.
-  StatusOr<AnnotatedQueryPlan> ExecuteQuery(uint64_t session_id,
+  StatusOr<AnnotatedQueryPlan> ExecuteQuery(SessionHandle session,
                                             const Query& query);
 
   ServeStats stats() const;

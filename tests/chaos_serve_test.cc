@@ -28,6 +28,9 @@
 #include "hydra/regenerator.h"
 #include "hydra/summary_io.h"
 #include "hydra/tuple_generator.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "serve/serve_api.h"
 #include "serve/server.h"
 #include "workload/toy.h"
 
@@ -126,7 +129,8 @@ ItemResult RunItem(RegenServer& server, const ToyEnvironment& env, int c) {
     result.error = s;
     return result;
   };
-  auto sid = server.OpenSession(c % 2 == 0 ? "alpha" : "beta");
+  auto sid = server.OpenSession(
+      OpenSessionRequest{c % 2 == 0 ? "alpha" : "beta"});
   if (!sid.ok()) return fail(sid.status());
   uint64_t h = kFnvSeed;
   const int kind = c % 3;
@@ -142,19 +146,19 @@ ItemResult RunItem(RegenServer& server, const ToyEnvironment& env, int c) {
     if (!cid.ok()) return fail(cid.status());
     RowBlock block;
     for (;;) {
-      auto more = server.NextBatch(*sid, *cid, &block);
-      if (!more.ok()) return fail(more.status());
-      if (!*more) break;
-      h = HashBlock(h, block);
+      auto batch = server.NextBatch(*sid, *cid, std::move(block));
+      if (!batch.ok()) return fail(batch.status());
+      if (batch->done) break;
+      h = HashBlock(h, batch->rows);
+      block = std::move(batch->rows);
     }
   } else if (kind == 1) {
     const int rel = env.schema.RelationIndex(c % 2 == 0 ? "S" : "T");
     const int64_t rows = c % 2 == 0 ? 700 : 1500;
-    Row row;
     for (int i = 0; i < 100; ++i) {
-      const Status s = server.Lookup(*sid, rel, (i * 97 + c * 13) % rows, &row);
-      if (!s.ok()) return fail(s);
-      h = HashValues(h, row.data(), static_cast<int64_t>(row.size()));
+      auto row = server.Lookup(*sid, rel, (i * 97 + c * 13) % rows);
+      if (!row.ok()) return fail(row.status());
+      h = HashValues(h, row->data(), static_cast<int64_t>(row->size()));
     }
   } else {
     auto aqp = server.ExecuteQuery(*sid, env.query);
@@ -283,7 +287,7 @@ TEST_F(ChaosServeTest, ExhaustedRetriesSurfaceTheTransientError) {
       Failpoint::ArmFromString("serve/summary_load=error(UNAVAILABLE,times=5)")
           .ok());
   // 1 retry against 5 scheduled failures: the open fails, cleanly.
-  EXPECT_EQ(server.OpenSession("alpha").status().code(),
+  EXPECT_EQ(server.OpenSession(OpenSessionRequest{"alpha"}).status().code(),
             StatusCode::kUnavailable);
   EXPECT_EQ(server.stats().load_retries, 1u);
 }
@@ -300,7 +304,7 @@ TEST_F(ChaosServeTest, SharedChunkFaultFailsOnlyTheProducingGrant) {
   options.batch_rows = 8192;
   RegenServer server(options);
   ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid.ok());
   CursorSpec spec;
   spec.relation = env_.schema.RelationIndex("R");
@@ -312,24 +316,23 @@ TEST_F(ChaosServeTest, SharedChunkFaultFailsOnlyTheProducingGrant) {
       Failpoint::ArmFromString("serve/shared_chunk=error(UNAVAILABLE,times=1)")
           .ok());
   RowBlock block;
-  auto faulted = server.NextBatch(*sid, *a, &block);
+  auto faulted = server.NextBatch(*sid, *a, std::move(block));
   ASSERT_FALSE(faulted.ok());
   EXPECT_EQ(faulted.status().code(), StatusCode::kUnavailable);
 
   // The fault consumed no ranks: both cursors stream to completion and
   // match the direct generator scan.
   uint64_t h_a = kFnvSeed, h_b = kFnvSeed;
+  block = RowBlock();
   for (;;) {
-    bool more_a = false, more_b = false;
-    auto batch_a = server.NextBatch(*sid, *a, &block);
+    auto batch_a = server.NextBatch(*sid, *a, std::move(block));
     ASSERT_TRUE(batch_a.ok()) << batch_a.status().ToString();
-    more_a = *batch_a;
-    if (more_a) h_a = HashBlock(h_a, block);
-    auto batch_b = server.NextBatch(*sid, *b, &block);
+    if (!batch_a->done) h_a = HashBlock(h_a, batch_a->rows);
+    auto batch_b = server.NextBatch(*sid, *b, std::move(batch_a->rows));
     ASSERT_TRUE(batch_b.ok()) << batch_b.status().ToString();
-    more_b = *batch_b;
-    if (more_b) h_b = HashBlock(h_b, block);
-    if (!more_a && !more_b) break;
+    if (!batch_b->done) h_b = HashBlock(h_b, batch_b->rows);
+    block = std::move(batch_b->rows);
+    if (batch_a->done && batch_b->done) break;
   }
   Failpoint::DisarmAll();
   EXPECT_EQ(h_a, h_b);
@@ -377,7 +380,7 @@ TEST_F(ChaosServeTest, SharedScanSurvivesSeededChunkFaultSchedule) {
   std::vector<std::thread> members;
   for (int t = 0; t < kMembers; ++t) {
     members.emplace_back([&, t] {
-      auto sid = server.OpenSession("alpha");
+      auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
       if (!sid.ok()) {
         errors[t] = sid.status().ToString();
         return;
@@ -392,16 +395,20 @@ TEST_F(ChaosServeTest, SharedScanSurvivesSeededChunkFaultSchedule) {
       uint64_t h = kFnvSeed;
       RowBlock block;
       for (;;) {
-        auto more = server.NextBatch(*sid, *cid, &block);
-        if (!more.ok()) {
+        auto batch = server.NextBatch(*sid, *cid, std::move(block));
+        if (!batch.ok()) {
           // Injected chunk faults are transient: retry the same batch (a
           // failed producer consumed no ranks). Anything unclean aborts.
-          if (more.status().code() == StatusCode::kUnavailable) continue;
-          errors[t] = more.status().ToString();
+          if (batch.status().code() == StatusCode::kUnavailable) {
+            block = RowBlock();
+            continue;
+          }
+          errors[t] = batch.status().ToString();
           return;
         }
-        if (!*more) break;
-        h = HashBlock(h, block);
+        if (batch->done) break;
+        h = HashBlock(h, batch->rows);
+        block = std::move(batch->rows);
       }
       hashes[t] = h;
       (void)server.CloseSession(*sid);
@@ -427,22 +434,21 @@ TEST_F(ChaosServeTest, CancelledSessionStopsWithinOneBatch) {
   RegenServer server(options);
   ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
 
-  SessionOptions session_options;
-  session_options.cancel = std::make_shared<CancelToken>();
-  auto sid = server.OpenSession("alpha", session_options);
+  OpenSessionRequest request{"alpha"};
+  request.cancel = std::make_shared<CancelToken>();
+  auto sid = server.OpenSession(request);
   ASSERT_TRUE(sid.ok());
   CursorSpec spec;
   spec.relation = env_.schema.RelationIndex("R");
   auto cid = server.OpenCursor(*sid, spec);
   ASSERT_TRUE(cid.ok());
 
-  RowBlock block;
-  auto first = server.NextBatch(*sid, *cid, &block);
-  ASSERT_TRUE(first.ok() && *first);
+  auto first = server.NextBatch(*sid, *cid);
+  ASSERT_TRUE(first.ok() && !first->done);
   const int64_t rank_at_cancel = *server.CursorRank(*sid, *cid);
 
-  session_options.cancel->Cancel();
-  auto after = server.NextBatch(*sid, *cid, &block);
+  request.cancel->Cancel();
+  auto after = server.NextBatch(*sid, *cid, std::move(first->rows));
   ASSERT_FALSE(after.ok());
   EXPECT_EQ(after.status().code(), StatusCode::kCancelled);
   // Within one batch: the cursor advanced at most one grant past the
@@ -452,11 +458,11 @@ TEST_F(ChaosServeTest, CancelledSessionStopsWithinOneBatch) {
   EXPECT_GE(server.stats().cancelled_requests, 1u);
 
   // CancelSession works the same for sessions without a client token.
-  auto sid2 = server.OpenSession("alpha");
+  auto sid2 = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid2.ok());
   ASSERT_TRUE(server.CancelSession(*sid2).ok());
-  Row row;
-  EXPECT_EQ(server.Lookup(*sid2, 0, 0, &row).code(), StatusCode::kCancelled);
+  EXPECT_EQ(server.Lookup(*sid2, 0, 0).status().code(),
+            StatusCode::kCancelled);
 }
 
 TEST_F(ChaosServeTest, SessionDeadlineExpiresMidStream) {
@@ -466,9 +472,9 @@ TEST_F(ChaosServeTest, SessionDeadlineExpiresMidStream) {
   RegenServer server(options);
   ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
 
-  SessionOptions session_options;
-  session_options.deadline_ms = 30;
-  auto sid = server.OpenSession("alpha", session_options);
+  OpenSessionRequest request{"alpha"};
+  request.deadline_ms = 30;
+  auto sid = server.OpenSession(request);
   ASSERT_TRUE(sid.ok());
   CursorSpec spec;
   spec.relation = env_.schema.RelationIndex("R");
@@ -480,12 +486,13 @@ TEST_F(ChaosServeTest, SessionDeadlineExpiresMidStream) {
   RowBlock block;
   Status terminal = Status::OK();
   for (int i = 0; i < 10000; ++i) {
-    auto more = server.NextBatch(*sid, *cid, &block);
-    if (!more.ok()) {
-      terminal = more.status();
+    auto batch = server.NextBatch(*sid, *cid, std::move(block));
+    if (!batch.ok()) {
+      terminal = batch.status();
       break;
     }
-    if (!*more) break;
+    if (batch->done) break;
+    block = std::move(batch->rows);
     if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(40));
   }
   EXPECT_EQ(terminal.code(), StatusCode::kDeadlineExceeded);
@@ -497,10 +504,10 @@ TEST_F(ChaosServeTest, CancelCutsShortAnEngineQuery) {
   options.num_threads = 2;
   RegenServer server(options);
   ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
-  SessionOptions session_options;
-  session_options.cancel = std::make_shared<CancelToken>();
-  session_options.cancel->Cancel();  // already tripped: fails immediately
-  auto sid = server.OpenSession("alpha", session_options);
+  OpenSessionRequest request{"alpha"};
+  request.cancel = std::make_shared<CancelToken>();
+  request.cancel->Cancel();  // already tripped: fails immediately
+  auto sid = server.OpenSession(request);
   ASSERT_TRUE(sid.ok());
   auto aqp = server.ExecuteQuery(*sid, env_.query);
   ASSERT_FALSE(aqp.ok());
@@ -550,15 +557,16 @@ TEST_F(ChaosServeTest, SessionCapShedsOpens) {
   options.max_sessions = 2;
   RegenServer server(options);
   ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
-  auto a = server.OpenSession("alpha");
-  auto b = server.OpenSession("alpha");
+  auto a = server.OpenSession(OpenSessionRequest{"alpha"});
+  auto b = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_EQ(server.OpenSession("alpha").status().code(),
+  EXPECT_EQ(server.OpenSession(OpenSessionRequest{"alpha"}).status().code(),
             StatusCode::kResourceExhausted);
   EXPECT_GE(server.stats().shed_requests, 1u);
   ASSERT_TRUE(server.CloseSession(*a).ok());
-  EXPECT_TRUE(server.OpenSession("alpha").ok());  // capacity freed
+  // Capacity freed.
+  EXPECT_TRUE(server.OpenSession(OpenSessionRequest{"alpha"}).ok());
 }
 
 // ---- degradation ----------------------------------------------------------
@@ -599,7 +607,7 @@ TEST_F(ChaosServeTest, ShutdownUnderLoadDrainsCleanly) {
   std::vector<std::thread> clients;
   for (int t = 0; t < 6; ++t) {
     clients.emplace_back([&] {
-      auto sid = server->OpenSession("alpha");
+      auto sid = server->OpenSession(OpenSessionRequest{"alpha"});
       if (!sid.ok()) {
         if (sid.status().code() != StatusCode::kUnavailable) {
           unclean.fetch_add(1);
@@ -615,15 +623,16 @@ TEST_F(ChaosServeTest, ShutdownUnderLoadDrainsCleanly) {
       }
       RowBlock block;
       for (;;) {
-        auto more = server->NextBatch(*sid, *cid, &block);
-        if (!more.ok()) {
+        auto batch = server->NextBatch(*sid, *cid, std::move(block));
+        if (!batch.ok()) {
           // After shutdown the only acceptable terminal is kCancelled.
-          if (more.status().code() != StatusCode::kCancelled) {
+          if (batch.status().code() != StatusCode::kCancelled) {
             unclean.fetch_add(1);
           }
           return;
         }
-        if (!*more) return;  // finished the whole stream before the drain
+        if (batch->done) return;  // finished the stream before the drain
+        block = std::move(batch->rows);
         if (!shutdown_started.load(std::memory_order_relaxed)) {
           batches_before_shutdown.fetch_add(1, std::memory_order_relaxed);
         }
@@ -637,12 +646,213 @@ TEST_F(ChaosServeTest, ShutdownUnderLoadDrainsCleanly) {
   shutdown_started.store(true, std::memory_order_relaxed);
   ASSERT_TRUE(server->Shutdown().ok());
   // Post-drain: nothing is admitted or queued, and new opens are refused.
-  EXPECT_EQ(server->OpenSession("alpha").status().code(),
+  EXPECT_EQ(server->OpenSession(OpenSessionRequest{"alpha"}).status().code(),
             StatusCode::kUnavailable);
   EXPECT_TRUE(server->shutting_down());
   for (std::thread& th : clients) th.join();
   EXPECT_EQ(unclean.load(), 0);
   server.reset();  // double-drain via the destructor must be safe
+}
+
+// ---- wire-level faults ----------------------------------------------------
+//
+// The net/* failpoints (net/accept, net/read_frame, net/write_frame) kill
+// live connections as if the peer or the network died mid-frame. The
+// invariant mirrors the serve layer's: a client that reconnects and reopens
+// its cursor at the last rank it consumed sees one byte-identical stream,
+// no matter where the kills landed (docs/net.md "Resume protocol").
+
+// Streams `spec` over TCP, reconnecting and resuming at the last consumed
+// rank on every transport failure. Returns false (with `error`) on any
+// non-transport failure or when the fault schedule never lets it finish.
+bool StreamOverWireWithResume(int port, const CursorSpec& spec,
+                              uint64_t* hash, int* drops,
+                              std::string* error) {
+  uint64_t h = kFnvSeed;
+  CursorSpec resume = spec;
+  NetClient client;
+  SessionHandle sid;
+  CursorHandle cid;
+  bool open = false;
+  RowBlock block;
+  const auto transport_failure = [&](const Status& s) {
+    return s.code() == StatusCode::kUnavailable && !client.connected();
+  };
+  for (int failures = 0; failures < 200;) {
+    if (!client.connected()) {
+      open = false;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        ++failures;
+        continue;
+      }
+    }
+    if (!open) {
+      auto session = client.OpenSession(OpenSessionRequest{"alpha"});
+      if (!session.ok()) {
+        if (transport_failure(session.status())) {
+          ++failures;
+          ++*drops;
+          continue;
+        }
+        *error = "open session: " + session.status().ToString();
+        return false;
+      }
+      auto cursor = client.OpenCursor(*session, resume);
+      if (!cursor.ok()) {
+        if (transport_failure(cursor.status())) {
+          ++failures;
+          ++*drops;
+          continue;
+        }
+        *error = "open cursor: " + cursor.status().ToString();
+        return false;
+      }
+      sid = *session;
+      cid = *cursor;
+      open = true;
+    }
+    auto batch = client.NextBatch(sid, cid, std::move(block));
+    if (!batch.ok()) {
+      block = RowBlock();
+      if (transport_failure(batch.status())) {
+        ++failures;
+        ++*drops;
+        continue;
+      }
+      *error = "next batch: " + batch.status().ToString();
+      return false;
+    }
+    if (batch->done) {
+      *hash = h;
+      return true;
+    }
+    h = HashBlock(h, batch->rows);
+    resume.begin_rank = batch->rank;
+    block = std::move(batch->rows);
+  }
+  *error = "fault schedule never let the stream finish";
+  return false;
+}
+
+TEST_F(ChaosServeTest, NetKillMidStreamResumesByteIdentical) {
+  ServeOptions options;
+  options.num_threads = 2;
+  options.batch_rows = 1024;
+  RegenServer server(options);
+  ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
+  NetServer net(&server);
+  ASSERT_TRUE(net.Start().ok());
+
+  const int r = env_.schema.RelationIndex("R");
+  uint64_t reference = kFnvSeed;
+  {
+    TupleGenerator gen(summary_);
+    gen.Scan(r, [&](const Row& row) {
+      reference =
+          HashValues(reference, row.data(), static_cast<int64_t>(row.size()));
+    });
+  }
+
+  CursorSpec spec;
+  spec.relation = r;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", net.port()).ok());
+  auto sid = client.OpenSession(OpenSessionRequest{"alpha"});
+  ASSERT_TRUE(sid.ok()) << sid.status().ToString();
+  auto cid = client.OpenCursor(*sid, spec);
+  ASSERT_TRUE(cid.ok());
+  uint64_t h = kFnvSeed;
+  int64_t resume_rank = 0;
+  RowBlock block;
+  for (int i = 0; i < 3; ++i) {
+    auto batch = client.NextBatch(*sid, *cid, std::move(block));
+    ASSERT_TRUE(batch.ok() && !batch->done);
+    h = HashBlock(h, batch->rows);
+    resume_rank = batch->rank;
+    block = std::move(batch->rows);
+  }
+
+  // The next response write dies on the wire: the server kills the
+  // connection (reaping its session) and the client sees a transport error.
+  ASSERT_TRUE(
+      Failpoint::ArmFromString("net/write_frame=error(UNAVAILABLE,times=1)")
+          .ok());
+  auto dropped = client.NextBatch(*sid, *cid);
+  Failpoint::DisarmAll();
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(client.connected());
+
+  // Reconnect, reopen at the last consumed rank: the concatenation must be
+  // the one uninterrupted stream.
+  ASSERT_TRUE(client.Connect("127.0.0.1", net.port()).ok());
+  auto sid2 = client.OpenSession(OpenSessionRequest{"alpha"});
+  ASSERT_TRUE(sid2.ok());
+  CursorSpec resumed = spec;
+  resumed.begin_rank = resume_rank;
+  auto cid2 = client.OpenCursor(*sid2, resumed);
+  ASSERT_TRUE(cid2.ok());
+  for (;;) {
+    auto batch = client.NextBatch(*sid2, *cid2, std::move(block));
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    if (batch->done) break;
+    h = HashBlock(h, batch->rows);
+    block = std::move(batch->rows);
+  }
+  EXPECT_EQ(h, reference);
+  EXPECT_GE(net.stats().sessions_reaped, 1u);
+  net.Stop();
+}
+
+TEST_F(ChaosServeTest, NetSeededKillScheduleConvergesByteIdentical) {
+  // All three wire failpoints fire probabilistically — accepts dropped,
+  // reads and writes dying mid-frame — while one logical stream runs to
+  // completion through reconnect-and-resume.
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("HYDRA_CHAOS_SEED=" + std::to_string(seed));
+  ServeOptions options;
+  options.num_threads = 2;
+  options.batch_rows = 1024;
+  RegenServer server(options);
+  ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
+  NetServer net(&server);
+  ASSERT_TRUE(net.Start().ok());
+
+  const int r = env_.schema.RelationIndex("R");
+  uint64_t reference = kFnvSeed;
+  {
+    TupleGenerator gen(summary_);
+    gen.Scan(r, [&](const Row& row) {
+      reference =
+          HashValues(reference, row.data(), static_cast<int64_t>(row.size()));
+    });
+  }
+
+  ASSERT_TRUE(
+      Failpoint::ArmFromString(
+          "net/write_frame=error(UNAVAILABLE,p=0.08,seed=" +
+          std::to_string(seed) +
+          ");net/read_frame=error(UNAVAILABLE,p=0.04,seed=" +
+          std::to_string(seed + 1) +
+          ");net/accept=error(UNAVAILABLE,p=0.2,seed=" +
+          std::to_string(seed + 2) + ")")
+          .ok());
+  CursorSpec spec;
+  spec.relation = r;
+  uint64_t h = 0;
+  int drops = 0;
+  std::string error;
+  const bool finished =
+      StreamOverWireWithResume(net.port(), spec, &h, &drops, &error);
+  Failpoint::DisarmAll();
+  ASSERT_TRUE(finished) << error;
+  EXPECT_EQ(h, reference);
+  // ~80 batches under p=0.08 write kills: the schedule virtually always
+  // lands at least one drop, and every drop reaps the orphaned session.
+  EXPECT_GE(drops, 1);
+  EXPECT_GE(net.stats().sessions_reaped, 1u);
+  EXPECT_GE(net.stats().connections_dropped, 1u);
+  net.Stop();
 }
 
 }  // namespace

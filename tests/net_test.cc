@@ -1,0 +1,636 @@
+// Tests for the TCP front end (src/net/, docs/net.md): frame-level codec
+// round trips, the stable ServeErrorCode mapping, protocol hardening (torn
+// frames, oversized payloads, bad magic/version, unknown opcodes, a seeded
+// malformed-frame fuzz sweep — none may crash or wedge the server), session
+// scoping and disconnect reaping, QoS fields riding the open frame, and the
+// headline contract: a NetClient stream is byte-identical to the in-process
+// stream, including resume-after-drop.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hydra/regenerator.h"
+#include "hydra/summary_io.h"
+#include "hydra/tuple_generator.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "net/wire.h"
+#include "serve/serve_api.h"
+#include "serve/server.h"
+#include "workload/toy.h"
+
+namespace hydra {
+namespace {
+
+constexpr uint64_t kFnvSeed = 14695981039346656037ull;
+
+uint64_t HashValues(uint64_t h, const Value* v, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t x = static_cast<uint64_t>(v[i]);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (x >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+uint64_t HashBlock(uint64_t h, const RowBlock& block) {
+  Row row(block.num_columns());
+  for (int64_t r = 0; r < block.num_rows(); ++r) {
+    block.CopyRowTo(r, row.data());
+    h = HashValues(h, row.data(), block.num_columns());
+  }
+  return h;
+}
+
+// ---- codec unit tests (no server) ----------------------------------------
+
+TEST(WireTest, FrameHeaderRoundTrips) {
+  FrameHeader header;
+  header.opcode = static_cast<uint8_t>(Opcode::kNextBatch);
+  header.request_id = 0x0123456789abcdefull;
+  header.payload_len = 4242;
+  uint8_t bytes[kFrameHeaderBytes];
+  EncodeFrameHeader(header, bytes);
+  const FrameHeader decoded = DecodeFrameHeader(bytes);
+  EXPECT_EQ(decoded.magic, kWireMagic);
+  EXPECT_EQ(decoded.version, kWireVersion);
+  EXPECT_EQ(decoded.opcode, header.opcode);
+  EXPECT_EQ(decoded.request_id, header.request_id);
+  EXPECT_EQ(decoded.payload_len, header.payload_len);
+  EXPECT_TRUE(ValidateFrameHeader(decoded).ok());
+  // The magic reads "HYRA" in byte order — a recognizable prefix in pcaps.
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(bytes), 4), "HYRA");
+}
+
+TEST(WireTest, ValidateRejectsBadHeaders) {
+  FrameHeader header;
+  header.magic = 0xdeadbeef;
+  EXPECT_FALSE(ValidateFrameHeader(header).ok());
+  header = FrameHeader();
+  header.version = kWireVersion + 1;
+  EXPECT_FALSE(ValidateFrameHeader(header).ok());
+  header = FrameHeader();
+  header.payload_len = kMaxPayloadBytes + 1;
+  EXPECT_FALSE(ValidateFrameHeader(header).ok());
+}
+
+TEST(WireTest, OpenSessionRequestRoundTripsQosFields) {
+  OpenSessionRequest request{"alpha"};
+  request.deadline_ms = 1234;
+  request.priority = 5;
+  request.rate_limit_rows_per_sec = 9999;
+  std::string buf;
+  AppendOpenSessionRequest(request, &buf);
+  WireReader reader(buf);
+  OpenSessionRequest decoded;
+  ASSERT_TRUE(ReadOpenSessionRequest(&reader, &decoded).ok());
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(decoded.summary_id, "alpha");
+  EXPECT_EQ(decoded.deadline_ms, 1234);
+  EXPECT_EQ(decoded.priority, 5);
+  EXPECT_EQ(decoded.rate_limit_rows_per_sec, 9999);
+  EXPECT_EQ(decoded.cancel, nullptr);  // in-process only, never marshalled
+}
+
+TEST(WireTest, CursorSpecAndPredicateRoundTrip) {
+  CursorSpec spec;
+  spec.relation = 2;
+  spec.begin_rank = 1000;
+  spec.end_rank = 77777;
+  spec.projection = {0, 3, 1};
+  spec.filter = PredicateOf(AtomRange(/*column=*/1, 40, 400));
+  std::string buf;
+  AppendCursorSpec(spec, &buf);
+  WireReader reader(buf);
+  CursorSpec decoded;
+  ASSERT_TRUE(ReadCursorSpec(&reader, &decoded).ok());
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(decoded.relation, spec.relation);
+  EXPECT_EQ(decoded.begin_rank, spec.begin_rank);
+  EXPECT_EQ(decoded.end_rank, spec.end_rank);
+  EXPECT_EQ(decoded.projection, spec.projection);
+  // Re-encoding the decoded predicate must reproduce the bytes: the codec
+  // is canonical for the normalized DNF representation.
+  std::string again;
+  AppendCursorSpec(decoded, &again);
+  EXPECT_EQ(again, buf);
+}
+
+TEST(WireTest, RowBlockRoundTrips) {
+  RowBlock block;
+  block.Reset(3);
+  for (int64_t r = 0; r < 100; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      block.MutableColumnBuffer(c).push_back(r * 3 + c);
+    }
+  }
+  block.SetNumRows(100);
+  std::string buf;
+  AppendRowBlock(block, &buf);
+  WireReader reader(buf);
+  RowBlock decoded;
+  ASSERT_TRUE(ReadRowBlock(&reader, &decoded).ok());
+  EXPECT_TRUE(reader.done());
+  ASSERT_EQ(decoded.num_columns(), 3);
+  ASSERT_EQ(decoded.num_rows(), 100);
+  EXPECT_EQ(HashBlock(kFnvSeed, decoded), HashBlock(kFnvSeed, block));
+}
+
+TEST(WireTest, RowBlockRejectsLyingRowCount) {
+  // A header claiming more rows than the payload holds must fail cleanly
+  // before any allocation sized from the lie.
+  std::string buf;
+  WireWriter writer(&buf);
+  writer.U32(4);                    // columns
+  writer.U64(1ull << 40);           // rows (absurd)
+  writer.I64(1);                    // one actual value
+  WireReader reader(buf);
+  RowBlock decoded;
+  EXPECT_EQ(ReadRowBlock(&reader, &decoded).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, StatusEnvelopeRoundTrips) {
+  std::string buf;
+  AppendStatusEnvelope(Status::NotFound("no such cursor"), &buf);
+  WireReader reader(buf);
+  Status decoded;
+  ASSERT_TRUE(ReadStatusEnvelope(&reader, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.message(), "no such cursor");
+
+  buf.clear();
+  AppendStatusEnvelope(Status::OK(), &buf);
+  WireReader ok_reader(buf);
+  ASSERT_TRUE(ReadStatusEnvelope(&ok_reader, &decoded).ok());
+  EXPECT_TRUE(decoded.ok());
+}
+
+TEST(WireTest, ServeErrorCodeNumbersAreFrozen) {
+  // The wire contract (docs/net.md): these numbers may never change.
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kOk), 0);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kInvalidArgument), 1);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kNotFound), 2);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kFailedPrecondition), 3);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kOutOfRange), 4);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kResourceExhausted), 5);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kInternal), 6);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kUnimplemented), 7);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kIoError), 8);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kCancelled), 9);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kDeadlineExceeded), 10);
+  EXPECT_EQ(static_cast<uint16_t>(ServeErrorCode::kUnavailable), 11);
+
+  // Every StatusCode round-trips through its wire number.
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+        StatusCode::kResourceExhausted, StatusCode::kInternal,
+        StatusCode::kUnimplemented, StatusCode::kIoError,
+        StatusCode::kCancelled, StatusCode::kDeadlineExceeded,
+        StatusCode::kUnavailable}) {
+    EXPECT_EQ(ToStatusCode(static_cast<uint16_t>(ToServeErrorCode(code))),
+              code);
+  }
+  // Unknown wire values (a newer server) degrade to kInternal.
+  EXPECT_EQ(ToStatusCode(60000), StatusCode::kInternal);
+}
+
+// ---- raw-socket helpers ---------------------------------------------------
+
+// A bare TCP connection for speaking deliberately broken protocol.
+class RawConn {
+ public:
+  explicit RawConn(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Bound every read so a test failure surfaces as an assertion, not a
+    // ctest timeout.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& bytes) {
+    return WriteAll(fd_, bytes.data(), bytes.size()).ok();
+  }
+
+  // Reads one whole response frame; false on EOF/timeout/invalid header.
+  bool ReadFrame(FrameHeader* header, std::string* payload) {
+    uint8_t raw[kFrameHeaderBytes];
+    if (!ReadExact(fd_, raw, sizeof(raw)).ok()) return false;
+    *header = DecodeFrameHeader(raw);
+    if (!ValidateFrameHeader(*header).ok()) return false;
+    payload->resize(header->payload_len);
+    if (header->payload_len == 0) return true;
+    return ReadExact(fd_, &(*payload)[0], payload->size()).ok();
+  }
+
+  // True when the server has closed this connection (EOF within the read
+  // timeout).
+  bool ServerClosed() {
+    char byte;
+    const ssize_t got = ::read(fd_, &byte, 1);
+    return got == 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+std::string Frame(Opcode opcode, uint64_t request_id,
+                  const std::string& payload) {
+  FrameHeader header;
+  header.opcode = static_cast<uint8_t>(opcode);
+  header.request_id = request_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  std::string out(kFrameHeaderBytes, '\0');
+  EncodeFrameHeader(header, reinterpret_cast<uint8_t*>(&out[0]));
+  out += payload;
+  return out;
+}
+
+// ---- served fixture -------------------------------------------------------
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hydra_net_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    env_ = MakeToyEnvironment();
+    HydraRegenerator hydra(env_.schema);
+    auto result = hydra.Regenerate(env_.ccs);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    summary_ = std::move(result->summary);
+    path_ = (dir_ / "toy.summary").string();
+    ASSERT_TRUE(WriteSummary(summary_, path_).ok());
+
+    ServeOptions options;
+    options.num_threads = 2;
+    options.batch_rows = 1024;
+    server_ = std::make_unique<RegenServer>(options);
+    ASSERT_TRUE(server_->RegisterSummary("alpha", path_).ok());
+    ASSERT_TRUE(server_->RegisterSummary("beta", path_).ok());
+    net_ = std::make_unique<NetServer>(server_.get());
+    ASSERT_TRUE(net_->Start().ok());
+  }
+  void TearDown() override {
+    net_->Stop();
+    net_.reset();
+    server_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  int port() const { return net_->port(); }
+
+  // Drains `spec` through `client`, accumulating the row-stream hash.
+  uint64_t StreamHash(NetClient& client, const CursorSpec& spec) {
+    auto sid = client.OpenSession(OpenSessionRequest{"alpha"});
+    EXPECT_TRUE(sid.ok()) << sid.status().ToString();
+    auto cid = client.OpenCursor(*sid, spec);
+    EXPECT_TRUE(cid.ok()) << cid.status().ToString();
+    uint64_t h = kFnvSeed;
+    RowBlock block;
+    for (;;) {
+      auto batch = client.NextBatch(*sid, *cid, std::move(block));
+      EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+      if (!batch.ok() || batch->done) break;
+      h = HashBlock(h, batch->rows);
+      block = std::move(batch->rows);
+    }
+    EXPECT_TRUE(client.CloseSession(*sid).ok());
+    return h;
+  }
+
+  // The in-process reference for the same spec.
+  uint64_t InProcessHash(const CursorSpec& spec) {
+    auto sid = server_->OpenSession(OpenSessionRequest{"alpha"});
+    EXPECT_TRUE(sid.ok());
+    auto cid = server_->OpenCursor(*sid, spec);
+    EXPECT_TRUE(cid.ok());
+    uint64_t h = kFnvSeed;
+    RowBlock block;
+    for (;;) {
+      auto batch = server_->NextBatch(*sid, *cid, std::move(block));
+      EXPECT_TRUE(batch.ok());
+      if (!batch.ok() || batch->done) break;
+      h = HashBlock(h, batch->rows);
+      block = std::move(batch->rows);
+    }
+    EXPECT_TRUE(server_->CloseSession(*sid).ok());
+    return h;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+  ToyEnvironment env_;
+  DatabaseSummary summary_;
+  std::unique_ptr<RegenServer> server_;
+  std::unique_ptr<NetServer> net_;
+};
+
+// ---- the serving contract over TCP ---------------------------------------
+
+TEST_F(NetTest, StreamsByteIdenticalToInProcess) {
+  const int r = env_.schema.RelationIndex("R");
+  std::vector<CursorSpec> specs;
+  {
+    CursorSpec identity;
+    identity.relation = r;
+    specs.push_back(identity);
+  }
+  {
+    CursorSpec filtered;
+    filtered.relation = r;
+    filtered.filter = PredicateOf(AtomRange(/*column=*/1, 100, 400));
+    filtered.projection = {1, 2};
+    filtered.begin_rank = 777;
+    filtered.end_rank = 66000;
+    specs.push_back(filtered);
+  }
+  {
+    CursorSpec narrow;
+    narrow.relation = env_.schema.RelationIndex("S");
+    narrow.projection = {0};
+    specs.push_back(narrow);
+  }
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(StreamHash(client, specs[i]), InProcessHash(specs[i]))
+        << "spec " << i << " diverged between wire and in-process";
+  }
+}
+
+TEST_F(NetTest, PingStatsAndQosRideTheWire) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  // A rate-limited session opened over the wire is paced server-side, and
+  // the QoS counters come back through the Stats opcode.
+  OpenSessionRequest request{"alpha"};
+  request.rate_limit_rows_per_sec = 20000;
+  request.priority = 3;
+  auto sid = client.OpenSession(request);
+  ASSERT_TRUE(sid.ok()) << sid.status().ToString();
+  CursorSpec spec;
+  spec.relation = env_.schema.RelationIndex("R");
+  spec.end_rank = 30000;  // 20k burst + 10k paced rows (~500ms)
+  auto cid = client.OpenCursor(*sid, spec);
+  ASSERT_TRUE(cid.ok());
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t rows = 0;
+  RowBlock block;
+  for (;;) {
+    auto batch = client.NextBatch(*sid, *cid, std::move(block));
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    if (batch->done) break;
+    rows += static_cast<uint64_t>(batch->rows.num_rows());
+    block = std::move(batch->rows);
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(rows, 30000u);
+  EXPECT_GE(elapsed.count(), 250);
+  ASSERT_TRUE(client.CloseSession(*sid).ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->rows_served, 30000u);
+  EXPECT_GE(stats->rate_deferrals, 1u);
+  EXPECT_EQ(stats->rows_served, server_->stats().rows_served);
+}
+
+TEST_F(NetTest, DeadlineRidesTheOpenFrame) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  OpenSessionRequest request{"alpha"};
+  request.deadline_ms = 30;
+  auto sid = client.OpenSession(request);
+  ASSERT_TRUE(sid.ok());
+  CursorSpec spec;
+  spec.relation = env_.schema.RelationIndex("R");
+  auto cid = client.OpenCursor(*sid, spec);
+  ASSERT_TRUE(cid.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  Status terminal = Status::OK();
+  RowBlock block;
+  for (int i = 0; i < 10000 && terminal.ok(); ++i) {
+    auto batch = client.NextBatch(*sid, *cid, std::move(block));
+    if (!batch.ok()) {
+      terminal = batch.status();
+      break;
+    }
+    if (batch->done) break;
+    block = std::move(batch->rows);
+  }
+  // The remote deadline error decodes through the stable mapping; the
+  // connection itself stays healthy.
+  EXPECT_EQ(terminal.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(NetTest, SessionsAreConnectionScoped) {
+  NetClient a;
+  NetClient b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", port()).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", port()).ok());
+  auto sid = a.OpenSession(OpenSessionRequest{"alpha"});
+  ASSERT_TRUE(sid.ok());
+  // Another connection can't address it — not closing, not streaming.
+  EXPECT_EQ(b.CloseSession(*sid).code(), StatusCode::kNotFound);
+  CursorSpec spec;
+  spec.relation = env_.schema.RelationIndex("R");
+  EXPECT_EQ(b.OpenCursor(*sid, spec).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(a.CloseSession(*sid).ok());
+}
+
+TEST_F(NetTest, DisconnectReapsTheConnectionsSessions) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  auto sid = client.OpenSession(OpenSessionRequest{"alpha"});
+  ASSERT_TRUE(sid.ok());
+  CursorSpec spec;
+  spec.relation = env_.schema.RelationIndex("R");
+  ASSERT_TRUE(client.OpenCursor(*sid, spec).ok());
+  client.Disconnect();  // abrupt: no goodbye frames
+  // The IO loop notices the EOF and cancels + closes the orphaned session.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (net_->stats().sessions_reaped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(net_->stats().sessions_reaped, 1u);
+}
+
+// ---- protocol hardening ---------------------------------------------------
+
+TEST_F(NetTest, BadMagicKillsTheConnection) {
+  RawConn conn(port());
+  ASSERT_TRUE(conn.connected());
+  std::string junk = Frame(Opcode::kPing, 1, "");
+  junk[0] = 'X';  // corrupt the magic
+  ASSERT_TRUE(conn.Send(junk));
+  EXPECT_TRUE(conn.ServerClosed());
+  EXPECT_GE(net_->stats().protocol_errors, 1u);
+}
+
+TEST_F(NetTest, BadVersionKillsTheConnection) {
+  RawConn conn(port());
+  ASSERT_TRUE(conn.connected());
+  std::string frame = Frame(Opcode::kPing, 1, "");
+  frame[4] = 9;  // unknown protocol version
+  ASSERT_TRUE(conn.Send(frame));
+  EXPECT_TRUE(conn.ServerClosed());
+}
+
+TEST_F(NetTest, OversizedPayloadKillsTheConnection) {
+  RawConn conn(port());
+  ASSERT_TRUE(conn.connected());
+  FrameHeader header;
+  header.opcode = static_cast<uint8_t>(Opcode::kPing);
+  header.request_id = 1;
+  header.payload_len = kMaxPayloadBytes + 1;
+  std::string frame(kFrameHeaderBytes, '\0');
+  EncodeFrameHeader(header, reinterpret_cast<uint8_t*>(&frame[0]));
+  ASSERT_TRUE(conn.Send(frame));
+  // The header alone is the protocol error: the server drops the
+  // connection without waiting for (or buffering) the announced payload.
+  EXPECT_TRUE(conn.ServerClosed());
+}
+
+TEST_F(NetTest, TornFramesReassembleAcrossArbitrarySplits) {
+  // One frame dribbled in three writes with pauses, then two frames glued
+  // into a single write: framing must be byte-oriented, not read-oriented.
+  RawConn conn(port());
+  ASSERT_TRUE(conn.connected());
+  const std::string ping = Frame(Opcode::kPing, 7, "");
+  ASSERT_TRUE(conn.Send(ping.substr(0, 5)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(conn.Send(ping.substr(5, 11)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(conn.Send(ping.substr(16)));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.ReadFrame(&header, &payload));
+  EXPECT_EQ(header.request_id, 7u);
+
+  ASSERT_TRUE(conn.Send(Frame(Opcode::kPing, 8, "") +
+                        Frame(Opcode::kPing, 9, "")));
+  ASSERT_TRUE(conn.ReadFrame(&header, &payload));
+  EXPECT_EQ(header.request_id, 8u);
+  ASSERT_TRUE(conn.ReadFrame(&header, &payload));
+  EXPECT_EQ(header.request_id, 9u);
+}
+
+TEST_F(NetTest, UnknownOpcodeFailsTheRequestNotTheConnection) {
+  RawConn conn(port());
+  ASSERT_TRUE(conn.connected());
+  ASSERT_TRUE(conn.Send(Frame(static_cast<Opcode>(0x77), 3, "payload")));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.ReadFrame(&header, &payload));
+  EXPECT_EQ(header.request_id, 3u);
+  WireReader reader(payload);
+  Status status;
+  ASSERT_TRUE(ReadStatusEnvelope(&reader, &status).ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+  // Framing stayed intact: the next request on the same connection works.
+  ASSERT_TRUE(conn.Send(Frame(Opcode::kPing, 4, "")));
+  ASSERT_TRUE(conn.ReadFrame(&header, &payload));
+  EXPECT_EQ(header.request_id, 4u);
+}
+
+TEST_F(NetTest, MalformedBodyFailsTheRequestNotTheConnection) {
+  RawConn conn(port());
+  ASSERT_TRUE(conn.connected());
+  // OpenCursor with a truncated body: the frame is well-formed, the
+  // payload is garbage — kInvalidArgument, connection survives.
+  ASSERT_TRUE(conn.Send(Frame(Opcode::kOpenCursor, 5, "abc")));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(conn.ReadFrame(&header, &payload));
+  WireReader reader(payload);
+  Status status;
+  ASSERT_TRUE(ReadStatusEnvelope(&reader, &status).ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(conn.Send(Frame(Opcode::kPing, 6, "")));
+  ASSERT_TRUE(conn.ReadFrame(&header, &payload));
+  EXPECT_EQ(header.request_id, 6u);
+}
+
+TEST_F(NetTest, MalformedFrameFuzzSweepNeverWedgesTheServer) {
+  // Seeded sweep of hostile inputs: random bytes, valid headers with
+  // random opcodes and random bodies, truncated frames with early
+  // disconnects. The server may kill any individual connection; it must
+  // survive them all and keep serving clean clients byte-identically.
+  std::mt19937_64 rng(20260807);
+  const auto random_bytes = [&](size_t n) {
+    std::string s(n, '\0');
+    for (char& c : s) c = static_cast<char>(rng() & 0xff);
+    return s;
+  };
+  for (int i = 0; i < 60; ++i) {
+    RawConn conn(port());
+    ASSERT_TRUE(conn.connected()) << "iteration " << i;
+    std::string bytes;
+    switch (i % 3) {
+      case 0:  // pure noise
+        bytes = random_bytes(1 + (rng() % 64));
+        break;
+      case 1:  // valid frame shape, random opcode + body
+        bytes = Frame(static_cast<Opcode>(rng() & 0xff), rng(),
+                      random_bytes(rng() % 48));
+        break;
+      default:  // truncated valid frame: disconnect mid-payload
+        bytes = Frame(Opcode::kOpenCursor, rng(), random_bytes(32));
+        bytes.resize(kFrameHeaderBytes + (rng() % 16));
+        break;
+    }
+    conn.Send(bytes);
+    // Destructor closes the socket — often mid-frame, which is the point.
+  }
+  CursorSpec spec;
+  spec.relation = env_.schema.RelationIndex("R");
+  spec.end_rank = 10000;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  EXPECT_EQ(StreamHash(client, spec), InProcessHash(spec));
+}
+
+}  // namespace
+}  // namespace hydra

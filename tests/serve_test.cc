@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <mutex>
 #include <string>
@@ -18,6 +19,7 @@
 #include "hydra/summary_io.h"
 #include "hydra/tuple_generator.h"
 #include "serve/scheduler.h"
+#include "serve/serve_api.h"
 #include "serve/server.h"
 #include "serve/summary_store.h"
 #include "workload/toy.h"
@@ -111,7 +113,8 @@ uint64_t RunItem(RegenServer& server, const ToyEnvironment& env, int c,
     *error = "item " + std::to_string(c) + ": " + s.ToString();
     return uint64_t{0};
   };
-  auto sid = server.OpenSession(c % 2 == 0 ? "alpha" : "beta");
+  auto sid = server.OpenSession(
+      OpenSessionRequest{c % 2 == 0 ? "alpha" : "beta"});
   if (!sid.ok()) return fail(sid.status());
   uint64_t h = kFnvSeed;
   const int kind = c % 3;
@@ -127,20 +130,19 @@ uint64_t RunItem(RegenServer& server, const ToyEnvironment& env, int c,
     if (!cid.ok()) return fail(cid.status());
     RowBlock block;
     for (;;) {
-      auto more = server.NextBatch(*sid, *cid, &block);
-      if (!more.ok()) return fail(more.status());
-      if (!*more) break;
-      h = HashBlock(h, block);
+      auto batch = server.NextBatch(*sid, *cid, std::move(block));
+      if (!batch.ok()) return fail(batch.status());
+      if (batch->done) break;
+      h = HashBlock(h, batch->rows);
+      block = std::move(batch->rows);
     }
   } else if (kind == 1) {
     const int rel = env.schema.RelationIndex(c % 2 == 0 ? "S" : "T");
     const int64_t rows = c % 2 == 0 ? 700 : 1500;
-    Row row;
     for (int i = 0; i < 300; ++i) {
-      const Status s =
-          server.Lookup(*sid, rel, (i * 97 + c * 13) % rows, &row);
-      if (!s.ok()) return fail(s);
-      h = HashValues(h, row.data(), static_cast<int64_t>(row.size()));
+      auto row = server.Lookup(*sid, rel, (i * 97 + c * 13) % rows);
+      if (!row.ok()) return fail(row.status());
+      h = HashValues(h, row->data(), static_cast<int64_t>(row->size()));
     }
   } else {
     auto aqp = server.ExecuteQuery(*sid, env.query);
@@ -224,7 +226,7 @@ TEST_F(ServeTest, StreamsByteIdenticalAcrossConfigurations) {
 TEST_F(ServeTest, CursorStreamMatchesGeneratorScan) {
   RegenServer server{ServeOptions{}};
   RegisterBoth(server);
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid.ok());
   const int r = env_.schema.RelationIndex("R");
   CursorSpec spec;
@@ -236,10 +238,11 @@ TEST_F(ServeTest, CursorStreamMatchesGeneratorScan) {
   std::vector<Value> served;
   RowBlock block;
   for (;;) {
-    auto more = server.NextBatch(*sid, *cid, &block);
-    ASSERT_TRUE(more.ok());
-    if (!*more) break;
-    AppendRows(block, &served);
+    auto batch = server.NextBatch(*sid, *cid, std::move(block));
+    ASSERT_TRUE(batch.ok());
+    if (batch->done) break;
+    AppendRows(batch->rows, &served);
+    block = std::move(batch->rows);
   }
 
   TupleGenerator gen(summary_);
@@ -273,33 +276,36 @@ TEST_F(ServeTest, CursorSurvivesEvictionAndReload) {
     });
   }
 
-  auto alpha = server.OpenSession("alpha");
+  auto alpha = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(alpha.ok());
   auto cursor = server.OpenCursor(*alpha, spec);
   ASSERT_TRUE(cursor.ok());
   std::vector<Value> served;
   RowBlock block;
   for (int i = 0; i < 3; ++i) {
-    auto more = server.NextBatch(*alpha, *cursor, &block);
-    ASSERT_TRUE(more.ok() && *more);
-    AppendRows(block, &served);
+    auto batch = server.NextBatch(*alpha, *cursor, std::move(block));
+    ASSERT_TRUE(batch.ok() && !batch->done);
+    AppendRows(batch->rows, &served);
+    block = std::move(batch->rows);
   }
 
   // Traffic on the other summary evicts alpha's (unpinned between calls).
-  auto beta = server.OpenSession("beta");
+  auto beta = server.OpenSession(OpenSessionRequest{"beta"});
   ASSERT_TRUE(beta.ok());
   auto beta_cursor = server.OpenCursor(*beta, spec);
   ASSERT_TRUE(beta_cursor.ok());
-  auto beta_batch = server.NextBatch(*beta, *beta_cursor, &block);
-  ASSERT_TRUE(beta_batch.ok() && *beta_batch);
+  auto beta_batch = server.NextBatch(*beta, *beta_cursor, std::move(block));
+  ASSERT_TRUE(beta_batch.ok() && !beta_batch->done);
+  block = std::move(beta_batch->rows);
   EXPECT_GE(server.stats().evictions, 1u);
 
   // The cursor continues over a freshly reloaded summary, byte-identically.
   for (;;) {
-    auto more = server.NextBatch(*alpha, *cursor, &block);
-    ASSERT_TRUE(more.ok());
-    if (!*more) break;
-    AppendRows(block, &served);
+    auto batch = server.NextBatch(*alpha, *cursor, std::move(block));
+    ASSERT_TRUE(batch.ok());
+    if (batch->done) break;
+    AppendRows(batch->rows, &served);
+    block = std::move(batch->rows);
   }
   EXPECT_EQ(served, expected);
   EXPECT_GE(server.stats().cache_misses, 3u);  // alpha, beta, alpha again
@@ -312,16 +318,17 @@ TEST_F(ServeTest, CursorReopensAtSavedRank) {
   CursorSpec spec;
   spec.relation = r;
 
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid.ok());
   auto cid = server.OpenCursor(*sid, spec);
   ASSERT_TRUE(cid.ok());
   std::vector<Value> first_half;
   RowBlock block;
   for (int i = 0; i < 5; ++i) {
-    auto more = server.NextBatch(*sid, *cid, &block);
-    ASSERT_TRUE(more.ok() && *more);
-    AppendRows(block, &first_half);
+    auto batch = server.NextBatch(*sid, *cid, std::move(block));
+    ASSERT_TRUE(batch.ok() && !batch->done);
+    AppendRows(batch->rows, &first_half);
+    block = std::move(batch->rows);
   }
   auto rank = server.CursorRank(*sid, *cid);
   ASSERT_TRUE(rank.ok());
@@ -329,7 +336,7 @@ TEST_F(ServeTest, CursorReopensAtSavedRank) {
 
   // A brand-new session resumes at the saved rank: the concatenation must
   // equal one uninterrupted stream.
-  auto sid2 = server.OpenSession("alpha");
+  auto sid2 = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid2.ok());
   CursorSpec resume = spec;
   resume.begin_rank = *rank;
@@ -337,10 +344,11 @@ TEST_F(ServeTest, CursorReopensAtSavedRank) {
   ASSERT_TRUE(cid2.ok());
   std::vector<Value> resumed = first_half;
   for (;;) {
-    auto more = server.NextBatch(*sid2, *cid2, &block);
-    ASSERT_TRUE(more.ok());
-    if (!*more) break;
-    AppendRows(block, &resumed);
+    auto batch = server.NextBatch(*sid2, *cid2, std::move(block));
+    ASSERT_TRUE(batch.ok());
+    if (batch->done) break;
+    AppendRows(batch->rows, &resumed);
+    block = std::move(batch->rows);
   }
 
   std::vector<Value> expected;
@@ -354,7 +362,7 @@ TEST_F(ServeTest, CursorReopensAtSavedRank) {
 TEST_F(ServeTest, ExecuteQueryMatchesDirectExecutor) {
   RegenServer server{ServeOptions{}};
   RegisterBoth(server);
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid.ok());
   auto served = server.ExecuteQuery(*sid, env_.query);
   ASSERT_TRUE(served.ok()) << served.status().ToString();
@@ -407,17 +415,18 @@ uint64_t RunSharedClient(RegenServer& server, const ToyEnvironment& env,
     *error = "client " + std::to_string(c) + ": " + s.ToString();
     return uint64_t{0};
   };
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   if (!sid.ok()) return fail(sid.status());
   auto cid = server.OpenCursor(*sid, SharedSpec(env, c));
   if (!cid.ok()) return fail(cid.status());
   uint64_t h = kFnvSeed;
   RowBlock block;
   for (;;) {
-    auto more = server.NextBatch(*sid, *cid, &block);
-    if (!more.ok()) return fail(more.status());
-    if (!*more) break;
-    h = HashBlock(h, block);
+    auto batch = server.NextBatch(*sid, *cid, std::move(block));
+    if (!batch.ok()) return fail(batch.status());
+    if (batch->done) break;
+    h = HashBlock(h, batch->rows);
+    block = std::move(batch->rows);
   }
   EXPECT_TRUE(server.CloseSession(*sid).ok());
   return h;
@@ -483,7 +492,7 @@ TEST_F(ServeTest, TwoCursorsShareOneGenerationPass) {
   RegenServer server(options);
   RegisterBoth(server);
   const int r = env_.schema.RelationIndex("R");
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid.ok());
   CursorSpec spec;
   spec.relation = r;
@@ -493,13 +502,14 @@ TEST_F(ServeTest, TwoCursorsShareOneGenerationPass) {
   std::vector<Value> rows_a, rows_b;
   RowBlock block;
   for (;;) {
-    auto more_a = server.NextBatch(*sid, *a, &block);
-    ASSERT_TRUE(more_a.ok());
-    if (*more_a) AppendRows(block, &rows_a);
-    auto more_b = server.NextBatch(*sid, *b, &block);
-    ASSERT_TRUE(more_b.ok());
-    if (*more_b) AppendRows(block, &rows_b);
-    if (!*more_a && !*more_b) break;
+    auto batch_a = server.NextBatch(*sid, *a, std::move(block));
+    ASSERT_TRUE(batch_a.ok());
+    if (!batch_a->done) AppendRows(batch_a->rows, &rows_a);
+    auto batch_b = server.NextBatch(*sid, *b, std::move(batch_a->rows));
+    ASSERT_TRUE(batch_b.ok());
+    if (!batch_b->done) AppendRows(batch_b->rows, &rows_b);
+    block = std::move(batch_b->rows);
+    if (batch_a->done && batch_b->done) break;
   }
   EXPECT_EQ(rows_a, rows_b);
   std::vector<Value> expected;
@@ -524,7 +534,7 @@ TEST_F(ServeTest, LateJoinerCatchesUpWithoutDisturbingTheGroup) {
   RegenServer server(options);
   RegisterBoth(server);
   const int r = env_.schema.RelationIndex("R");
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid.ok());
   CursorSpec spec;
   spec.relation = r;
@@ -534,9 +544,10 @@ TEST_F(ServeTest, LateJoinerCatchesUpWithoutDisturbingTheGroup) {
   RowBlock block;
   // The early cursor runs alone (private path) well past the slot ring.
   for (int i = 0; i < 8; ++i) {
-    auto more = server.NextBatch(*sid, *a, &block);
-    ASSERT_TRUE(more.ok() && *more);
-    AppendRows(block, &rows_a);
+    auto batch = server.NextBatch(*sid, *a, std::move(block));
+    ASSERT_TRUE(batch.ok() && !batch->done);
+    AppendRows(batch->rows, &rows_a);
+    block = std::move(batch->rows);
   }
   // A latecomer joins at rank 0: its catch-up chunks are behind the
   // group frontier and long since outside the ring, so they regenerate —
@@ -544,13 +555,14 @@ TEST_F(ServeTest, LateJoinerCatchesUpWithoutDisturbingTheGroup) {
   auto b = server.OpenCursor(*sid, spec);
   ASSERT_TRUE(b.ok());
   for (;;) {
-    auto more_a = server.NextBatch(*sid, *a, &block);
-    ASSERT_TRUE(more_a.ok());
-    if (*more_a) AppendRows(block, &rows_a);
-    auto more_b = server.NextBatch(*sid, *b, &block);
-    ASSERT_TRUE(more_b.ok());
-    if (*more_b) AppendRows(block, &rows_b);
-    if (!*more_a && !*more_b) break;
+    auto batch_a = server.NextBatch(*sid, *a, std::move(block));
+    ASSERT_TRUE(batch_a.ok());
+    if (!batch_a->done) AppendRows(batch_a->rows, &rows_a);
+    auto batch_b = server.NextBatch(*sid, *b, std::move(batch_a->rows));
+    ASSERT_TRUE(batch_b.ok());
+    if (!batch_b->done) AppendRows(batch_b->rows, &rows_b);
+    block = std::move(batch_b->rows);
+    if (batch_a->done && batch_b->done) break;
   }
   EXPECT_EQ(rows_a, rows_b);
   std::vector<Value> expected;
@@ -598,9 +610,9 @@ TEST_F(ServeTest, MemberCancelDetachesWithoutDisturbingTheGroup) {
         hashes[c] = RunSharedClient(server, env_, c, &errors[c]);
         return;
       }
-      auto sid = server.OpenSession("alpha");
+      auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
       ASSERT_TRUE(sid.ok());
-      victim_sid.store(*sid);
+      victim_sid.store(sid->id);
       auto cid = server.OpenCursor(*sid, SharedSpec(env_, 1));
       ASSERT_TRUE(cid.ok());
       RowBlock block;
@@ -612,12 +624,13 @@ TEST_F(ServeTest, MemberCancelDetachesWithoutDisturbingTheGroup) {
             std::this_thread::sleep_for(std::chrono::microseconds(100));
           }
         }
-        auto more = server.NextBatch(*sid, *cid, &block);
-        if (!more.ok()) {
-          victim_status = more.status();
+        auto batch = server.NextBatch(*sid, *cid, std::move(block));
+        if (!batch.ok()) {
+          victim_status = batch.status();
           break;
         }
-        if (!*more) break;
+        if (batch->done) break;
+        block = std::move(batch->rows);
         victim_batches.fetch_add(1);
       }
       EXPECT_TRUE(server.CloseSession(*sid).ok());
@@ -626,7 +639,7 @@ TEST_F(ServeTest, MemberCancelDetachesWithoutDisturbingTheGroup) {
   while (victim_batches.load() < 2) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
-  ASSERT_TRUE(server.CancelSession(victim_sid.load()).ok());
+  ASSERT_TRUE(server.CancelSession(SessionHandle{victim_sid.load()}).ok());
   cancel_issued.store(true);
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(victim_status.code(), StatusCode::kCancelled);
@@ -643,7 +656,7 @@ TEST_F(ServeTest, SharedScanSurvivesEvictionMidGroup) {
   RegenServer server(options);
   RegisterBoth(server);
   const int r = env_.schema.RelationIndex("R");
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid.ok());
   CursorSpec spec;
   spec.relation = r;
@@ -652,11 +665,13 @@ TEST_F(ServeTest, SharedScanSurvivesEvictionMidGroup) {
   ASSERT_TRUE(a.ok() && b.ok());
   std::vector<Value> rows_a, rows_b;
   RowBlock block;
-  const auto step = [&](uint64_t cid, std::vector<Value>* rows, bool* more) {
-    auto batch = server.NextBatch(*sid, cid, &block);
+  const auto step = [&](CursorHandle cid, std::vector<Value>* rows,
+                        bool* more) {
+    auto batch = server.NextBatch(*sid, cid, std::move(block));
     ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-    *more = *batch;
-    if (*more) AppendRows(block, rows);
+    *more = !batch->done;
+    if (*more) AppendRows(batch->rows, rows);
+    block = std::move(batch->rows);
   };
   bool more_a = true;
   bool more_b = true;
@@ -665,12 +680,13 @@ TEST_F(ServeTest, SharedScanSurvivesEvictionMidGroup) {
     step(*b, &rows_b, &more_b);
   }
   // Foreign traffic evicts alpha's summary out from under the live group.
-  auto beta = server.OpenSession("beta");
+  auto beta = server.OpenSession(OpenSessionRequest{"beta"});
   ASSERT_TRUE(beta.ok());
   auto beta_cursor = server.OpenCursor(*beta, spec);
   ASSERT_TRUE(beta_cursor.ok());
-  auto beta_batch = server.NextBatch(*beta, *beta_cursor, &block);
-  ASSERT_TRUE(beta_batch.ok() && *beta_batch);
+  auto beta_batch = server.NextBatch(*beta, *beta_cursor, std::move(block));
+  ASSERT_TRUE(beta_batch.ok() && !beta_batch->done);
+  block = std::move(beta_batch->rows);
   EXPECT_GE(server.stats().evictions, 1u);
   // The group's chunks are pure functions of (summary bytes, rank range):
   // reload is invisible, streams stay byte-identical.
@@ -945,6 +961,172 @@ TEST(FairSchedulerTest, ChargedDebtYieldsTurnsWithoutIdling) {
   scheduler.ForgetSession(7);
 }
 
+// ---- QoS: priority + rate limits (docs/serve.md "QoS") --------------------
+
+TEST(FairSchedulerTest, PriorityWinsTheRotationUnderContention) {
+  // Wedge the window with session 5, queue a priority-1 waiter (7) and a
+  // priority-4 waiter (8), then release. The rotation resumes at 7, but its
+  // credit (1) is below the grant cost (maxp = 4), so it is skipped and 8 is
+  // granted first — deterministically, despite 7 being first in id order.
+  FairScheduler scheduler(/*max_inflight=*/1);
+  scheduler.SetSessionQos(7, SessionQos{/*priority=*/1, /*rate=*/0});
+  scheduler.SetSessionQos(8, SessionQos{/*priority=*/4, /*rate=*/0});
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> holding{false};
+  std::thread holder([&] {
+    ASSERT_TRUE(scheduler
+                    .Admit(5,
+                           [&] {
+                             holding.store(true);
+                             gate.lock();
+                             gate.unlock();
+                           })
+                    .ok());
+  });
+  while (!holding.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  std::mutex order_mu;
+  std::vector<uint64_t> order;
+  const auto client = [&](uint64_t session) {
+    ASSERT_TRUE(scheduler
+                    .Admit(session,
+                           [&, session] {
+                             std::lock_guard<std::mutex> lock(order_mu);
+                             order.push_back(session);
+                           })
+                    .ok());
+  };
+  std::thread t7([&] { client(7); });
+  std::thread t8([&] { client(8); });
+  while (scheduler.queued() < 2) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  gate.unlock();
+  holder.join();
+  t7.join();
+  t8.join();
+  EXPECT_EQ(order, (std::vector<uint64_t>{8, 7}));
+  EXPECT_GE(scheduler.priority_skips(), 1u);
+  scheduler.ForgetSession(7);
+  scheduler.ForgetSession(8);
+}
+
+TEST(FairSchedulerTest, RateLimitThrottlesAndRefills) {
+  // A session that overdraws its token bucket blocks in Admit until the
+  // continuous refill clears the deficit — even with the window idle (the
+  // rate limit is absolute, unlike priority/debt which are relative).
+  FairScheduler scheduler(/*max_inflight=*/1);
+  scheduler.SetSessionQos(1, SessionQos{/*priority=*/1, /*rate=*/1000});
+  // Burn the full one-second burst plus a 100-row deficit (~100ms refill).
+  scheduler.SpendTokens(1, 1100);
+  EXPECT_TRUE(scheduler.SessionThrottled(1));
+  const auto start = std::chrono::steady_clock::now();
+  bool ran = false;
+  ASSERT_TRUE(scheduler.Admit(1, [&] { ran = true; }).ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(ran);
+  EXPECT_GE(elapsed.count(), 50);
+  EXPECT_GE(scheduler.rate_deferrals(), 1u);
+  EXPECT_FALSE(scheduler.SessionThrottled(1));
+}
+
+TEST(FairSchedulerTest, ThrottledSessionYieldsToUnthrottledPeer) {
+  // With the window wedged and two waiters — 7 throttled, 8 not — the grant
+  // loop defers 7 and runs 8 first, whatever the rotation order.
+  FairScheduler scheduler(/*max_inflight=*/1);
+  scheduler.SetSessionQos(7, SessionQos{/*priority=*/1, /*rate=*/1000});
+  scheduler.SpendTokens(7, 1100);
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> holding{false};
+  std::thread holder([&] {
+    ASSERT_TRUE(scheduler
+                    .Admit(5,
+                           [&] {
+                             holding.store(true);
+                             gate.lock();
+                             gate.unlock();
+                           })
+                    .ok());
+  });
+  while (!holding.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  std::mutex order_mu;
+  std::vector<uint64_t> order;
+  const auto client = [&](uint64_t session) {
+    ASSERT_TRUE(scheduler
+                    .Admit(session,
+                           [&, session] {
+                             std::lock_guard<std::mutex> lock(order_mu);
+                             order.push_back(session);
+                           })
+                    .ok());
+  };
+  std::thread t7([&] { client(7); });
+  std::thread t8([&] { client(8); });
+  while (scheduler.queued() < 2) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  gate.unlock();
+  holder.join();
+  t7.join();
+  t8.join();
+  EXPECT_EQ(order, (std::vector<uint64_t>{8, 7}));
+  EXPECT_GE(scheduler.rate_deferrals(), 1u);
+  scheduler.ForgetSession(7);
+  scheduler.ForgetSession(8);
+}
+
+TEST_F(ServeTest, RateLimitedStreamIsSlowerButByteIdentical) {
+  // The QoS knobs ride OpenSessionRequest: a rate-limited session streams
+  // the same bytes, just later. 30k rows at 20k rows/s = a 20k burst free
+  // and 10k rows paced (~500ms); the unlimited control takes ~no time.
+  const int r = env_.schema.RelationIndex("R");
+  CursorSpec spec;
+  spec.relation = r;
+  spec.end_rank = 30000;
+  const auto stream = [&](RegenServer& server, SessionHandle sid,
+                          std::vector<Value>* out) {
+    auto cid = server.OpenCursor(sid, spec);
+    ASSERT_TRUE(cid.ok());
+    RowBlock block;
+    for (;;) {
+      auto batch = server.NextBatch(sid, *cid, std::move(block));
+      ASSERT_TRUE(batch.ok());
+      if (batch->done) break;
+      AppendRows(batch->rows, out);
+      block = std::move(batch->rows);
+    }
+  };
+  RegenServer server{ServeOptions{}};
+  RegisterBoth(server);
+
+  std::vector<Value> unlimited;
+  auto control = server.OpenSession(OpenSessionRequest{"alpha"});
+  ASSERT_TRUE(control.ok());
+  stream(server, *control, &unlimited);
+  ASSERT_TRUE(server.CloseSession(*control).ok());
+
+  OpenSessionRequest limited_request{"alpha"};
+  limited_request.rate_limit_rows_per_sec = 20000;
+  auto limited = server.OpenSession(limited_request);
+  ASSERT_TRUE(limited.ok());
+  std::vector<Value> paced;
+  const auto start = std::chrono::steady_clock::now();
+  stream(server, *limited, &paced);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(server.CloseSession(*limited).ok());
+
+  EXPECT_EQ(paced, unlimited);
+  EXPECT_GE(elapsed.count(), 250);  // lenient: ~500ms nominal pacing
+  EXPECT_GE(server.stats().rate_deferrals, 1u);
+}
+
 // ---- error paths ----------------------------------------------------------
 
 TEST_F(ServeTest, ErrorPaths) {
@@ -952,7 +1134,8 @@ TEST_F(ServeTest, ErrorPaths) {
   RegisterBoth(server);
   EXPECT_EQ(server.RegisterSummary("alpha", path_).code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(server.OpenSession("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.OpenSession(OpenSessionRequest{"nope"}).status().code(),
+            StatusCode::kNotFound);
 
   const std::string corrupt = (dir_ / "corrupt.summary").string();
   std::FILE* f = std::fopen(corrupt.c_str(), "wb");
@@ -960,10 +1143,10 @@ TEST_F(ServeTest, ErrorPaths) {
   std::fwrite("garbage!", 1, 8, f);
   std::fclose(f);
   ASSERT_TRUE(server.RegisterSummary("corrupt", corrupt).ok());
-  EXPECT_EQ(server.OpenSession("corrupt").status().code(),
+  EXPECT_EQ(server.OpenSession(OpenSessionRequest{"corrupt"}).status().code(),
             StatusCode::kIoError);
 
-  auto sid = server.OpenSession("alpha");
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
   ASSERT_TRUE(sid.ok());
   CursorSpec bad_rel;
   bad_rel.relation = 99;
@@ -979,10 +1162,9 @@ TEST_F(ServeTest, ErrorPaths) {
   bad_proj.projection = {0, 42};
   EXPECT_EQ(server.OpenCursor(*sid, bad_proj).status().code(),
             StatusCode::kInvalidArgument);
-  RowBlock block;
-  EXPECT_EQ(server.NextBatch(*sid, 12345, &block).status().code(),
+  EXPECT_EQ(server.NextBatch(*sid, CursorHandle{12345}).status().code(),
             StatusCode::kNotFound);
-  EXPECT_EQ(server.Lookup(*sid, 0, int64_t{1} << 40, nullptr).code(),
+  EXPECT_EQ(server.Lookup(*sid, 0, int64_t{1} << 40).status().code(),
             StatusCode::kOutOfRange);
   ASSERT_TRUE(server.CloseSession(*sid).ok());
   EXPECT_EQ(server.CloseSession(*sid).code(), StatusCode::kNotFound);
