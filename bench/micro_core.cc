@@ -7,7 +7,9 @@
 #include "bench_util.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "engine/executor.h"
 #include "engine/kernels.h"
 #include "engine/row_block.h"
@@ -323,6 +325,56 @@ void BM_FailpointCheck(benchmark::State& state) {
   fp.Disarm();
 }
 BENCHMARK(BM_FailpointCheck)->Arg(0)->Arg(1);
+
+// The observability hot-path contract (docs/observability.md), same shape
+// as BM_FailpointCheck: a counter bump and a histogram record are single
+// relaxed RMWs, and a disabled TraceScope or gated latency timer is one
+// relaxed load — cheap enough to live inside the serving hot loops.
+void BM_CounterInc(benchmark::State& state) {
+  static Counter counter("bench/counter_inc");
+  for (auto _ : state) {
+    counter.Inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  static Histogram histogram("bench/histogram_record");
+  uint64_t v = 12345;
+  for (auto _ : state) {
+    histogram.Record(v & 0xffffff);  // latency-like range, varied buckets
+    v = v * 2862933555777941757ull + 3037000493ull;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// Arg 0: tracing disabled (the production default the ~2ns budget holds
+// to); arg 1: enabled, including the two clock reads and the ring append.
+void BM_TraceScope(benchmark::State& state) {
+  trace::SetEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    trace::TraceScope scope("bench/trace_scope");
+    benchmark::DoNotOptimize(&scope);
+  }
+  trace::SetEnabled(false);
+  trace::Clear();
+}
+BENCHMARK(BM_TraceScope)->Arg(0)->Arg(1);
+
+// Arg 0: HYDRA_METRICS=off path (one relaxed load, no clock); arg 1: the
+// default timed path (two clock reads + a histogram record).
+void BM_ScopedLatencyTimer(benchmark::State& state) {
+  static Histogram histogram("bench/latency_timer");
+  metrics::SetTimingEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    ScopedLatencyTimer timer(&histogram);
+    benchmark::DoNotOptimize(&timer);
+  }
+  metrics::SetTimingEnabled(true);
+}
+BENCHMARK(BM_ScopedLatencyTimer)->Arg(0)->Arg(1);
 
 void BM_RandomAccessTuple(benchmark::State& state) {
   ToyEnvironment env = MakeToyEnvironment();

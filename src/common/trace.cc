@@ -1,0 +1,198 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace hydra {
+namespace trace {
+
+namespace {
+
+// Constant-initialized: Enabled() is a pure relaxed load with no guard —
+// the disabled TraceScope must stay at ~1ns (BM_TraceScope holds it there).
+std::atomic<int> g_enabled{0};
+
+uint64_t SteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t EpochMicros() {
+  static const uint64_t epoch = SteadyMicros();
+  return epoch;
+}
+
+struct ThreadBuffer {
+  std::mutex mu;  // recorder vs. concurrent Snapshot/Clear
+  uint32_t tid = 0;
+  std::vector<Span> spans;  // grows to kSpansPerThread, then a ring
+  size_t head = 0;          // next overwrite position once full
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  // shared_ptr: buffers outlive their threads so post-join exports still
+  // see worker spans. Leaked with the registry (bounded by thread count).
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+// Leaked singleton, same rationale as the failpoint/metric registries.
+TraceRegistry& GetTraceRegistry() {
+  static TraceRegistry* registry = new TraceRegistry();
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local const std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->spans.reserve(kSpansPerThread);
+    TraceRegistry& registry = GetTraceRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    b->tid = registry.next_tid++;
+    registry.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::string& EnvTracePath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+// HYDRA_TRACE applies when this translation unit initializes (any binary
+// using TraceScope links it): a truthy value enables tracing, a path also
+// schedules the Chrome JSON dump for process exit.
+const bool g_env_applied = [] {
+  (void)EpochMicros();  // anchor the trace epoch at load time
+  const char* env = std::getenv("HYDRA_TRACE");
+  if (env == nullptr || env[0] == '\0') return true;
+  const std::string value(env);
+  if (value == "0" || value == "off" || value == "false") return true;
+  g_enabled.store(1, std::memory_order_relaxed);
+  if (value != "1" && value != "on" && value != "true") {
+    EnvTracePath() = value;
+    std::atexit([] {
+      const Status status = WriteChromeTrace(EnvTracePath());
+      if (!status.ok()) {
+        std::fprintf(stderr, "[trace] failed to write %s: %s\n",
+                     EnvTracePath().c_str(), status.ToString().c_str());
+      }
+    });
+  }
+  return true;
+}();
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed) != 0; }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+uint64_t NowMicros() { return SteadyMicros() - EpochMicros(); }
+
+void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  Span span;
+  span.name = name;
+  span.tid = buffer.tid;
+  span.start_us = start_us;
+  span.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  if (buffer.spans.size() < kSpansPerThread) {
+    buffer.spans.push_back(span);
+    buffer.head = buffer.spans.size() % kSpansPerThread;
+  } else {
+    buffer.spans[buffer.head] = span;
+    buffer.head = (buffer.head + 1) % kSpansPerThread;
+  }
+}
+
+std::vector<Span> Snapshot() {
+  TraceRegistry& registry = GetTraceRegistry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  std::vector<Span> spans;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    spans.insert(spans.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    return a.start_us != b.start_us ? a.start_us < b.start_us
+                                    : a.tid < b.tid;
+  });
+  return spans;
+}
+
+void Clear() {
+  TraceRegistry& registry = GetTraceRegistry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->spans.clear();
+    buffer->head = 0;
+  }
+}
+
+std::string ChromeTraceJson() {
+  const std::vector<Span> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, span.name);
+    out += "\",\"cat\":\"hydra\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(span.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(span.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(span.tid);
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace trace
+}  // namespace hydra

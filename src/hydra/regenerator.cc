@@ -6,6 +6,7 @@
 #include <map>
 #include <tuple>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "hydra/formulator.h"
 #include "hydra/preprocessor.h"
@@ -13,6 +14,11 @@
 #include "lp/integerize.h"
 
 namespace hydra {
+
+// Per-view LP phase latency. Recorded off the ViewReport's own timings
+// (no extra clock reads on the regeneration path).
+HYDRA_METRIC_HISTOGRAM(g_formulate_us, "lp/formulate_us");
+HYDRA_METRIC_HISTOGRAM(g_solve_us, "lp/solve_us");
 
 namespace {
 
@@ -82,6 +88,8 @@ StatusOr<RegenerationResult> HydraRegenerator::Regenerate(
     }
     lps[v] = *std::move(lp_or);
     report.formulate_seconds = SecondsSince(tf);
+    g_formulate_us.Record(
+        static_cast<uint64_t>(report.formulate_seconds * 1e6));
     report.num_subviews = static_cast<int>(lps[v].subviews.size());
     report.lp_variables = lps[v].problem.num_vars();
     report.lp_constraints = lps[v].problem.num_constraints();
@@ -139,6 +147,7 @@ StatusOr<RegenerationResult> HydraRegenerator::Regenerate(
       IntegerizeResult integers = IntegerizeSolution(
           lp.problem, lp_solution->values, options_.integerize_passes);
       report.solve_seconds = SecondsSince(ts);
+      g_solve_us.Record(static_cast<uint64_t>(report.solve_seconds * 1e6));
       report.max_abs_violation = integers.max_absolute_violation;
       report.max_rel_violation = integers.max_relative_violation;
 

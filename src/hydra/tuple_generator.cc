@@ -5,11 +5,16 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "engine/kernels.h"
 #include "storage/disk_table.h"
 
 namespace hydra {
+
+// One columnar generation pass (cursor morsel or shared-chunk fill) — the
+// serving data plane's unit of work.
+HYDRA_METRIC_HISTOGRAM(g_gen_fill_us, "gen/fill_us");
 
 TupleGenerator::TupleGenerator(const DatabaseSummary& summary)
     : summary_(summary) {
@@ -143,6 +148,7 @@ void TupleGenerator::FillRange(int relation, int64_t begin, int64_t end,
 
 void TupleGenerator::FillBlockRange(int relation, int64_t begin, int64_t end,
                                     RowBlock* out) const {
+  ScopedLatencyTimer timer(&g_gen_fill_us);
   const RelationSummary& rs = summary_.relations[relation];
   const int pk_attr = pk_attr_[relation];
   const int64_t base = out->num_rows();
@@ -234,6 +240,7 @@ int64_t TupleGenerator::Cursor::Fill(int64_t max_rows, Value* dst) {
 }
 
 int64_t TupleGenerator::Cursor::FillBlock(int64_t max_rows, RowBlock* out) {
+  ScopedLatencyTimer timer(&g_gen_fill_us);
   const RelationSummary& rs = generator_->summary_.relations[relation_];
   const int pk_attr = generator_->pk_attr_[relation_];
   const int64_t end = std::min(total_, next_ + std::max<int64_t>(0, max_rows));

@@ -9,10 +9,15 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "lp/basis_lu.h"
 
 namespace hydra {
+
+// One LU rebuild from the current basis columns — the solver's dominant
+// periodic cost; its tail is what degrades a solve.
+HYDRA_METRIC_HISTOGRAM(g_refactorize_us, "lp/refactorize_us");
 
 namespace {
 
@@ -599,6 +604,7 @@ class RevisedSimplex {
   // duals exactly. Returns false (leaving the previous factors and update
   // file in place) if the basis is numerically singular.
   bool Refactorize() {
+    ScopedLatencyTimer timer(&g_refactorize_us);
     std::vector<BasisLu::Column> cols(m_);
     for (int p = 0; p < m_; ++p) cols[p] = ColumnOf(basis_[p]);
     if (!lu_.Factorize(m_, cols)) return false;

@@ -184,6 +184,22 @@ StatusOr<ServeStats> NetClient::Stats() {
   return stats;
 }
 
+StatusOr<std::string> NetClient::MetricsSerialized() {
+  std::string body;
+  HYDRA_RETURN_IF_ERROR(Transact(Opcode::kGetMetrics, std::string(), &body));
+  WireReader reader(body);
+  std::string snapshot;
+  HYDRA_RETURN_IF_ERROR(reader.LengthPrefixed(&snapshot));
+  return snapshot;
+}
+
+StatusOr<MetricsSnapshot> NetClient::Metrics() {
+  HYDRA_ASSIGN_OR_RETURN(const std::string bytes, MetricsSerialized());
+  MetricsSnapshot snapshot;
+  HYDRA_RETURN_IF_ERROR(ParseMetricsSnapshot(bytes, &snapshot));
+  return snapshot;
+}
+
 Status NetClient::Ping() {
   std::string body;
   return Transact(Opcode::kPing, std::string(), &body);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/wire.h"
 #include "serve/serve_api.h"
@@ -56,6 +57,12 @@ class NetClient {
   Status CloseCursor(SessionHandle session, CursorHandle cursor);
   Status CloseSession(SessionHandle session);
   StatusOr<ServeStats> Stats();
+  // The server process's full metrics snapshot. MetricsSerialized() hands
+  // back the wire bytes verbatim (byte-identical to the server's own
+  // SerializeMetricsSnapshot — tests/net_test.cc holds it to that);
+  // Metrics() parses them into a MetricsSnapshot.
+  StatusOr<std::string> MetricsSerialized();
+  StatusOr<MetricsSnapshot> Metrics();
   Status Ping();
 
  private:

@@ -27,6 +27,15 @@ HYDRA_FAILPOINT_DEFINE(g_fp_accept, "net/accept");
 HYDRA_FAILPOINT_DEFINE(g_fp_read_frame, "net/read_frame");
 HYDRA_FAILPOINT_DEFINE(g_fp_write_frame, "net/write_frame");
 
+// Frame lifecycle latency, split at the seams a wire request crosses: time
+// queued for a worker, time executing, time writing the response. The
+// kGetMetrics opcode skips handle/write recording — its response must be
+// byte-identical to the snapshot it serialized, so it must not mutate the
+// registry after serializing (tests/net_test.cc).
+HYDRA_METRIC_HISTOGRAM(g_dispatch_wait_us, "net/dispatch_wait_us");
+HYDRA_METRIC_HISTOGRAM(g_handle_us, "net/handle_us");
+HYDRA_METRIC_HISTOGRAM(g_write_us, "net/write_us");
+
 namespace {
 
 Status SetNonBlocking(int fd) {
@@ -49,7 +58,17 @@ int ResolveWorkers(const NetServerOptions& options) {
 }  // namespace
 
 NetServer::NetServer(RegenServer* server, NetServerOptions options)
-    : server_(server), options_(std::move(options)) {
+    : server_(server),
+      options_(std::move(options)),
+      metrics_provider_("net", [this](MetricsSink* sink) {
+        const NetStats s = stats();
+        sink->Gauge("connections_accepted", s.connections_accepted);
+        sink->Gauge("connections_dropped", s.connections_dropped);
+        sink->Gauge("frames_received", s.frames_received);
+        sink->Gauge("frames_sent", s.frames_sent);
+        sink->Gauge("protocol_errors", s.protocol_errors);
+        sink->Gauge("sessions_reaped", s.sessions_reaped);
+      }) {
   if (options_.max_buffered_frames < 1) options_.max_buffered_frames = 1;
 }
 
@@ -269,18 +288,34 @@ void NetServer::DispatchLocked(const std::shared_ptr<Connection>& conn) {
   std::string payload = std::move(conn->pending.front().second);
   conn->pending.pop_front();
   std::shared_ptr<Connection> shared = conn;
-  workers_->Submit([this, shared, header, payload]() mutable {
-    HandleFrame(std::move(shared), header, std::move(payload));
+  const uint64_t enqueue_us =
+      metrics::TimingEnabled() ? metrics::MonotonicMicros() : 0;
+  workers_->Submit([this, shared, header, payload, enqueue_us]() mutable {
+    HandleFrame(std::move(shared), header, std::move(payload), enqueue_us);
   });
 }
 
 void NetServer::HandleFrame(std::shared_ptr<Connection> conn,
-                            FrameHeader header, std::string payload) {
+                            FrameHeader header, std::string payload,
+                            uint64_t enqueue_us) {
+  if (enqueue_us != 0 && metrics::TimingEnabled()) {
+    g_dispatch_wait_us.Record(metrics::MonotonicMicros() - enqueue_us);
+  }
+  // Snapshot self-consistency: a GetMetrics response serializes the
+  // registry inside Execute, so every effect of serving it must land
+  // *before* that point (the dispatch wait above, the pre-counted
+  // frames_sent below) or not at all (handle/write records skipped).
+  const bool is_metrics =
+      static_cast<Opcode>(header.opcode) == Opcode::kGetMetrics;
+  if (is_metrics) frames_sent_.fetch_add(1, std::memory_order_relaxed);
   // Build the whole response frame in one buffer (header patched last), so
   // it goes out in one write — no torn frame on a concurrent kill.
   std::string frame(kFrameHeaderBytes, '\0');
   WireReader reader(payload);
-  Execute(conn, static_cast<Opcode>(header.opcode), &reader, &frame);
+  {
+    ScopedLatencyTimer handle_timer(is_metrics ? nullptr : &g_handle_us);
+    Execute(conn, static_cast<Opcode>(header.opcode), &reader, &frame);
+  }
   FrameHeader response;
   response.opcode = header.opcode;
   response.request_id = header.request_id;
@@ -290,13 +325,16 @@ void NetServer::HandleFrame(std::shared_ptr<Connection> conn,
   Status write_status;
   if (g_fp_write_frame.armed()) write_status = g_fp_write_frame.Fire();
   if (write_status.ok()) {
+    ScopedLatencyTimer write_timer(is_metrics ? nullptr : &g_write_us);
     write_status = WriteAll(conn->fd, frame.data(), frame.size());
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (write_status.ok()) {
-      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (!is_metrics) frames_sent_.fetch_add(1, std::memory_order_relaxed);
     } else {
+      // The pre-count assumed the response would reach the wire.
+      if (is_metrics) frames_sent_.fetch_sub(1, std::memory_order_relaxed);
       KillLocked(conn);
     }
     conn->busy = false;
@@ -449,6 +487,16 @@ void NetServer::Execute(const std::shared_ptr<Connection>& conn, Opcode opcode,
     }
     case Opcode::kPing: {
       AppendStatusEnvelope(Status::OK(), out);
+      return;
+    }
+    case Opcode::kGetMetrics: {
+      // The one source of truth: the same registry snapshot an in-process
+      // embedder reads, serialized with the same encoder. HandleFrame
+      // already pre-counted this frame and suppresses its own latency
+      // records, so these bytes equal a quiesced in-process snapshot.
+      AppendStatusEnvelope(Status::OK(), out);
+      writer.LengthPrefixed(
+          SerializeMetricsSnapshot(MetricRegistry::Snapshot()));
       return;
     }
   }

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "net/wire.h"
@@ -113,8 +114,10 @@ class NetServer {
   // Hands the next pending frame to the worker pool. mu_ held.
   void DispatchLocked(const std::shared_ptr<Connection>& conn);
   // Worker entry: decode, execute against server_, write the response.
+  // `enqueue_us` is the dispatch timestamp (0 when timing is disabled) —
+  // the worker records its queue wait against it.
   void HandleFrame(std::shared_ptr<Connection> conn, FrameHeader header,
-                   std::string payload);
+                   std::string payload, uint64_t enqueue_us);
   // Executes one request, appending the response payload (status envelope
   // + body) to `out`.
   void Execute(const std::shared_ptr<Connection>& conn, Opcode opcode,
@@ -150,6 +153,11 @@ class NetServer {
   std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> sessions_reaped_{0};
+
+  // Re-exports stats() as gauges under the "net" prefix in every
+  // MetricRegistry::Snapshot(). Declared last (registers fully-constructed
+  // state, unregisters first).
+  MetricsProvider metrics_provider_;
 };
 
 }  // namespace hydra

@@ -325,6 +325,9 @@ void AppendServeStats(const ServeStats& stats, std::string* out) {
       stats.priority_skips,     stats.rate_deferrals,
       stats.load_retries,       stats.shed_requests,
       stats.degraded_batches,   stats.cancelled_requests,
+      // Appended fields go at the end: old readers skip trailing extras,
+      // so wire order is append-only even where the struct interleaves.
+      stats.admission_grants,
   };
   writer.U32(static_cast<uint32_t>(sizeof(fields) / sizeof(fields[0])));
   for (const uint64_t field : fields) writer.U64(field);
@@ -345,6 +348,7 @@ Status ReadServeStats(WireReader* reader, ServeStats* stats) {
       &stats->priority_skips,     &stats->rate_deferrals,
       &stats->load_retries,       &stats->shed_requests,
       &stats->degraded_batches,   &stats->cancelled_requests,
+      &stats->admission_grants,
   };
   constexpr uint32_t kKnown = sizeof(fields) / sizeof(fields[0]);
   if (num_fields < kKnown) {

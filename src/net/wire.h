@@ -54,6 +54,10 @@ enum class Opcode : uint8_t {
   kCloseSession = 7,
   kStats = 8,
   kPing = 9,
+  // Body: the serialized MetricRegistry snapshot (SerializeMetricsSnapshot
+  // in common/metrics.h) — byte-identical to an in-process snapshot of the
+  // same registry state.
+  kGetMetrics = 10,
 };
 
 struct FrameHeader {

@@ -79,6 +79,7 @@ bool ScanGroup::TryAcquireResident(uint64_t member, int64_t chunk,
   for (Slot& slot : slots_) {
     if (slot.chunk != chunk || slot.loading) continue;
     slot.stamp = ++stamp_counter_;
+    ++counters_.hits;
     AdvanceMemberLocked(member, chunk);
     result->block = slot.block;
     result->produced = false;
@@ -108,6 +109,7 @@ Status ScanGroup::AcquireChunk(uint64_t member, int64_t chunk,
       if (hit != nullptr) {
         if (!hit->loading) {
           hit->stamp = ++stamp_counter_;
+          ++counters_.hits;
           AdvanceMemberLocked(member, chunk);
           result->block = hit->block;
           result->produced = false;
@@ -150,6 +152,10 @@ Status ScanGroup::AcquireChunk(uint64_t member, int64_t chunk,
         victim = needed_lru;
       }
       if (victim == nullptr) {
+        // Pacing: every idle slot is still needed by an in-window member
+        // (needed_lru set) — the frontier waits for the slowest member.
+        // With every slot mid-load instead, this is just producer backoff.
+        if (needed_lru != nullptr) ++counters_.pacing_waits;
         published_cv_.wait_for(lock, std::chrono::milliseconds(10));
         continue;
       }
@@ -182,9 +188,16 @@ Status ScanGroup::AcquireChunk(uint64_t member, int64_t chunk,
   result->block = claimed->block;
   result->produced = true;
   result->catch_up = chunk < top_chunk_;
+  ++counters_.fills;
+  if (result->catch_up) ++counters_.catch_up;
   top_chunk_ = std::max(top_chunk_, chunk);
   published_cv_.notify_all();
   return Status::OK();
+}
+
+ScanGroup::Counters ScanGroup::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
 }
 
 ScanGroupRegistry::ScanGroupRegistry(int64_t chunk_rows, int num_slots)
@@ -212,8 +225,49 @@ void ScanGroupRegistry::Leave(const std::string& summary_id, int relation,
   group->Leave(member);
   if (group->member_count() == 0) {
     const auto it = groups_.find({summary_id, relation});
-    if (it != groups_.end() && it->second == group) groups_.erase(it);
+    if (it != groups_.end() && it->second == group) {
+      // Fold the dying group's counters into the registry totals so
+      // totals() stays exact across group churn.
+      const ScanGroup::Counters c = group->counters();
+      dead_totals_.fills += c.fills;
+      dead_totals_.hits += c.hits;
+      dead_totals_.catch_up += c.catch_up;
+      dead_totals_.pacing_waits += c.pacing_waits;
+      groups_.erase(it);
+    }
   }
+}
+
+std::vector<ScanGroupInfo> ScanGroupRegistry::Infos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ScanGroupInfo> infos;
+  infos.reserve(groups_.size());
+  for (const auto& [key, group] : groups_) {
+    ScanGroupInfo info;
+    info.summary_id = key.first;
+    info.relation = key.second;
+    info.fanout = static_cast<uint64_t>(group->member_count());
+    const ScanGroup::Counters c = group->counters();
+    info.fills = c.fills;
+    info.hits = c.hits;
+    info.catch_up = c.catch_up;
+    info.pacing_waits = c.pacing_waits;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+ScanGroup::Counters ScanGroupRegistry::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScanGroup::Counters totals = dead_totals_;
+  for (const auto& [key, group] : groups_) {
+    const ScanGroup::Counters c = group->counters();
+    totals.fills += c.fills;
+    totals.hits += c.hits;
+    totals.catch_up += c.catch_up;
+    totals.pacing_waits += c.pacing_waits;
+  }
+  return totals;
 }
 
 uint64_t ScanGroupRegistry::groups_formed() const {

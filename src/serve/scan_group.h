@@ -43,6 +43,21 @@
 
 namespace hydra {
 
+// One live group's introspection row (docs/observability.md): identity,
+// current fan-out, and lifetime counters. RegenServer::scan_group_infos()
+// returns these; the wire ships them inside the GetMetrics snapshot as
+// "serve/group/<summary>/<relation>/..." gauges.
+struct ScanGroupInfo {
+  std::string summary_id;
+  int relation = 0;
+  uint64_t fanout = 0;        // members right now
+  uint64_t fills = 0;         // generation passes into this group's chunks
+  uint64_t hits = 0;          // grants served from a resident chunk
+  uint64_t catch_up = 0;      // fills behind the group frontier
+  uint64_t pacing_waits = 0;  // producer wait rounds pacing the frontier
+                              // to a slow in-window member
+};
+
 class ScanGroup {
  public:
   ScanGroup(int64_t chunk_rows, int num_slots);
@@ -99,6 +114,17 @@ class ScanGroup {
 
   int64_t chunk_rows() const { return chunk_rows_; }
 
+  // Lifetime counters (the ScanGroupInfo fields minus identity). The
+  // registry folds a dying group's counters into its running totals, so
+  // registry totals are exact across group churn.
+  struct Counters {
+    uint64_t fills = 0;
+    uint64_t hits = 0;
+    uint64_t catch_up = 0;
+    uint64_t pacing_waits = 0;
+  };
+  Counters counters() const;
+
  private:
   struct Slot {
     int64_t chunk = -1;  // -1 = empty
@@ -123,6 +149,7 @@ class ScanGroup {
   mutable std::mutex mu_;
   std::condition_variable published_cv_;
   std::vector<Slot> slots_;
+  Counters counters_;  // guarded by mu_
   uint64_t stamp_counter_ = 0;
   int64_t top_chunk_ = -1;  // highest chunk ever published (the frontier)
   std::map<uint64_t, Member> members_;  // member token -> position
@@ -150,6 +177,14 @@ class ScanGroupRegistry {
   // Most members any group ever had.
   uint64_t peak_fanout() const;
 
+  // One ScanGroupInfo per live group, ordered by (summary id, relation).
+  std::vector<ScanGroupInfo> Infos() const;
+  // Lifetime counter totals across every group this registry ever held:
+  // live groups summed on the fly plus the folded counters of groups
+  // already destroyed. Exact across churn — the chaos harness holds these
+  // equal to the server's own aggregate atomics.
+  ScanGroup::Counters totals() const;
+
  private:
   const int64_t chunk_rows_;
   const int num_slots_;
@@ -157,6 +192,7 @@ class ScanGroupRegistry {
   std::map<std::pair<std::string, int>, std::shared_ptr<ScanGroup>> groups_;
   uint64_t groups_formed_ = 0;
   uint64_t peak_fanout_ = 0;
+  ScanGroup::Counters dead_totals_;  // folded in by Leave on group death
 };
 
 }  // namespace hydra

@@ -5,8 +5,14 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace hydra {
+
+// Time a grant spent queued behind a full window (queued grants only — an
+// immediate grant records nothing, so the histogram is the shape of the
+// *waits*, matching the admission_waits counter's population).
+HYDRA_METRIC_HISTOGRAM(g_admission_wait_us, "serve/admission_wait_us");
 
 // Fires as a request is granted its slot, before the work runs: delay(ms)
 // stretches the window a grant is held (starving other sessions — the
@@ -37,6 +43,7 @@ Status FairScheduler::Admit(uint64_t session, const std::function<void()>& fn,
     GrantLocked();
     if (!ticket.granted) {
       ++admission_waits_;
+      ScopedLatencyTimer wait_timer(&g_admission_wait_us);
       // Deadlines and token-bucket refills are not hooked into the cv, so
       // poll: granted_cv_ wakes on grants and Kick(); the periodic timeout
       // bounds how stale an expired deadline can go unnoticed, and the
@@ -134,6 +141,7 @@ void FairScheduler::GrantLocked() {
     --num_waiting_;
     rr_next_ = ticket->session + 1;
     ticket->granted = true;
+    ++grants_;
     ++inflight_;
     granted_any = true;
   }
@@ -229,6 +237,11 @@ void FairScheduler::Drain() {
 uint64_t FairScheduler::admission_waits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return admission_waits_;
+}
+
+uint64_t FairScheduler::grants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grants_;
 }
 
 uint64_t FairScheduler::charged() const {

@@ -124,6 +124,8 @@ class FairScheduler {
   int max_queued() const { return max_queued_; }
   // Grants that found the window full and had to queue.
   uint64_t admission_waits() const;
+  // Tickets granted a slot (every admission that ran its work).
+  uint64_t grants() const;
   // Debt units recorded by Charge().
   uint64_t charged() const;
   // Turns the rotation skipped to repay debt.
@@ -177,6 +179,7 @@ class FairScheduler {
   uint64_t rr_next_ = 0;  // first session id to consider for the next grant
   int inflight_ = 0;
   uint64_t admission_waits_ = 0;
+  uint64_t grants_ = 0;
   uint64_t shed_ = 0;
   // session -> outstanding shared-work debt (absent = 0), capped per
   // session so totals stay finite and GrantLocked always terminates.

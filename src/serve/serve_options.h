@@ -69,6 +69,16 @@ struct ServeOptions {
   int load_retries = 3;
   int64_t load_retry_base_ms = 2;   // backoff = base << attempt, jittered
   int64_t load_retry_max_ms = 100;  // cap per sleep
+
+  // --- observability (docs/observability.md) -----------------------------
+  // Slow-op log: a NextBatch or OpenSession whose end-to-end latency
+  // reaches this threshold emits one structured stderr line (session id,
+  // summary id, rank, duration), riding the same measurement its latency
+  // histogram records. 0 = disabled.
+  int64_t slow_op_ms = 0;
+  // Enables span tracing (common/trace.h) at server construction — the
+  // programmatic equivalent of HYDRA_TRACE=1.
+  bool trace_spans = false;
 };
 
 // Monotonic counters snapshotted by RegenServer::stats(). Plain values —
@@ -86,6 +96,8 @@ struct ServeStats {
   uint64_t lookups_served = 0;
   uint64_t queries_served = 0;  // full engine pipelines
   uint64_t admission_waits = 0;  // grants that queued behind a full window
+  uint64_t admission_grants = 0;  // tickets granted a slot by the
+                                  // fair scheduler
   // Shared scan.
   uint64_t scan_groups_formed = 0;  // groups that reached >= 2 members
   uint64_t peak_group_fanout = 0;   // most members any group ever had

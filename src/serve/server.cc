@@ -1,12 +1,22 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "hydra/tuple_generator.h"
 
 namespace hydra {
+
+// End-to-end request latency as the client experiences it: admission wait,
+// summary lease, generation, and fan-out included.
+HYDRA_METRIC_HISTOGRAM(g_next_batch_us, "serve/next_batch_us");
+HYDRA_METRIC_HISTOGRAM(g_open_session_us, "serve/open_session_us");
+// Requests the slow-op log reported (ServeOptions::slow_op_ms reached).
+HYDRA_METRIC_COUNTER(g_slow_ops, "serve/slow_ops");
 
 namespace {
 
@@ -42,10 +52,46 @@ RegenServer::RegenServer(ServeOptions options)
       scheduler_(ResolveInflight(options, ResolvePoolThreads(options)),
                  options.max_queued),
       scan_groups_(std::max<int64_t>(1, options.batch_rows),
-                   options.shared_scan_chunks) {
+                   options.shared_scan_chunks),
+      metrics_provider_("serve", [this](MetricsSink* sink) {
+        const ServeStats s = stats();
+        sink->Gauge("cache_hits", s.cache_hits);
+        sink->Gauge("cache_misses", s.cache_misses);
+        sink->Gauge("evictions", s.evictions);
+        sink->Gauge("cached_bytes", s.cached_bytes);
+        sink->Gauge("resident_summaries", s.resident_summaries);
+        sink->Gauge("batches_served", s.batches_served);
+        sink->Gauge("rows_served", s.rows_served);
+        sink->Gauge("lookups_served", s.lookups_served);
+        sink->Gauge("queries_served", s.queries_served);
+        sink->Gauge("admission_waits", s.admission_waits);
+        sink->Gauge("admission_grants", s.admission_grants);
+        sink->Gauge("scan_groups_formed", s.scan_groups_formed);
+        sink->Gauge("peak_group_fanout", s.peak_group_fanout);
+        sink->Gauge("shared_chunk_fills", s.shared_chunk_fills);
+        sink->Gauge("shared_chunk_hits", s.shared_chunk_hits);
+        sink->Gauge("catch_up_batches", s.catch_up_batches);
+        sink->Gauge("shared_charges", s.shared_charges);
+        sink->Gauge("priority_skips", s.priority_skips);
+        sink->Gauge("rate_deferrals", s.rate_deferrals);
+        sink->Gauge("load_retries", s.load_retries);
+        sink->Gauge("shed_requests", s.shed_requests);
+        sink->Gauge("degraded_batches", s.degraded_batches);
+        sink->Gauge("cancelled_requests", s.cancelled_requests);
+        for (const ScanGroupInfo& g : scan_group_infos()) {
+          const std::string prefix =
+              "group/" + g.summary_id + "/" + std::to_string(g.relation) + "/";
+          sink->Gauge(prefix + "fanout", g.fanout);
+          sink->Gauge(prefix + "fills", g.fills);
+          sink->Gauge(prefix + "hits", g.hits);
+          sink->Gauge(prefix + "catch_up", g.catch_up);
+          sink->Gauge(prefix + "pacing_waits", g.pacing_waits);
+        }
+      }) {
   if (options_.batch_rows < 1) options_.batch_rows = 1;
   const int threads = ResolvePoolThreads(options_);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.trace_spans) trace::SetEnabled(true);
 }
 
 RegenServer::~RegenServer() {
@@ -62,6 +108,8 @@ Status RegenServer::RegisterSummary(const std::string& id,
 
 StatusOr<SessionHandle> RegenServer::OpenSession(
     const OpenSessionRequest& request) {
+  trace::TraceScope span("serve/open_session");
+  ScopedLatencyTimer timer(&g_open_session_us);
   if (shutting_down()) {
     return Status::Unavailable("server is shutting down");
   }
@@ -109,6 +157,7 @@ StatusOr<SessionHandle> RegenServer::OpenSession(
   // queue. Defaults (priority 1, no rate) are a no-op in the scheduler.
   scheduler_.SetSessionQos(
       handle.id, SessionQos{request.priority, request.rate_limit_rows_per_sec});
+  MaybeLogSlowOp("open_session", handle.id, request.summary_id, -1, timer);
   return handle;
 }
 
@@ -228,6 +277,8 @@ StatusOr<CursorHandle> RegenServer::OpenCursor(SessionHandle session_handle,
 StatusOr<BatchResult> RegenServer::NextBatch(SessionHandle session_handle,
                                              CursorHandle cursor_handle,
                                              RowBlock&& reuse) {
+  trace::TraceScope span("serve/next_batch");
+  ScopedLatencyTimer timer(&g_next_batch_us);
   HYDRA_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                          FindSession(session_handle.id));
   std::lock_guard<std::mutex> lock(session->mu);
@@ -341,6 +392,8 @@ StatusOr<BatchResult> RegenServer::NextBatch(SessionHandle session_handle,
   // members keep sharing undisturbed, and this cursor — were it somehow
   // resumed — would stream privately.
   if (IsTerminalSignal(status)) DetachCursor(*session, cursor);
+  MaybeLogSlowOp("next_batch", session_handle.id, session->summary_id,
+                 cursor.next_rank, timer);
   HYDRA_RETURN_IF_ERROR(TallyTerminal(status));
   result.rank = cursor.next_rank;
   if (out->empty()) {
@@ -558,6 +611,19 @@ int64_t RegenServer::EffectiveBatchRows() {
   return rows;
 }
 
+void RegenServer::MaybeLogSlowOp(const char* op, uint64_t session_id,
+                                 const std::string& summary_id, int64_t rank,
+                                 const ScopedLatencyTimer& timer) {
+  if (options_.slow_op_ms <= 0 || !timer.active()) return;
+  const uint64_t us = timer.elapsed_us();
+  if (us < static_cast<uint64_t>(options_.slow_op_ms) * 1000) return;
+  g_slow_ops.Inc();
+  std::fprintf(stderr,
+               "[hydra.slow_op] op=%s session=%" PRIu64 " summary=%s"
+               " rank=%" PRId64 " duration_us=%" PRIu64 "\n",
+               op, session_id, summary_id.c_str(), rank, us);
+}
+
 Status RegenServer::TallyTerminal(Status status) {
   if (IsTerminalSignal(status)) {
     cancelled_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -578,6 +644,7 @@ ServeStats RegenServer::stats() const {
   s.lookups_served = lookups_served_.load(std::memory_order_relaxed);
   s.queries_served = queries_served_.load(std::memory_order_relaxed);
   s.admission_waits = scheduler_.admission_waits();
+  s.admission_grants = scheduler_.grants();
   s.scan_groups_formed = scan_groups_.groups_formed();
   s.peak_group_fanout = scan_groups_.peak_fanout();
   s.shared_chunk_fills = shared_chunk_fills_.load(std::memory_order_relaxed);
@@ -592,6 +659,14 @@ ServeStats RegenServer::stats() const {
   s.degraded_batches = degraded_batches_.load(std::memory_order_relaxed);
   s.cancelled_requests = cancelled_requests_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::vector<ScanGroupInfo> RegenServer::scan_group_infos() const {
+  return scan_groups_.Infos();
+}
+
+ScanGroup::Counters RegenServer::scan_group_totals() const {
+  return scan_groups_.totals();
 }
 
 }  // namespace hydra

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/executor.h"
@@ -127,6 +128,14 @@ class RegenServer {
                                             const Query& query);
 
   ServeStats stats() const;
+  // Per-scan-group introspection: one row per live group (identity,
+  // fan-out, lifetime counters). The metrics provider re-exports these as
+  // "serve/group/<summary>/<relation>/..." gauges in every snapshot.
+  std::vector<ScanGroupInfo> scan_group_infos() const;
+  // Lifetime scan-group counter totals, exact across group churn. Always
+  // equals the matching ServeStats aggregates (fills/hits/catch_up) — the
+  // chaos harness holds the two populations to each other.
+  ScanGroup::Counters scan_group_totals() const;
   const ServeOptions& options() const { return options_; }
   // Resolved worker count of the shared pool (1 = sequential serving).
   int pool_threads() const { return pool_ ? pool_->num_threads() : 1; }
@@ -214,6 +223,12 @@ class RegenServer {
                     int64_t chunk_end, RowBlock* out);
   // Ends the cursor's group membership, if any. session.mu held.
   void DetachCursor(Session& session, Cursor& cursor);
+  // Slow-op log (docs/observability.md): when the op's measured latency
+  // reaches ServeOptions::slow_op_ms, emits one structured stderr line off
+  // the histogram timer's own measurement. rank < 0 = not applicable.
+  void MaybeLogSlowOp(const char* op, uint64_t session_id,
+                      const std::string& summary_id, int64_t rank,
+                      const ScopedLatencyTimer& timer);
 
   ServeOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when serving sequentially
@@ -236,6 +251,12 @@ class RegenServer {
   std::atomic<uint64_t> shared_chunk_fills_{0};
   std::atomic<uint64_t> shared_chunk_hits_{0};
   std::atomic<uint64_t> catch_up_batches_{0};
+
+  // Re-exports stats() and scan_group_infos() as gauges into every
+  // MetricRegistry::Snapshot() under the "serve" prefix ("serve#2"... for
+  // further instances). Declared last: it registers fully-constructed
+  // state and unregisters before any member it reads is destroyed.
+  MetricsProvider metrics_provider_;
 };
 
 }  // namespace hydra

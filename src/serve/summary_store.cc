@@ -7,9 +7,18 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "hydra/summary_io.h"
 
 namespace hydra {
+
+// End-to-end single-flight summary load: disk read plus any retry backoff.
+// Cache hits record nothing — the histogram is the shape of the misses.
+HYDRA_METRIC_HISTOGRAM(g_summary_load_us, "serve/summary_load_us");
+// Transient load attempts retried — the process-wide aggregate across
+// stores (each store's own count stays in ServeStats::load_retries, which
+// the serve provider re-exports as the gauge "serve/load_retries").
+HYDRA_METRIC_COUNTER(g_load_retries, "serve/summary_load_retries");
 
 // Fires inside the single-flight load, before ReadSummary touches the
 // file: error(UNAVAILABLE,times=N) with N <= load retries makes the load
@@ -94,6 +103,7 @@ SummaryStore::SummaryStore(uint64_t cache_bytes, LoadRetryPolicy retry)
 
 StatusOr<DatabaseSummary> SummaryStore::LoadWithRetry(
     const std::string& id, const std::string& path) {
+  ScopedLatencyTimer timer(&g_summary_load_us);
   for (int attempt = 0;; ++attempt) {
     Status injected;
     if (g_fp_summary_load.armed()) injected = g_fp_summary_load.Fire();
@@ -104,6 +114,7 @@ StatusOr<DatabaseSummary> SummaryStore::LoadWithRetry(
       return loaded;
     }
     load_retries_.fetch_add(1, std::memory_order_relaxed);
+    g_load_retries.Inc();
     const int64_t backoff = std::min(
         retry_.max_ms, retry_.base_ms << std::min(attempt, 30));
     // Deterministic jitter in [0, backoff]: desynchronizes concurrent

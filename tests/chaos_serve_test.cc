@@ -19,12 +19,14 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cancel.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "hydra/regenerator.h"
 #include "hydra/summary_io.h"
 #include "hydra/tuple_generator.h"
@@ -255,6 +257,103 @@ TEST_F(ChaosServeTest, MixedWorkloadSurvivesSeededFaultSchedule) {
     const ServeStats stats = server.stats();
     EXPECT_GT(stats.load_retries, 0u);
   }
+}
+
+TEST_F(ChaosServeTest, MetricInvariantsHoldUnderFaultStorm) {
+  // The observability surface must stay internally consistent no matter
+  // what the fault schedule does to pacing, retries, or group membership
+  // (docs/observability.md):
+  //
+  //   * every served batch is covered by an admission grant or a shared-
+  //     chunk hit — the fast path is the only grant-free serving;
+  //   * scan-group registry totals equal the server's aggregate counters,
+  //     exactly, across group churn;
+  //   * the process-wide retry counter moves in lockstep with the store's;
+  //   * a reaped session is counted exactly once, even when kill paths
+  //     race; the snapshot stays deterministic and parseable throughout.
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("HYDRA_CHAOS_SEED=" + std::to_string(seed));
+  Counter* retry_counter =
+      MetricRegistry::FindCounter("serve/summary_load_retries");
+  ASSERT_NE(retry_counter, nullptr);
+  const uint64_t retries_before = retry_counter->value();
+
+  RegenServer server(ChaosOptions(summary_bytes_));
+  ASSERT_TRUE(server.RegisterSummary("alpha", path_).ok());
+  ASSERT_TRUE(server.RegisterSummary("beta", path_).ok());
+  const std::string schedule =
+      "serve/summary_load=error(UNAVAILABLE,p=0.4,seed=" +
+      std::to_string(seed) +
+      ");serve/grant=delay(1,p=0.1,seed=" + std::to_string(seed + 1) +
+      ");thread_pool/dispatch=delay(1,p=0.02,seed=" + std::to_string(seed + 2) +
+      ")";
+  ASSERT_TRUE(Failpoint::ArmFromString(schedule).ok());
+  (void)RunClients(server, env_, /*clients=*/8);
+  Failpoint::DisarmAll();
+
+  const ServeStats stats = server.stats();
+  EXPECT_GT(stats.batches_served, 0u);
+  EXPECT_GT(stats.admission_grants, 0u);
+  EXPECT_LE(stats.batches_served,
+            stats.admission_grants + stats.shared_chunk_hits);
+  // Grants also cover lookups, queries, and empty fills, so they dominate
+  // the other admitted-work tallies too.
+  EXPECT_GE(stats.admission_grants, stats.admission_waits);
+
+  const ScanGroup::Counters totals = server.scan_group_totals();
+  EXPECT_EQ(totals.fills, stats.shared_chunk_fills);
+  EXPECT_EQ(totals.hits, stats.shared_chunk_hits);
+  EXPECT_EQ(totals.catch_up, stats.catch_up_batches);
+
+  // Only this server loaded summaries since the baseline was taken.
+  EXPECT_EQ(retry_counter->value() - retries_before, stats.load_retries);
+  EXPECT_GT(stats.load_retries, 0u);
+
+  // Reap-once: orphaned wire sessions are counted exactly when their
+  // connection dies — a properly closed session never double-counts.
+  {
+    NetServer net(&server);
+    ASSERT_TRUE(net.Start().ok());
+    constexpr int kConns = 3;
+    std::vector<std::unique_ptr<NetClient>> clients;
+    int orphaned = 0;
+    for (int i = 0; i < kConns; ++i) {
+      auto client = std::make_unique<NetClient>();
+      ASSERT_TRUE(client->Connect("127.0.0.1", net.port()).ok());
+      auto first = client->OpenSession(OpenSessionRequest{"alpha"});
+      auto second = client->OpenSession(OpenSessionRequest{"beta"});
+      ASSERT_TRUE(first.ok() && second.ok());
+      if (i == 0) {
+        ASSERT_TRUE(client->CloseSession(*first).ok());
+        orphaned += 1;  // only the second rides into the disconnect
+      } else {
+        orphaned += 2;
+      }
+      clients.push_back(std::move(client));
+    }
+    for (auto& client : clients) client->Disconnect();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (net.stats().sessions_reaped <
+               static_cast<uint64_t>(orphaned) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // Exactly the orphans — never the cleanly closed session, never a
+    // session twice (kill and reap race on the same connection).
+    EXPECT_EQ(net.stats().sessions_reaped, static_cast<uint64_t>(orphaned));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(net.stats().sessions_reaped, static_cast<uint64_t>(orphaned));
+    net.Stop();
+  }
+
+  // The snapshot survives the storm: deterministic bytes, clean parse.
+  const MetricsSnapshot snapshot = MetricRegistry::Snapshot();
+  const std::string bytes = SerializeMetricsSnapshot(snapshot);
+  EXPECT_EQ(bytes, SerializeMetricsSnapshot(MetricRegistry::Snapshot()));
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsSnapshot(bytes, &parsed).ok());
+  EXPECT_EQ(parsed.counters.size(), snapshot.counters.size());
 }
 
 TEST_F(ChaosServeTest, TransientLoadFaultsAreRetriedToSuccess) {

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "hydra/regenerator.h"
 #include "hydra/summary_io.h"
 #include "hydra/tuple_generator.h"
@@ -282,6 +283,24 @@ std::string Frame(Opcode opcode, uint64_t request_id,
 
 // ---- served fixture -------------------------------------------------------
 
+// This binary references every instrumented subsystem (serve, net, lp,
+// generation), so their translation units link in and their namespace-scope
+// metric globals must self-register before main() — the static-registration
+// linkage contract of docs/observability.md. (A binary that links none of
+// a subsystem's symbols legitimately drops its metrics with the TU.)
+TEST(MetricsRegistration, LinkedSubsystemMetricsAreRegistered) {
+  for (const char* name :
+       {"serve/next_batch_us", "serve/open_session_us",
+        "serve/admission_wait_us", "serve/summary_load_us", "lp/formulate_us",
+        "lp/solve_us", "lp/refactorize_us", "gen/fill_us",
+        "net/dispatch_wait_us", "net/handle_us", "net/write_us"}) {
+    EXPECT_NE(MetricRegistry::FindHistogram(name), nullptr) << name;
+  }
+  EXPECT_NE(MetricRegistry::FindCounter("serve/slow_ops"), nullptr);
+  EXPECT_NE(MetricRegistry::FindCounter("serve/summary_load_retries"),
+            nullptr);
+}
+
 class NetTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -431,6 +450,53 @@ TEST_F(NetTest, PingStatsAndQosRideTheWire) {
   EXPECT_GE(stats->rows_served, 30000u);
   EXPECT_GE(stats->rate_deferrals, 1u);
   EXPECT_EQ(stats->rows_served, server_->stats().rows_served);
+}
+
+TEST_F(NetTest, GetMetricsIsByteConsistentWithInProcessSnapshot) {
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  // Drive real traffic first so the snapshot is non-trivial: histograms
+  // have samples, the serve/net providers have non-zero gauges.
+  CursorSpec spec;
+  spec.relation = env_.schema.RelationIndex("R");
+  spec.end_rank = 5000;
+  StreamHash(client, spec);
+
+  // One connection, synchronous requests: when the GetMetrics response is
+  // on the wire, the server has fully accounted the traffic above, and the
+  // request's own footprint landed before serialization (dispatch wait,
+  // pre-counted frames_sent) or not at all (handle/write records). So the
+  // wire bytes must equal a local snapshot taken right after — same
+  // registry, same encoder, no tolerance.
+  auto wire_bytes = client.MetricsSerialized();
+  ASSERT_TRUE(wire_bytes.ok()) << wire_bytes.status().ToString();
+  const std::string local_bytes =
+      SerializeMetricsSnapshot(MetricRegistry::Snapshot());
+  EXPECT_EQ(*wire_bytes, local_bytes);
+
+  // And the parsed view carries the instrumentation this traffic produced.
+  MetricsSnapshot snapshot;
+  ASSERT_TRUE(ParseMetricsSnapshot(*wire_bytes, &snapshot).ok());
+  bool saw_next_batch = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "serve/next_batch_us") {
+      saw_next_batch = true;
+      EXPECT_GT(h.count, 0u);
+      EXPECT_GE(h.Percentile(0.99), h.Percentile(0.50));
+    }
+  }
+  EXPECT_TRUE(saw_next_batch);
+  bool saw_frames_sent = false;
+  for (const auto& g : snapshot.gauges) {
+    if (g.name == "net/frames_sent") {
+      saw_frames_sent = true;
+      // The response carrying this snapshot is itself counted (pre-counted
+      // before serialization, so a scrape after N frames reads N+1).
+      EXPECT_EQ(g.value,
+                static_cast<int64_t>(net_->stats().frames_sent));
+    }
+  }
+  EXPECT_TRUE(saw_frames_sent);
 }
 
 TEST_F(NetTest, DeadlineRidesTheOpenFrame) {

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
 #include "hydra/regenerator.h"
 #include "hydra/summary_io.h"
 #include "hydra/tuple_generator.h"
@@ -525,6 +527,96 @@ TEST_F(ServeTest, TwoCursorsShareOneGenerationPass) {
   EXPECT_EQ(stats.shared_chunk_fills, chunks);
   EXPECT_EQ(stats.shared_chunk_hits, chunks);
   EXPECT_EQ(stats.catch_up_batches, 0u);
+}
+
+TEST_F(ServeTest, ScanGroupIntrospectionMatchesServerCounters) {
+  // Same deterministic two-member group as above, observed through the
+  // introspection surface (docs/observability.md): live rows carry group
+  // identity and fan-out, and registry totals stay exactly equal to the
+  // server's aggregate counters across group death.
+  ServeOptions options;
+  options.num_threads = 1;
+  options.batch_rows = 8192;
+  RegenServer server(options);
+  RegisterBoth(server);
+  const int r = env_.schema.RelationIndex("R");
+  EXPECT_TRUE(server.scan_group_infos().empty());
+
+  auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
+  ASSERT_TRUE(sid.ok());
+  CursorSpec spec;
+  spec.relation = r;
+  auto a = server.OpenCursor(*sid, spec);
+  auto b = server.OpenCursor(*sid, spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  RowBlock block;
+  for (int i = 0; i < 3; ++i) {
+    auto batch_a = server.NextBatch(*sid, *a, std::move(block));
+    ASSERT_TRUE(batch_a.ok());
+    auto batch_b = server.NextBatch(*sid, *b, std::move(batch_a->rows));
+    ASSERT_TRUE(batch_b.ok());
+    block = std::move(batch_b->rows);
+  }
+
+  const std::vector<ScanGroupInfo> live = server.scan_group_infos();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].summary_id, "alpha");
+  EXPECT_EQ(live[0].relation, r);
+  EXPECT_EQ(live[0].fanout, 2u);
+  EXPECT_EQ(live[0].fills, 3u);  // leader filled one chunk per round
+  EXPECT_EQ(live[0].hits, 3u);   // follower rode each one
+  EXPECT_EQ(live[0].catch_up, 0u);
+
+  ASSERT_TRUE(server.CloseSession(*sid).ok());
+  // The group died with its members, but its counters folded into the
+  // registry totals — which must equal the ServeStats aggregates, always
+  // (the two populations increment at the same sites).
+  EXPECT_TRUE(server.scan_group_infos().empty());
+  const ScanGroup::Counters totals = server.scan_group_totals();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(totals.fills, stats.shared_chunk_fills);
+  EXPECT_EQ(totals.hits, stats.shared_chunk_hits);
+  EXPECT_EQ(totals.catch_up, stats.catch_up_batches);
+  EXPECT_EQ(totals.fills, 3u);
+}
+
+TEST_F(ServeTest, SlowOpLogIsGatedAndCounted) {
+  Counter* slow_ops = MetricRegistry::FindCounter("serve/slow_ops");
+  ASSERT_NE(slow_ops, nullptr);
+
+  // A 30ms injected stall in the summary load makes OpenSession slow on a
+  // cold cache — deterministically, no timing races.
+  ASSERT_TRUE(Failpoint::ArmFromString("serve/summary_load=delay(30)").ok());
+  {
+    // Threshold unset (the default): slow ops are not counted or logged.
+    RegenServer server(ServeOptions{});
+    RegisterBoth(server);
+    const uint64_t before = slow_ops->value();
+    auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
+    ASSERT_TRUE(sid.ok());
+    EXPECT_TRUE(server.CloseSession(*sid).ok());
+    EXPECT_EQ(slow_ops->value(), before);
+  }
+  {
+    // Threshold below the stall: the open trips the slow-op log.
+    ServeOptions options;
+    options.slow_op_ms = 10;
+    RegenServer server(options);
+    RegisterBoth(server);
+    const uint64_t before = slow_ops->value();
+    auto sid = server.OpenSession(OpenSessionRequest{"alpha"});
+    ASSERT_TRUE(sid.ok());
+    EXPECT_GE(slow_ops->value(), before + 1);
+    // A fast op under the same threshold stays quiet: the second open hits
+    // the summary cache, skipping the armed load failpoint entirely.
+    const uint64_t after_open = slow_ops->value();
+    auto sid2 = server.OpenSession(OpenSessionRequest{"alpha"});
+    ASSERT_TRUE(sid2.ok());
+    EXPECT_EQ(slow_ops->value(), after_open);
+    EXPECT_TRUE(server.CloseSession(*sid).ok());
+    EXPECT_TRUE(server.CloseSession(*sid2).ok());
+  }
+  ASSERT_TRUE(Failpoint::ArmFromString("serve/summary_load=off").ok());
 }
 
 TEST_F(ServeTest, LateJoinerCatchesUpWithoutDisturbingTheGroup) {

@@ -1,0 +1,101 @@
+// hydra_stats — dump a running server's metrics snapshot over the wire
+// (docs/observability.md).
+//
+// Usage:
+//   hydra_stats --port P [--host 127.0.0.1] [--format text|prom]
+//
+// Fetches the GetMetrics snapshot from the server's TCP front end and
+// prints it: `text` (default) is a human-readable table with histogram
+// percentiles, `prom` is Prometheus text exposition ready to be scraped
+// into a file or piped to a pushgateway.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/metrics.h"
+#include "net/client.h"
+
+namespace {
+
+void PrintText(const hydra::MetricsSnapshot& snapshot) {
+  if (!snapshot.counters.empty()) {
+    std::printf("== counters ==\n");
+    for (const auto& c : snapshot.counters) {
+      std::printf("%-40s %20" PRIu64 "\n", c.name.c_str(), c.value);
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    std::printf("== gauges ==\n");
+    for (const auto& g : snapshot.gauges) {
+      std::printf("%-40s %20" PRId64 "\n", g.name.c_str(), g.value);
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    std::printf("== histograms (us) ==\n");
+    std::printf("%-40s %10s %12s %10s %10s %10s %10s %10s\n", "name", "count",
+                "mean", "p50", "p95", "p99", "p99.9", "max");
+    for (const auto& h : snapshot.histograms) {
+      const double mean =
+          h.count == 0 ? 0.0
+                       : static_cast<double>(h.sum) /
+                             static_cast<double>(h.count);
+      std::printf("%-40s %10" PRIu64 " %12.1f %10" PRIu64 " %10" PRIu64
+                  " %10" PRIu64 " %10" PRIu64 " %10" PRIu64 "\n",
+                  h.name.c_str(), h.count, mean, h.Percentile(0.50),
+                  h.Percentile(0.95), h.Percentile(0.99), h.Percentile(0.999),
+                  h.max);
+    }
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--host 127.0.0.1] [--format text|prom]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string format = "text";
+  int port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port <= 0 || (format != "text" && format != "prom")) {
+    return Usage(argv[0]);
+  }
+
+  hydra::NetClient client;
+  if (const hydra::Status s = client.Connect(host, port); !s.ok()) {
+    std::fprintf(stderr, "connect %s:%d failed: %s\n", host.c_str(), port,
+                 s.ToString().c_str());
+    return 1;
+  }
+  hydra::StatusOr<hydra::MetricsSnapshot> snapshot = client.Metrics();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "GetMetrics failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  if (format == "prom") {
+    std::fputs(hydra::PrometheusText(*snapshot).c_str(), stdout);
+  } else {
+    PrintText(*snapshot);
+  }
+  return 0;
+}
